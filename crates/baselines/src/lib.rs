@@ -1,0 +1,25 @@
+//! # Literature baselines for Table 2
+//!
+//! The paper compares PA-CGA against two published metaheuristics whose
+//! code is not available; both are re-implemented here from their papers'
+//! descriptions (see DESIGN.md §4 for the substitution rationale):
+//!
+//! * [`struggle::StruggleGa`] — Xhafa's steady-state GA with **struggle
+//!   replacement** (BIOMA 2006, ref \[19\]): each offspring replaces the most
+//!   *similar* individual of the panmictic population, but only if fitter.
+//! * [`cma_lth::CmaLth`] — the cellular memetic algorithm hybridized with
+//!   **local tabu hill-climbing** of Xhafa, Alba, Dorronsoro & Duran
+//!   (JMMA 2008, ref \[20\]): a synchronous cellular GA whose memetic step is
+//!   the [`lth::TabuHillClimb`] operator.
+//!
+//! Both engines share PA-CGA's operator implementations and report the
+//! same [`pa_cga_core::trace::RunOutcome`], so the Table 2 harness treats
+//! all algorithms uniformly.
+
+pub mod cma_lth;
+pub mod lth;
+pub mod struggle;
+
+pub use cma_lth::{CmaLth, CmaLthConfig};
+pub use lth::TabuHillClimb;
+pub use struggle::{similarity, StruggleConfig, StruggleGa};

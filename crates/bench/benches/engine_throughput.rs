@@ -1,0 +1,50 @@
+//! Engine throughput: wall time to burn a fixed evaluation budget at 1–4
+//! threads (the Figure 4 phenomenon as a Criterion benchmark), plus the
+//! synchronous engine at one thread for the model-overhead comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etc_model::braun_instance;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::{PaCga, SyncCga};
+
+const BUDGET: u64 = 4_096;
+
+fn config(threads: usize, ls: usize, seed: u64) -> PaCgaConfig {
+    PaCgaConfig::builder()
+        .threads(threads)
+        .local_search_iterations(ls)
+        .termination(Termination::Evaluations(BUDGET))
+        .seed(seed)
+        .build()
+}
+
+fn bench_parallel_async(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut group = c.benchmark_group("pa_cga_4096_evals");
+    group.sample_size(10);
+    for threads in 1..=4usize {
+        for ls in [0usize, 10] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("t{threads}_ls{ls}")),
+                &(threads, ls),
+                |b, &(threads, ls)| {
+                    b.iter(|| black_box(PaCga::new(&inst, config(threads, ls, 7)).run()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_synchronous(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut group = c.benchmark_group("sync_cga_4096_evals");
+    group.sample_size(10);
+    group.bench_function("t1_ls10", |b| {
+        b.iter(|| black_box(SyncCga::new(&inst, config(1, 10, 7)).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_async, bench_synchronous);
+criterion_main!(benches);

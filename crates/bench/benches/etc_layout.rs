@@ -1,0 +1,69 @@
+//! Layout ablation (paper §3.3): the transposed (machine-major) ETC layout
+//! vs the naive task-major layout on the access pattern of the hot loops —
+//! completion-time rebuilds and H2LL-style candidate scans, which walk
+//! *tasks within one machine*. The paper measured a 5–10% end-to-end win
+//! for the transposed layout.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etc_model::{braun_instance, MatrixLayout};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ct_rebuild(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let etc = inst.etc();
+    let n_tasks = inst.n_tasks();
+    let n_machines = inst.n_machines();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let assignment: Vec<usize> = (0..n_tasks).map(|_| rng.gen_range(0..n_machines)).collect();
+
+    let mut group = c.benchmark_group("ct_rebuild");
+    for layout in [MatrixLayout::MachineMajor, MatrixLayout::TaskMajor] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layout:?}")),
+            &layout,
+            |b, &layout| {
+                b.iter(|| {
+                    let mut ct = vec![0.0f64; n_machines];
+                    for (t, &m) in assignment.iter().enumerate() {
+                        ct[m] += etc.etc_with_layout(layout, t, m);
+                    }
+                    black_box(ct)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_machine_scan(c: &mut Criterion) {
+    // H2LL inner loop shape: for a fixed machine, accumulate the ETC of
+    // consecutive tasks (what lands in the same cachelines under the
+    // transposed layout).
+    let inst = braun_instance("u_i_hihi.0");
+    let etc = inst.etc();
+    let n_tasks = inst.n_tasks();
+
+    let mut group = c.benchmark_group("machine_scan");
+    for layout in [MatrixLayout::MachineMajor, MatrixLayout::TaskMajor] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layout:?}")),
+            &layout,
+            |b, &layout| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for m in 0..inst.n_machines() {
+                        for t in 0..n_tasks {
+                            acc += etc.etc_with_layout(layout, t, m);
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ct_rebuild, bench_machine_scan);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Evaluation-path micro-benchmarks: the paper's O(#machines) cached
+//! `evaluate()` (max over CT) vs a from-scratch completion-time rebuild —
+//! the representation choice §3.3 motivates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use etc_model::braun_instance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scheduling::Schedule;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let s = Schedule::random(&inst, &mut rng);
+
+    c.bench_function("evaluate_cached_max_ct", |b| {
+        b.iter(|| black_box(s.makespan()))
+    });
+
+    c.bench_function("evaluate_full_rebuild", |b| {
+        let mut t = s.clone();
+        b.iter(|| {
+            t.renormalize(&inst);
+            black_box(t.makespan())
+        })
+    });
+}
+
+fn bench_incremental_move(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut s = Schedule::random(&inst, &mut rng);
+    let n = inst.n_tasks();
+    let m = inst.n_machines();
+
+    c.bench_function("incremental_move_task", |b| {
+        b.iter(|| {
+            let t = rng.gen_range(0..n);
+            let mac = rng.gen_range(0..m);
+            black_box(s.move_task(&inst, t, mac))
+        })
+    });
+}
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let assignment: Vec<u32> =
+        (0..inst.n_tasks()).map(|_| rng.gen_range(0..inst.n_machines() as u32)).collect();
+
+    c.bench_function("schedule_from_assignment", |b| {
+        b.iter(|| black_box(Schedule::from_assignment(&inst, assignment.clone())))
+    });
+}
+
+criterion_group!(benches, bench_evaluate, bench_incremental_move, bench_schedule_construction);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Cost of the deterministic heuristics on the benchmark class — context
+//! for the paper's remark that near-homogeneous instances are better
+//! served by "simpler and faster methods" (§4.2). Min-min also prices the
+//! population-seeding step of Table 1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etc_model::braun_instance;
+use heuristics::Heuristic;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut group = c.benchmark_group("heuristics_512x16");
+    for h in Heuristic::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(h.name()), &h, |b, &h| {
+            b.iter(|| black_box(h.schedule(&inst).makespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

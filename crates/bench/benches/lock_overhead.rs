@@ -1,0 +1,83 @@
+//! Synchronization cost micro-benchmarks behind the paper's Figure 4
+//! discussion: per-individual rwlock reads/writes (uncontended and
+//! contended) versus raw access — the overhead that makes the
+//! no-local-search configuration scale *negatively*.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let cell = RwLock::new(1.0f64);
+    c.bench_function("rwlock_read_uncontended", |b| {
+        b.iter(|| black_box(*cell.read()))
+    });
+    c.bench_function("rwlock_write_uncontended", |b| {
+        b.iter(|| {
+            *cell.write() += 1.0;
+        })
+    });
+    let plain = 1.0f64;
+    c.bench_function("plain_read_baseline", |b| b.iter(|| black_box(plain)));
+}
+
+fn bench_contended_reads(c: &mut Criterion) {
+    // 3 background reader threads hammer the same lock while the measured
+    // thread reads it — the neighborhood-snapshot pattern at 4 threads.
+    let cell: Arc<CachePadded<RwLock<f64>>> = Arc::new(CachePadded::new(RwLock::new(1.0)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let cell = Arc::clone(&cell);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut acc = 0.0;
+            while !stop.load(Ordering::Relaxed) {
+                acc += *cell.read();
+            }
+            acc
+        }));
+    }
+
+    c.bench_function("rwlock_read_contended_3_readers", |b| {
+        b.iter(|| black_box(*cell.read()))
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn bench_write_vs_readers(c: &mut Criterion) {
+    let cell: Arc<CachePadded<RwLock<f64>>> = Arc::new(CachePadded::new(RwLock::new(1.0)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let cell = Arc::clone(&cell);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut acc = 0.0;
+            while !stop.load(Ordering::Relaxed) {
+                acc += *cell.read();
+            }
+            acc
+        }));
+    }
+
+    c.bench_function("rwlock_write_contended_3_readers", |b| {
+        b.iter(|| {
+            *cell.write() += 1.0;
+        })
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended_reads, bench_write_vs_readers);
+criterion_main!(benches);

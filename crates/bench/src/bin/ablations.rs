@@ -1,0 +1,9 @@
+//! Design-choice ablations (sweep policy §3.2, neighborhood shape §4.1).
+//! Budgets scale via `PA_CGA_*` env vars.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::ablations::run_sweep(&budget);
+    println!();
+    pa_cga_bench::experiments::ablations::run_neighborhood(&budget);
+}

@@ -1,0 +1,7 @@
+//! Reproduces the §3.1 claim that the asynchronous update converges
+//! faster than the synchronous one at equal evaluation budgets.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::async_sync::run(&budget);
+}

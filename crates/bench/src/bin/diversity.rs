@@ -1,0 +1,7 @@
+//! Diversity-preservation study (paper §1's cellular-GA premise).
+//! Budgets scale via `PA_CGA_*` env vars (only `PA_CGA_RUNS` matters here).
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::diversity::run(&budget);
+}

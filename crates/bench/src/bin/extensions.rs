@@ -1,0 +1,9 @@
+//! Future-work extensions: island-model scaling (§5) and runtime-estimate
+//! noise robustness (§2.1's known-runtime assumption relaxed).
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::extensions::run_islands(&budget);
+    println!();
+    pa_cga_bench::experiments::extensions::run_noise(&budget);
+}

@@ -1,0 +1,7 @@
+//! Regenerates **Figure 4** (speedup vs threads × H2LL iterations).
+//! Budgets scale via `PA_CGA_TIME_MS` / `PA_CGA_RUNS` / `PA_CGA_MAX_THREADS`.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::fig4::run(&budget);
+}

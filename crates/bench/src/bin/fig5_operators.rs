@@ -1,0 +1,7 @@
+//! Regenerates **Figure 5** (opx/tpx × 5/10 H2LL iterations box plots on
+//! the 12 benchmark instances). Budgets scale via `PA_CGA_*` env vars.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::fig5::run(&budget);
+}

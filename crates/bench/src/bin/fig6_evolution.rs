@@ -1,0 +1,7 @@
+//! Regenerates **Figure 6** (mean population makespan vs generations per
+//! thread count). Budgets scale via `PA_CGA_*` env vars.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::fig6::run(&budget);
+}

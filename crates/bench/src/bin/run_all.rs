@@ -1,0 +1,17 @@
+//! Runs every table/figure harness in sequence (the full paper
+//! reproduction). Budgets scale via `PA_CGA_*` env vars; with defaults
+//! this takes a few minutes.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    println!("================ PA-CGA full reproduction ================");
+    pa_cga_bench::experiments::fig4::run(&budget);
+    println!();
+    pa_cga_bench::experiments::fig5::run(&budget);
+    println!();
+    pa_cga_bench::experiments::table2::run(&budget);
+    println!();
+    pa_cga_bench::experiments::fig6::run(&budget);
+    println!();
+    pa_cga_bench::experiments::async_sync::run(&budget);
+}

@@ -1,0 +1,7 @@
+//! Regenerates **Table 2** (mean makespan: Struggle GA, cMA+LTH, PA-CGA at
+//! short and full budgets, 12 instances). Budgets scale via `PA_CGA_*`.
+
+fn main() {
+    let budget = pa_cga_bench::Budget::from_env();
+    pa_cga_bench::experiments::table2::run(&budget);
+}

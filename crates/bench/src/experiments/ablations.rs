@@ -1,0 +1,92 @@
+//! Design-choice ablations the paper discusses in prose:
+//!
+//! * **Sweep policy** (§3.2): the authors tried alternative per-block
+//!   visit orders hoping to cut memory contention and "did not notice any
+//!   significant improvement" — rerun here as line vs reverse vs random
+//!   sweep at full thread count.
+//! * **Neighborhood shape** (§4.1): L5 was "chosen to reduce concurrent
+//!   memory access" — larger shapes read more cross-block neighbors per
+//!   breeding step; this ablation measures the throughput cost and the
+//!   solution-quality effect.
+
+use crate::{mean_best_makespan, mean_evaluations, repeat_runs, Budget};
+use etc_model::braun_instance;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::neighborhood::NeighborhoodShape;
+use pa_cga_core::sweep::SweepPolicy;
+use pa_cga_stats::Table;
+use std::time::Duration;
+
+/// Sweep-policy ablation.
+pub fn run_sweep(budget: &Budget) -> String {
+    let mut out = String::new();
+    let instance = braun_instance("u_c_hihi.0");
+    out.push_str(&format!(
+        "Ablation: sweep policy at {} threads (paper §3.2: no significant difference)\n",
+        budget.max_threads
+    ));
+    out.push_str(&budget.banner());
+    out.push('\n');
+
+    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let mut table = Table::new(&["sweep", "mean evaluations", "mean best makespan"]);
+    for sweep in [SweepPolicy::LineSweep, SweepPolicy::ReverseLineSweep, SweepPolicy::RandomSweep]
+    {
+        let outcomes = repeat_runs(&instance, budget.runs, |seed| {
+            PaCgaConfig::builder()
+                .threads(budget.max_threads)
+                .sweep(sweep)
+                .termination(termination)
+                .seed(seed)
+                .build()
+        });
+        table.row(&[
+            sweep.name().to_string(),
+            format!("{:.0}", mean_evaluations(&outcomes)),
+            format!("{:.1}", mean_best_makespan(&outcomes)),
+        ]);
+    }
+    out.push_str(&table.render());
+    print!("{out}");
+    out
+}
+
+/// Neighborhood-shape ablation.
+pub fn run_neighborhood(budget: &Budget) -> String {
+    let mut out = String::new();
+    let instance = braun_instance("u_i_hihi.0");
+    out.push_str(&format!(
+        "Ablation: neighborhood shape at {} threads (paper picked L5 for low contention)\n",
+        budget.max_threads
+    ));
+    out.push_str(&budget.banner());
+    out.push('\n');
+
+    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let mut table =
+        Table::new(&["neighborhood", "locks/step", "mean evaluations", "mean best makespan"]);
+    for shape in [
+        NeighborhoodShape::L5,
+        NeighborhoodShape::C9,
+        NeighborhoodShape::L9,
+        NeighborhoodShape::C13,
+    ] {
+        let outcomes = repeat_runs(&instance, budget.runs, |seed| {
+            PaCgaConfig::builder()
+                .threads(budget.max_threads)
+                .neighborhood(shape)
+                .termination(termination)
+                .seed(seed)
+                .build()
+        });
+        table.row(&[
+            shape.name().to_string(),
+            shape.size().to_string(),
+            format!("{:.0}", mean_evaluations(&outcomes)),
+            format!("{:.1}", mean_best_makespan(&outcomes)),
+        ]);
+    }
+    out.push_str(&table.render());
+    print!("{out}");
+    out
+}

@@ -1,0 +1,120 @@
+//! Diversity preservation — the premise of cellular GAs (paper §1): the
+//! structured population converges slower, keeping "diversity … for
+//! longer" than a panmictic GA.
+//!
+//! Single-threaded runs are deterministic with the prefix property (a run
+//! to generation 2g replays the run to g), so sampling the population at
+//! increasing generation budgets by re-running gives exact snapshots.
+//! Compared: the asynchronous cellular GA (PA-CGA, 1 thread), the
+//! synchronous cellular GA, and the panmictic Struggle GA.
+
+use crate::Budget;
+use baselines::{StruggleConfig, StruggleGa};
+use etc_model::braun_instance;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::diversity::{assignment_entropy, fitness_spread, mean_pairwise_distance};
+use pa_cga_core::engine::{PaCga, SyncCga};
+use pa_cga_core::individual::Individual;
+use pa_cga_stats::Table;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Generation checkpoints sampled.
+pub const CHECKPOINTS: [u64; 6] = [1, 4, 16, 64, 128, 256];
+
+fn metrics(pop: &[Individual], n_machines: usize, seed: u64) -> (f64, f64, f64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (
+        assignment_entropy(pop, n_machines),
+        mean_pairwise_distance(pop, 256, &mut rng),
+        fitness_spread(pop),
+    )
+}
+
+/// Runs the diversity experiment.
+pub fn run(budget: &Budget) -> String {
+    let mut out = String::new();
+    let instance = braun_instance("u_c_hihi.0");
+    let n_machines = instance.n_machines();
+    out.push_str("Diversity over generations (entropy / pairwise distance / fitness CV)\n");
+    out.push_str("16x16 populations, tpx, move, H2LL x5; panmictic = Struggle GA\n\n");
+
+    let mut table = Table::new(&[
+        "generations",
+        "async cGA",
+        "sync cGA",
+        "panmictic",
+    ]);
+
+    let seeds: Vec<u64> = (0..budget.runs.min(4)).collect();
+    for &gens in &CHECKPOINTS {
+        // Mean entropy over a few seeds per engine.
+        let mut cells = Vec::new();
+        for engine in ["async", "sync", "panmictic"] {
+            let mut h_sum = 0.0;
+            let mut d_sum = 0.0;
+            let mut cv_sum = 0.0;
+            for &seed in &seeds {
+                let pop: Vec<Individual> = match engine {
+                    "async" => {
+                        let cfg = PaCgaConfig::builder()
+                            .threads(1)
+                            .local_search_iterations(5)
+                            .termination(Termination::Generations(gens))
+                            .seed(seed)
+                            .build();
+                        PaCga::new(&instance, cfg).run_with_population().1
+                    }
+                    "sync" => {
+                        let cfg = PaCgaConfig::builder()
+                            .threads(1)
+                            .local_search_iterations(5)
+                            .termination(Termination::Generations(gens))
+                            .seed(seed)
+                            .build();
+                        SyncCga::new(&instance, cfg).run_with_population().1
+                    }
+                    _ => {
+                        // Equal breeding effort: one struggle "generation"
+                        // also produces pop_size offspring.
+                        let cfg = StruggleConfig {
+                            pop_size: 256,
+                            termination: Termination::Generations(gens),
+                            seed,
+                            ..StruggleConfig::default()
+                        };
+                        StruggleGa::new(&instance, cfg).run_with_population().1
+                    }
+                };
+                let (h, d, cv) = metrics(&pop, n_machines, seed);
+                h_sum += h;
+                d_sum += d;
+                cv_sum += cv;
+            }
+            let n = seeds.len() as f64;
+            cells.push(format!(
+                "{:.3}/{:.3}/{:.3}",
+                h_sum / n,
+                d_sum / n,
+                cv_sum / n
+            ));
+        }
+        let mut row = vec![gens.to_string()];
+        row.extend(cells);
+        table.row(&row);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nReading the numbers: the classic §1 claim (cellular > panmictic\n\
+         diversity) is stated against a *canonical* generational GA. The\n\
+         panmictic baseline available here is the Struggle GA, whose\n\
+         replacement operator is itself an explicit diversity mechanism\n\
+         (offspring fight their most-similar rival) — so it retains entropy\n\
+         far longer, by design. Within the cellular pair the expected\n\
+         ordering does show: the synchronous model (generation barrier)\n\
+         holds diversity above the asynchronous one at early generations,\n\
+         which is exactly why async converges faster (§3.1).\n",
+    );
+    print!("{out}");
+    out
+}

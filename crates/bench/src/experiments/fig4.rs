@@ -1,0 +1,88 @@
+//! **Figure 4** — speedup of the algorithm.
+//!
+//! The paper fixes the wall-time budget and counts total evaluations; the
+//! speedup of `n` threads is `#evaluations(n) / #evaluations(1)`, plotted
+//! as a percentage for 1–4 threads at 0 / 1 / 5 / 10 H2LL iterations.
+//!
+//! Expected shape: with no local search the curve stagnates or degrades
+//! (synchronization-bound); with 5–10 iterations the curve rises and
+//! flattens near the core count.
+
+use crate::{harness_config, mean_evaluations, repeat_runs, Budget};
+use etc_model::braun_instance;
+use pa_cga_core::config::Termination;
+use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_stats::speedup_percentages;
+use pa_cga_stats::Table;
+use std::time::Duration;
+
+/// Local-search iteration counts the paper sweeps.
+pub const LS_ITERATIONS: [usize; 4] = [0, 1, 5, 10];
+
+/// Runs the Figure 4 experiment.
+pub fn run(budget: &Budget) -> String {
+    let mut out = String::new();
+    let instance = braun_instance("u_c_hihi.0");
+    out.push_str("Figure 4: speedup (evaluations vs 1 thread, %), instance u_c_hihi.0\n");
+    out.push_str(&budget.banner());
+    out.push('\n');
+
+    let termination =
+        Termination::WallTime(Duration::from_millis(budget.time_ms));
+
+    let mut header = vec!["threads".to_string()];
+    header.extend(LS_ITERATIONS.iter().map(|i| format!("{i} iter")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    // evals[ls][thread-1]
+    let mut evals: Vec<Vec<f64>> = Vec::new();
+    for &ls in &LS_ITERATIONS {
+        let mut per_thread = Vec::new();
+        for threads in 1..=budget.max_threads {
+            let outcomes = repeat_runs(&instance, budget.runs, |seed| {
+                harness_config(threads, ls, CrossoverOp::TwoPoint, termination, seed, false)
+            });
+            per_thread.push(mean_evaluations(&outcomes));
+        }
+        evals.push(per_thread);
+    }
+
+    let speedups: Vec<Vec<f64>> =
+        evals.iter().map(|e| speedup_percentages(e)).collect();
+    for t in 0..budget.max_threads {
+        let mut row = vec![format!("{}", t + 1)];
+        for s in &speedups {
+            row.push(format!("{:.1}%", s[t]));
+        }
+        table.row(&row);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nraw mean evaluations:\n");
+    let mut raw = Table::new(&header_refs);
+    for t in 0..budget.max_threads {
+        let mut row = vec![format!("{}", t + 1)];
+        for e in &evals {
+            row.push(format!("{:.0}", e[t]));
+        }
+        raw.row(&row);
+    }
+    out.push_str(&raw.render());
+
+    // Optional CSV dump (PA_CGA_CSV_DIR).
+    let mut csv_rows = Vec::new();
+    for t in 0..budget.max_threads {
+        let mut row = vec![(t + 1).to_string()];
+        row.extend(speedups.iter().map(|s| s[t].to_string()));
+        row.extend(evals.iter().map(|e| e[t].to_string()));
+        csv_rows.push(row);
+    }
+    let mut csv_header = vec!["threads".to_string()];
+    csv_header.extend(LS_ITERATIONS.iter().map(|i| format!("speedup_pct_ls{i}")));
+    csv_header.extend(LS_ITERATIONS.iter().map(|i| format!("evals_ls{i}")));
+    let header_refs: Vec<&str> = csv_header.iter().map(|s| s.as_str()).collect();
+    out.push_str(&crate::maybe_write_csv("fig4_speedup", &header_refs, &csv_rows));
+    print!("{out}");
+    out
+}

@@ -1,0 +1,94 @@
+//! **Figure 5** — recombination operator × local-search-depth comparison.
+//!
+//! For each of the 12 benchmark instances, the paper box-plots the best
+//! makespan over independent runs of {opx, tpx} × {5, 10 H2LL iterations}
+//! on 3 threads, with MATLAB notches; non-overlapping notches mean the
+//! medians differ at 95% confidence. Its conclusions: tpx ≥ opx overall,
+//! 10 iterations ≥ 5, tpx/10 significantly better than opx/5 everywhere,
+//! and opx ≈ tpx on consistent instances.
+
+use crate::{benchmark_suite, harness_config, repeat_runs, Budget};
+use pa_cga_core::config::Termination;
+use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_stats::render::render_boxplots;
+use pa_cga_stats::{mann_whitney_u, BoxplotStats, Descriptive};
+use std::time::Duration;
+
+/// The four configurations of Figure 5, in the paper's x-axis order.
+pub const CONFIGS: [(CrossoverOp, usize); 4] = [
+    (CrossoverOp::OnePoint, 5),
+    (CrossoverOp::TwoPoint, 5),
+    (CrossoverOp::OnePoint, 10),
+    (CrossoverOp::TwoPoint, 10),
+];
+
+/// Threads used in Figure 5 (the paper's adopted setting).
+pub const THREADS: usize = 3;
+
+fn label(op: CrossoverOp, iters: usize) -> String {
+    format!("{}/{}", op.name(), iters)
+}
+
+/// Runs the Figure 5 experiment.
+pub fn run(budget: &Budget) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5: operator comparison (best makespan distributions, 3 threads)\n");
+    out.push_str(&budget.banner());
+    out.push('\n');
+
+    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let mut tpx10_wins = 0usize;
+    let mut instances_done = 0usize;
+
+    for (meta, instance) in benchmark_suite() {
+        out.push_str(&format!("\n=== {} ===\n", meta.name));
+        let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
+        for (op, iters) in CONFIGS {
+            let outcomes = repeat_runs(&instance, budget.runs, |seed| {
+                harness_config(THREADS, iters, op, termination, seed, false)
+            });
+            let best: Vec<f64> = outcomes.iter().map(|o| o.best.makespan()).collect();
+            samples.push((label(op, iters), best));
+        }
+
+        let stats: Vec<(String, BoxplotStats)> = samples
+            .iter()
+            .map(|(l, s)| (l.clone(), BoxplotStats::from_sample(s)))
+            .collect();
+        let labelled: Vec<(&str, &BoxplotStats)> =
+            stats.iter().map(|(l, b)| (l.as_str(), b)).collect();
+        out.push_str(&render_boxplots(&labelled, 64));
+
+        for (l, s) in &samples {
+            let d = Descriptive::from_sample(s);
+            out.push_str(&format!(
+                "  {l:<7} mean {:>14.1}  std {:>10.1}  min {:>14.1}\n",
+                d.mean, d.std_dev, d.min
+            ));
+        }
+
+        // The paper's headline significance claim: tpx/10 vs opx/5.
+        let opx5 = &samples[0].1;
+        let tpx10 = &samples[3].1;
+        let notch = stats[3].1.medians_differ(&stats[0].1);
+        let mw = mann_whitney_u(opx5, tpx10);
+        let tpx10_better = stats[3].1.quartiles.median <= stats[0].1.quartiles.median;
+        if tpx10_better {
+            tpx10_wins += 1;
+        }
+        instances_done += 1;
+        out.push_str(&format!(
+            "  tpx/10 vs opx/5: median {} (notches {}, Mann-Whitney p = {:.4})\n",
+            if tpx10_better { "better-or-equal" } else { "worse" },
+            if notch { "separate" } else { "overlap" },
+            mw.p_value
+        ));
+    }
+
+    out.push_str(&format!(
+        "\ntpx/10 median ≤ opx/5 median on {tpx10_wins}/{instances_done} instances \
+         (paper: better on all, with significance)\n"
+    ));
+    print!("{out}");
+    out
+}

@@ -1,0 +1,74 @@
+//! **Figure 6** — evolution of the population-mean makespan with
+//! generations, per thread count, on `u_c_hihi.0`.
+//!
+//! Expected shape: 1 thread completes the fewest generations and tracks
+//! the worst mean at any generation; the highest thread count converges
+//! fast initially but plateaus above the best; an intermediate count
+//! (3 of 4 in the paper) ends lowest.
+
+use crate::{harness_config, repeat_runs, Budget};
+use etc_model::braun_instance;
+use pa_cga_core::config::Termination;
+use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_stats::{Table, TraceAggregator};
+use std::time::Duration;
+
+/// Number of series points printed per thread count.
+pub const POINTS: usize = 12;
+
+/// Runs the Figure 6 experiment.
+pub fn run(budget: &Budget) -> String {
+    let mut out = String::new();
+    let instance = braun_instance("u_c_hihi.0");
+    out.push_str("Figure 6: mean population makespan vs generations, u_c_hihi.0\n");
+    out.push_str(&budget.banner());
+    out.push('\n');
+
+    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let mut final_means: Vec<(usize, f64, f64)> = Vec::new(); // (threads, gens, mean)
+
+    for threads in 1..=budget.max_threads {
+        let outcomes = repeat_runs(&instance, budget.runs, |seed| {
+            harness_config(threads, 10, CrossoverOp::TwoPoint, termination, seed, true)
+        });
+        let mut agg = TraceAggregator::new();
+        for o in &outcomes {
+            agg.add_trace(&o.population_mean_trace());
+        }
+        // Only keep the generation range every run reached, like the
+        // paper's common-domain plot.
+        let supported = agg.series_with_support(outcomes.len());
+        let series = pa_cga_stats::series::downsample(
+            &supported,
+            POINTS.min(supported.len().max(2)),
+        );
+
+        out.push_str(&format!("\n-- {threads} thread(s) --\n"));
+        let mut table = Table::new(&["generation", "mean makespan", "runs"]);
+        for p in &series {
+            table.row(&[
+                p.generation.to_string(),
+                format!("{:.1}", p.mean),
+                p.count.to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        if let Some(last) = supported.last() {
+            let gens: f64 = outcomes
+                .iter()
+                .map(|o| o.mean_generations())
+                .sum::<f64>()
+                / outcomes.len() as f64;
+            final_means.push((threads, gens, last.mean));
+        }
+    }
+
+    out.push_str("\nsummary (generations completed / final common-domain mean):\n");
+    let mut summary = Table::new(&["threads", "mean generations", "final mean makespan"]);
+    for (t, g, m) in &final_means {
+        summary.row(&[t.to_string(), format!("{g:.0}"), format!("{m:.1}")]);
+    }
+    out.push_str(&summary.render());
+    print!("{out}");
+    out
+}

@@ -1,0 +1,12 @@
+//! One module per paper artifact; each exposes `run(&Budget)` which prints
+//! its table/figure to stdout and returns the rendered text (so `run_all`
+//! and the integration tests can reuse it).
+
+pub mod ablations;
+pub mod async_sync;
+pub mod diversity;
+pub mod extensions;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table2;

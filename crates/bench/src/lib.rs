@@ -1,0 +1,236 @@
+//! # Experiment harness support
+//!
+//! Shared plumbing for the per-table/per-figure binaries:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 4 (speedup vs threads × LS iterations) | `fig4_speedup` |
+//! | Figure 5 (operator box plots, 12 instances) | `fig5_operators` |
+//! | Table 2 (algorithm comparison, 12 instances) | `table2_comparison` |
+//! | Figure 6 (makespan vs generations per thread count) | `fig6_evolution` |
+//! | §3.1 async-vs-sync claim | `async_vs_sync` |
+//! | everything above | `run_all` |
+//!
+//! ## Budget scaling
+//!
+//! The paper runs 90 s × 100 repetitions per point on a 2007 Xeon — far
+//! too much for CI. Budgets scale through environment variables, all
+//! optional:
+//!
+//! * `PA_CGA_TIME_MS` — wall-time budget per run (default 1000 ms; the
+//!   paper used 90 000).
+//! * `PA_CGA_RUNS` — independent runs per configuration (default 8; the
+//!   paper used 100).
+//! * `PA_CGA_MAX_THREADS` — top of the thread sweep (default 4, like the
+//!   paper).
+//!
+//! The short-budget Table 2 row uses `PA_CGA_TIME_MS / 9`, mirroring the
+//! paper's TSCP-calibrated 90 s → 10 s reduction.
+
+use etc_model::{braun_registry, BraunInstance, EtcInstance};
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_core::engine::{PaCga, RunOutcome};
+
+/// Reads a positive integer environment variable with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Harness-wide budgets, resolved once from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Wall-time per run, milliseconds.
+    pub time_ms: u64,
+    /// Independent runs per configuration.
+    pub runs: u64,
+    /// Maximum thread count in sweeps.
+    pub max_threads: usize,
+}
+
+impl Budget {
+    /// Resolves budgets from `PA_CGA_*` environment variables.
+    pub fn from_env() -> Self {
+        Self {
+            time_ms: env_u64("PA_CGA_TIME_MS", 1000),
+            runs: env_u64("PA_CGA_RUNS", 8),
+            max_threads: env_u64("PA_CGA_MAX_THREADS", 4) as usize,
+        }
+    }
+
+    /// The paper's proportional "10 second" short budget (÷ 9).
+    pub fn short_time_ms(&self) -> u64 {
+        (self.time_ms / 9).max(1)
+    }
+
+    /// Banner for harness output.
+    pub fn banner(&self) -> String {
+        format!(
+            "budget: {} ms/run ({} runs/config, ≤{} threads); paper used 90 000 ms × 100 runs",
+            self.time_ms, self.runs, self.max_threads
+        )
+    }
+}
+
+/// The 12 benchmark instances with their registry metadata, regenerated
+/// once (they are deterministic).
+pub fn benchmark_suite() -> Vec<(BraunInstance, EtcInstance)> {
+    braun_registry()
+        .into_iter()
+        .map(|b| {
+            let inst = b.instance();
+            (b, inst)
+        })
+        .collect()
+}
+
+/// A paper-default PA-CGA configuration with the knobs the harnesses vary.
+pub fn harness_config(
+    threads: usize,
+    ls_iterations: usize,
+    crossover: CrossoverOp,
+    termination: Termination,
+    seed: u64,
+    record_traces: bool,
+) -> PaCgaConfig {
+    PaCgaConfig::builder()
+        .threads(threads)
+        .local_search_iterations(ls_iterations)
+        .crossover(crossover)
+        .termination(termination)
+        .seed(seed)
+        .record_traces(record_traces)
+        .build()
+}
+
+/// Runs `runs` independent PA-CGA repetitions (distinct seeds) and returns
+/// the outcomes.
+pub fn repeat_runs(
+    instance: &EtcInstance,
+    runs: u64,
+    mut config_for_seed: impl FnMut(u64) -> PaCgaConfig,
+) -> Vec<RunOutcome> {
+    (0..runs)
+        .map(|seed| PaCga::new(instance, config_for_seed(seed)).run())
+        .collect()
+}
+
+/// Mean best makespan over a set of outcomes.
+pub fn mean_best_makespan(outcomes: &[RunOutcome]) -> f64 {
+    outcomes.iter().map(|o| o.best.makespan()).sum::<f64>() / outcomes.len() as f64
+}
+
+/// Mean total evaluations over a set of outcomes.
+pub fn mean_evaluations(outcomes: &[RunOutcome]) -> f64 {
+    outcomes.iter().map(|o| o.evaluations as f64).sum::<f64>() / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_cga_core::config::Termination;
+
+    #[test]
+    fn env_u64_parses_and_defaults() {
+        std::env::remove_var("PA_CGA_TEST_VAR");
+        assert_eq!(env_u64("PA_CGA_TEST_VAR", 7), 7);
+        std::env::set_var("PA_CGA_TEST_VAR", "42");
+        assert_eq!(env_u64("PA_CGA_TEST_VAR", 7), 42);
+        std::env::set_var("PA_CGA_TEST_VAR", "zero");
+        assert_eq!(env_u64("PA_CGA_TEST_VAR", 7), 7);
+        std::env::set_var("PA_CGA_TEST_VAR", "0");
+        assert_eq!(env_u64("PA_CGA_TEST_VAR", 7), 7, "zero rejected");
+        std::env::remove_var("PA_CGA_TEST_VAR");
+    }
+
+    #[test]
+    fn short_budget_is_ninth() {
+        let b = Budget { time_ms: 900, runs: 1, max_threads: 1 };
+        assert_eq!(b.short_time_ms(), 100);
+        let tiny = Budget { time_ms: 5, runs: 1, max_threads: 1 };
+        assert_eq!(tiny.short_time_ms(), 1, "clamped to ≥ 1 ms");
+    }
+
+    #[test]
+    fn suite_has_twelve_instances() {
+        let suite = benchmark_suite();
+        assert_eq!(suite.len(), 12);
+        for (meta, inst) in &suite {
+            assert_eq!(meta.name, inst.name());
+        }
+    }
+
+    #[test]
+    fn repeat_runs_uses_distinct_seeds() {
+        let inst = EtcInstance::toy(24, 4);
+        let outcomes = repeat_runs(&inst, 3, |seed| {
+            harness_config(
+                1,
+                5,
+                CrossoverOp::TwoPoint,
+                Termination::Evaluations(300),
+                seed,
+                false,
+            )
+        });
+        assert_eq!(outcomes.len(), 3);
+        let m = mean_best_makespan(&outcomes);
+        assert!(m > 0.0);
+        assert!(mean_evaluations(&outcomes) >= 300.0);
+    }
+}
+
+pub mod experiments;
+
+/// Directory for CSV result dumps, from `PA_CGA_CSV_DIR`; `None` disables
+/// CSV output (default).
+pub fn csv_dir() -> Option<std::path::PathBuf> {
+    std::env::var("PA_CGA_CSV_DIR").ok().map(std::path::PathBuf::from)
+}
+
+/// Writes a CSV result file when `PA_CGA_CSV_DIR` is set; returns the
+/// note appended to harness output (empty when disabled).
+pub fn maybe_write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let Some(dir) = csv_dir() else {
+        return String::new();
+    };
+    let write = || -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        pa_cga_stats::csv::write_table(&mut file, header, rows)?;
+        Ok(path)
+    };
+    match write() {
+        Ok(path) => format!("(csv written to {})\n", path.display()),
+        Err(e) => format!("(csv write failed: {e})\n"),
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_without_env() {
+        std::env::remove_var("PA_CGA_CSV_DIR");
+        assert!(maybe_write_csv("x", &["a"], &[]).is_empty());
+    }
+
+    #[test]
+    fn writes_when_enabled() {
+        let dir = std::env::temp_dir().join("pacga_csv_test");
+        std::env::set_var("PA_CGA_CSV_DIR", &dir);
+        let note = maybe_write_csv("smoke", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        std::env::remove_var("PA_CGA_CSV_DIR");
+        assert!(note.contains("csv written"), "{note}");
+        let text = std::fs::read_to_string(dir.join("smoke.csv")).unwrap();
+        assert!(text.contains("a,b"));
+        assert!(text.contains("1,2"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,447 @@
+//! Subcommand implementations. Each returns the rendered output so the
+//! tests can assert on it; `main` just prints.
+
+use crate::args::{ArgError, Args};
+use etc_model::io::{read_instance, write_instance};
+use etc_model::{
+    blazewicz_notation, braun_instance, braun_instance_names, Consistency, EtcGenerator,
+    EtcInstance, GeneratorParams, Heterogeneity,
+};
+use heuristics::Heuristic;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_core::engine::PaCga;
+use pa_cga_stats::Table;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Flag parsing problem.
+    Args(ArgError),
+    /// I/O problem.
+    Io(std::io::Error),
+    /// Anything else (bad names, bad combinations).
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pacga — PA-CGA grid scheduling toolkit
+
+USAGE:
+  pacga generate --tasks N --machines M [--consistency c|s|i]
+                 [--task-het hi|lo] [--machine-het hi|lo] [--seed S]
+                 [--name NAME] [--out FILE]
+  pacga info     (--braun NAME | --instance FILE)
+  pacga schedule (--braun NAME | --instance FILE)
+                 [--heuristic olb|met|mct|min-min|max-min|sufferage]
+                 [--threads N] [--time-ms T | --evals E] [--seed S]
+                 [--crossover opx|tpx|ux] [--ls N] [--out FILE]
+  pacga heuristics (--braun NAME | --instance FILE)
+  pacga simulate (--braun NAME | --instance FILE)
+                 [--p-fail P] [--seed S] [--evals E]
+                 [--policy mct|pa-cga]
+  pacga list
+";
+
+/// Loads an instance from `--braun NAME` or `--instance FILE`.
+fn load_instance(args: &Args) -> Result<EtcInstance, CliError> {
+    match (args.get("braun"), args.get("instance")) {
+        (Some(name), None) => {
+            if !braun_instance_names().contains(&name) {
+                return Err(CliError::Other(format!(
+                    "unknown Braun instance {name:?}; try `pacga list`"
+                )));
+            }
+            Ok(braun_instance(name))
+        }
+        (None, Some(path)) => {
+            let file = File::open(path)?;
+            read_instance(BufReader::new(file))
+                .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))
+        }
+        _ => Err(CliError::Other("need exactly one of --braun or --instance".into())),
+    }
+}
+
+/// `pacga list` — the 12 registry instances.
+pub fn cmd_list() -> String {
+    let mut out = String::from("Braun benchmark registry (regenerated deterministically):\n");
+    for name in braun_instance_names() {
+        out.push_str("  ");
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+/// `pacga generate`.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let n_tasks = args.get_parse("tasks", 512usize, "usize")?;
+    let n_machines = args.get_parse("machines", 16usize, "usize")?;
+    let consistency = match args.get("consistency").unwrap_or("i") {
+        "c" => Consistency::Consistent,
+        "s" => Consistency::SemiConsistent,
+        "i" => Consistency::Inconsistent,
+        other => return Err(CliError::Other(format!("bad consistency {other:?} (c|s|i)"))),
+    };
+    let parse_het = |v: Option<&str>| -> Result<Heterogeneity, CliError> {
+        match v.unwrap_or("hi") {
+            "hi" => Ok(Heterogeneity::High),
+            "lo" => Ok(Heterogeneity::Low),
+            other => Err(CliError::Other(format!("bad heterogeneity {other:?} (hi|lo)"))),
+        }
+    };
+    let params = GeneratorParams {
+        n_tasks,
+        n_machines,
+        task_heterogeneity: parse_het(args.get("task-het"))?,
+        machine_heterogeneity: parse_het(args.get("machine-het"))?,
+        consistency,
+        seed: args.get_parse("seed", 0u64, "u64")?,
+    };
+    let name = args.get("name").map(String::from).unwrap_or_else(|| params.braun_name(0));
+    let instance = EtcGenerator::new(params).generate_named(name);
+
+    let mut out = format!(
+        "generated {}: {}\n",
+        instance.name(),
+        blazewicz_notation(&instance)
+    );
+    if let Some(path) = args.get("out") {
+        let file = File::create(path)?;
+        write_instance(&mut BufWriter::new(file), &instance)?;
+        out.push_str(&format!("written to {path}\n"));
+    } else {
+        out.push_str("(no --out given; nothing written)\n");
+    }
+    Ok(out)
+}
+
+/// `pacga info`.
+pub fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let instance = load_instance(args)?;
+    let class = etc_model::consistency::classify(instance.etc());
+    let degree = etc_model::consistency::consistency_degree(instance.etc());
+    Ok(format!(
+        "name        : {}\nsize        : {} tasks × {} machines\nnotation    : {}\nconsistency : {class} (degree {degree:.3})\netc range   : {}\n",
+        instance.name(),
+        instance.n_tasks(),
+        instance.n_machines(),
+        blazewicz_notation(&instance),
+        instance.etc_range(),
+    ))
+}
+
+/// `pacga heuristics`.
+pub fn cmd_heuristics(args: &Args) -> Result<String, CliError> {
+    let instance = load_instance(args)?;
+    let mut table = Table::new(&["heuristic", "makespan"]);
+    for h in Heuristic::all() {
+        table.row(&[h.name().to_string(), format!("{:.1}", h.schedule(&instance).makespan())]);
+    }
+    Ok(format!("{} ({})\n\n{}", instance.name(), blazewicz_notation(&instance), table.render()))
+}
+
+/// `pacga schedule`.
+pub fn cmd_schedule(args: &Args) -> Result<String, CliError> {
+    let instance = load_instance(args)?;
+
+    let (schedule, detail) = if let Some(hname) = args.get("heuristic") {
+        let h = Heuristic::all()
+            .into_iter()
+            .find(|h| h.name() == hname)
+            .ok_or_else(|| CliError::Other(format!("unknown heuristic {hname:?}")))?;
+        (h.schedule(&instance), format!("heuristic {hname}"))
+    } else {
+        let termination = if let Some(e) = args.get("evals") {
+            Termination::Evaluations(e.parse().map_err(|_| {
+                CliError::Other(format!("--evals: cannot parse {e:?} as u64"))
+            })?)
+        } else {
+            Termination::wall_time_ms(args.get_parse("time-ms", 2_000u64, "u64")?)
+        };
+        let crossover = match args.get("crossover").unwrap_or("tpx") {
+            "opx" => CrossoverOp::OnePoint,
+            "tpx" => CrossoverOp::TwoPoint,
+            "ux" => CrossoverOp::Uniform,
+            other => return Err(CliError::Other(format!("bad crossover {other:?}"))),
+        };
+        let config = PaCgaConfig::builder()
+            .threads(args.get_parse("threads", 3usize, "usize")?)
+            .crossover(crossover)
+            .local_search_iterations(args.get_parse("ls", 10usize, "usize")?)
+            .termination(termination)
+            .seed(args.get_parse("seed", 0u64, "u64")?)
+            .build();
+        let summary = config.summary();
+        let outcome = PaCga::new(&instance, config).run();
+        let detail = format!(
+            "PA-CGA [{summary}]\nevaluations {} | generations {:?} | elapsed {:.2}s",
+            outcome.evaluations,
+            outcome.generations,
+            outcome.elapsed.as_secs_f64()
+        );
+        (outcome.best.schedule, detail)
+    };
+
+    let mut out = format!(
+        "{} ({})\n{detail}\nmakespan : {:.1}\nflowtime : {:.4e}\nutilization : {:.3}\n",
+        instance.name(),
+        blazewicz_notation(&instance),
+        schedule.makespan(),
+        scheduling::flowtime(&instance, &schedule),
+        scheduling::utilization(&schedule),
+    );
+    if let Some(path) = args.get("out") {
+        use std::io::Write;
+        let mut file = BufWriter::new(File::create(path)?);
+        for (t, &m) in schedule.assignment().iter().enumerate() {
+            writeln!(file, "{t} {m}")?;
+        }
+        out.push_str(&format!("assignment written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `pacga simulate` — optimize, then execute under machine failures.
+pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    use grid_sim::{FailureTrace, MctRescheduler, PaCgaRescheduler, Rescheduler, Simulator};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let instance = load_instance(args)?;
+    let seed = args.get_parse("seed", 0u64, "u64")?;
+    let p_fail = args.get_parse("p-fail", 0.2f64, "f64")?;
+    if !(0.0..=1.0).contains(&p_fail) {
+        return Err(CliError::Other(format!("--p-fail {p_fail} outside [0, 1]")));
+    }
+    let evals = args.get_parse("evals", 20_000u64, "u64")?;
+
+    let config = PaCgaConfig::builder()
+        .threads(1)
+        .termination(Termination::Evaluations(evals))
+        .seed(seed)
+        .build();
+    let schedule = PaCga::new(&instance, config).run().best.schedule;
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x51_D0_0D);
+    let horizon = schedule.makespan() * 0.7;
+    let failures =
+        FailureTrace::sample(instance.n_machines(), p_fail, horizon, &mut rng);
+
+    let policy_name = args.get("policy").unwrap_or("mct");
+    let mct = MctRescheduler;
+    let pa = PaCgaRescheduler { seed, ..Default::default() };
+    let policy: &dyn Rescheduler = match policy_name {
+        "mct" => &mct,
+        "pa-cga" => &pa,
+        other => return Err(CliError::Other(format!("unknown policy {other:?} (mct|pa-cga)"))),
+    };
+    let report = Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
+    report.validate().map_err(CliError::Other)?;
+
+    Ok(format!(
+        "{} ({})\nstatic makespan   : {:.1}\nfailures          : {:?}\nrescheduler       : {}\nsimulated makespan: {:.1} ({:+.2}%)\nlost work         : {:.1}\nretried tasks     : {}\nreschedule rounds : {}\n",
+        instance.name(),
+        blazewicz_notation(&instance),
+        schedule.makespan(),
+        failures.events().iter().map(|&(m, t)| (m, t.round())).collect::<Vec<_>>(),
+        policy.name(),
+        report.makespan,
+        100.0 * (report.makespan / schedule.makespan() - 1.0),
+        report.lost_work,
+        report.retried_tasks(),
+        report.reschedules,
+    ))
+}
+
+/// Dispatches a full command line (tokens exclude the program name).
+pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
+    let command = tokens.first().cloned().unwrap_or_default();
+    match command.as_str() {
+        "list" => {
+            Args::parse(tokens, &[])?;
+            Ok(cmd_list())
+        }
+        "generate" => {
+            let args = Args::parse(
+                tokens,
+                &["tasks", "machines", "consistency", "task-het", "machine-het", "seed", "name", "out"],
+            )?;
+            cmd_generate(&args)
+        }
+        "info" => {
+            let args = Args::parse(tokens, &["braun", "instance"])?;
+            cmd_info(&args)
+        }
+        "heuristics" => {
+            let args = Args::parse(tokens, &["braun", "instance"])?;
+            cmd_heuristics(&args)
+        }
+        "schedule" => {
+            let args = Args::parse(
+                tokens,
+                &["braun", "instance", "heuristic", "threads", "time-ms", "evals", "seed", "crossover", "ls", "out"],
+            )?;
+            cmd_schedule(&args)
+        }
+        "simulate" => {
+            let args = Args::parse(
+                tokens,
+                &["braun", "instance", "p-fail", "seed", "evals", "policy"],
+            )?;
+            cmd_simulate(&args)
+        }
+        "help" | "--help" | "-h" | "" => Ok(USAGE.to_string()),
+        other => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn list_names_all_instances() {
+        let out = dispatch(toks("list")).unwrap();
+        for name in braun_instance_names() {
+            assert!(out.contains(name));
+        }
+    }
+
+    #[test]
+    fn info_on_braun_instance() {
+        let out = dispatch(toks("info --braun u_c_hihi.0")).unwrap();
+        assert!(out.contains("512 tasks × 16 machines"));
+        assert!(out.contains("Q16|"));
+        assert!(out.contains("consistent"));
+    }
+
+    #[test]
+    fn heuristics_table() {
+        let out = dispatch(toks("heuristics --braun u_i_lolo.0")).unwrap();
+        assert!(out.contains("min-min"));
+        assert!(out.contains("sufferage"));
+    }
+
+    #[test]
+    fn schedule_with_heuristic() {
+        let out = dispatch(toks("schedule --braun u_c_lolo.0 --heuristic min-min")).unwrap();
+        assert!(out.contains("heuristic min-min"));
+        assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn schedule_with_pa_cga_evals() {
+        let out =
+            dispatch(toks("schedule --braun u_c_lolo.0 --threads 1 --evals 2000 --seed 3")).unwrap();
+        assert!(out.contains("PA-CGA"));
+        assert!(out.contains("evaluations"));
+    }
+
+    #[test]
+    fn generate_and_round_trip_through_file() {
+        let dir = std::env::temp_dir().join("pacga_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.etc");
+        let path_s = path.to_str().unwrap();
+        let out = dispatch(toks(&format!(
+            "generate --tasks 8 --machines 3 --consistency c --seed 5 --out {path_s}"
+        )))
+        .unwrap();
+        assert!(out.contains("written"));
+        let info = dispatch(toks(&format!("info --instance {path_s}"))).unwrap();
+        assert!(info.contains("8 tasks × 3 machines"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let err = dispatch(toks("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_instance_source_is_error() {
+        let err = dispatch(toks("info")).unwrap_err();
+        assert!(err.to_string().contains("--braun or --instance"));
+    }
+
+    #[test]
+    fn unknown_braun_instance_is_error() {
+        let err = dispatch(toks("info --braun u_z_zzzz.9")).unwrap_err();
+        assert!(err.to_string().contains("unknown Braun instance"));
+    }
+}
+
+#[cfg(test)]
+mod simulate_tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn simulate_with_mct_policy() {
+        let out = dispatch(toks(
+            "simulate --braun u_c_lolo.0 --p-fail 0.2 --seed 1 --evals 1500 --policy mct",
+        ))
+        .unwrap();
+        assert!(out.contains("simulated makespan"));
+        assert!(out.contains("rescheduler       : mct"));
+    }
+
+    #[test]
+    fn simulate_no_failures_matches_static() {
+        let out = dispatch(toks(
+            "simulate --braun u_c_lolo.0 --p-fail 0 --seed 1 --evals 1500",
+        ))
+        .unwrap();
+        assert!(out.contains("failures          : []"));
+        assert!(out.contains("0.00%"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_policy() {
+        let err =
+            dispatch(toks("simulate --braun u_c_lolo.0 --policy frob --evals 100")).unwrap_err();
+        assert!(err.to_string().contains("unknown policy"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_probability() {
+        let err =
+            dispatch(toks("simulate --braun u_c_lolo.0 --p-fail 1.5 --evals 100")).unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"));
+    }
+}

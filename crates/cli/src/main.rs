@@ -1,0 +1,16 @@
+//! `pacga` — command-line front end for the PA-CGA grid scheduling
+//! toolkit. See `pacga help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(tokens) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Recombination operators on the `S`+`CT` representation.
+//!
+//! The paper evaluates **one-point (opx)** and **two-point (tpx)**
+//! crossover (Figure 5 concludes tpx/10 dominates opx/5 with statistical
+//! significance); uniform crossover is included for ablations.
+//!
+//! All operators build the offspring by copying parent 1 and then
+//! *incrementally moving* the genes taken from parent 2 — each gene costs
+//! one O(1) completion-time update, exactly the update scheme of §3.3.
+
+use etc_model::EtcInstance;
+use rand::Rng;
+use scheduling::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Recombination policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossoverOp {
+    /// One-point crossover (`opx`): offspring takes `S[0..cut]` from
+    /// parent 1 and the tail from parent 2.
+    OnePoint,
+    /// Two-point crossover (`tpx`): the segment between two cut points
+    /// comes from parent 2, the rest from parent 1.
+    TwoPoint,
+    /// Uniform crossover: each gene from either parent with probability ½.
+    Uniform,
+}
+
+impl CrossoverOp {
+    /// Canonical name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossoverOp::OnePoint => "opx",
+            CrossoverOp::TwoPoint => "tpx",
+            CrossoverOp::Uniform => "ux",
+        }
+    }
+
+    /// Recombines into `offspring` (which is overwritten). `offspring`
+    /// must have the same dimensions as the parents.
+    pub fn recombine_into(
+        self,
+        instance: &EtcInstance,
+        p1: &Schedule,
+        p2: &Schedule,
+        offspring: &mut Schedule,
+        rng: &mut impl Rng,
+    ) {
+        debug_assert_eq!(p1.n_tasks(), p2.n_tasks());
+        let n = p1.n_tasks();
+        offspring.copy_from(p1);
+        match self {
+            CrossoverOp::OnePoint => {
+                let cut = rng.gen_range(0..=n);
+                for t in cut..n {
+                    offspring.move_task(instance, t, p2.machine_of(t));
+                }
+            }
+            CrossoverOp::TwoPoint => {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(0..=n);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                for t in lo..hi {
+                    offspring.move_task(instance, t, p2.machine_of(t));
+                }
+            }
+            CrossoverOp::Uniform => {
+                for t in 0..n {
+                    if rng.gen_bool(0.5) {
+                        offspring.move_task(instance, t, p2.machine_of(t));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`CrossoverOp::recombine_into`].
+    pub fn recombine(
+        self,
+        instance: &EtcInstance,
+        p1: &Schedule,
+        p2: &Schedule,
+        rng: &mut impl Rng,
+    ) -> Schedule {
+        let mut offspring = p1.clone();
+        self.recombine_into(instance, p1, p2, &mut offspring, rng);
+        offspring
+    }
+}
+
+impl std::fmt::Display for CrossoverOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etc_model::EtcInstance;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scheduling::check_schedule;
+
+    fn parents(inst: &EtcInstance) -> (Schedule, Schedule) {
+        let p1 = Schedule::from_assignment(inst, vec![0; inst.n_tasks()]);
+        let p2 = Schedule::from_assignment(inst, vec![1; inst.n_tasks()]);
+        (p1, p2)
+    }
+
+    #[test]
+    fn one_point_is_prefix_suffix() {
+        let inst = EtcInstance::toy(16, 3);
+        let (p1, p2) = parents(&inst);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let off = CrossoverOp::OnePoint.recombine(&inst, &p1, &p2, &mut rng);
+        // Assignment must look like 0…0 1…1.
+        let genes = off.assignment();
+        let first_one = genes.iter().position(|&m| m == 1).unwrap_or(genes.len());
+        assert!(genes[..first_one].iter().all(|&m| m == 0));
+        assert!(genes[first_one..].iter().all(|&m| m == 1));
+        assert!(check_schedule(&inst, &off).is_ok());
+    }
+
+    #[test]
+    fn two_point_is_single_foreign_segment() {
+        let inst = EtcInstance::toy(16, 3);
+        let (p1, p2) = parents(&inst);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let off = CrossoverOp::TwoPoint.recombine(&inst, &p1, &p2, &mut rng);
+        // Count 0->1 and 1->0 transitions: a single interior segment of 1s
+        // yields at most 2 transitions.
+        let genes = off.assignment();
+        let transitions = genes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(transitions <= 2, "genes: {genes:?}");
+        assert!(check_schedule(&inst, &off).is_ok());
+    }
+
+    #[test]
+    fn uniform_mixes_both_parents() {
+        let inst = EtcInstance::toy(64, 3);
+        let (p1, p2) = parents(&inst);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let off = CrossoverOp::Uniform.recombine(&inst, &p1, &p2, &mut rng);
+        let ones = off.assignment().iter().filter(|&&m| m == 1).count();
+        // With 64 genes at p=1/2, [10, 54] is a ~1-in-10^8 bound.
+        assert!((10..=54).contains(&ones), "ones = {ones}");
+        assert!(check_schedule(&inst, &off).is_ok());
+    }
+
+    #[test]
+    fn genes_come_from_a_parent() {
+        // Every offspring gene equals the corresponding gene of p1 or p2.
+        let inst = EtcInstance::toy(32, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let p1 = Schedule::random(&inst, &mut rng);
+        let p2 = Schedule::random(&inst, &mut rng);
+        for op in [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+            let off = op.recombine(&inst, &p1, &p2, &mut rng);
+            for t in 0..inst.n_tasks() {
+                let g = off.machine_of(t);
+                assert!(
+                    g == p1.machine_of(t) || g == p2.machine_of(t),
+                    "{op}: task {t} gene {g} from neither parent"
+                );
+            }
+            assert!(check_schedule(&inst, &off).is_ok(), "{op}");
+        }
+    }
+
+    #[test]
+    fn recombine_into_reuses_buffer() {
+        let inst = EtcInstance::toy(8, 2);
+        let (p1, p2) = parents(&inst);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = p1.clone();
+        CrossoverOp::TwoPoint.recombine_into(&inst, &p1, &p2, &mut buf, &mut rng);
+        assert!(check_schedule(&inst, &buf).is_ok());
+    }
+
+    #[test]
+    fn identical_parents_reproduce_parent() {
+        let inst = EtcInstance::toy(8, 2);
+        let p = Schedule::round_robin(&inst);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for op in [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+            let off = op.recombine(&inst, &p, &p, &mut rng);
+            assert_eq!(off.assignment(), p.assignment(), "{op}");
+        }
+    }
+}

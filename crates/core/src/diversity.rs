@@ -1,0 +1,168 @@
+//! Population diversity metrics.
+//!
+//! The opening argument of the paper (§1, after \[1\]) is that cellular
+//! structure slows the spread of genetic information, so "population
+//! diversity is kept for longer while … different niches appear". These
+//! metrics make that claim measurable:
+//!
+//! * [`assignment_entropy`] — mean Shannon entropy (base-2, normalized)
+//!   of the machine choice per task across the population: 1.0 = every
+//!   machine equally likely, 0.0 = the whole population agrees.
+//! * [`mean_pairwise_distance`] — average normalized Hamming distance
+//!   between sampled pairs of individuals.
+//! * [`fitness_spread`] — coefficient of variation of the population
+//!   fitness.
+//!
+//! The `diversity` experiment bin tracks these over time for the cellular
+//! engines vs the panmictic Struggle GA.
+
+use crate::individual::Individual;
+use rand::Rng;
+
+/// Mean normalized Shannon entropy of per-task machine assignments.
+///
+/// # Panics
+///
+/// Panics on an empty population.
+pub fn assignment_entropy(population: &[Individual], n_machines: usize) -> f64 {
+    assert!(!population.is_empty(), "empty population");
+    assert!(n_machines > 0, "no machines");
+    if n_machines == 1 {
+        return 0.0;
+    }
+    let n_tasks = population[0].schedule.n_tasks();
+    let pop = population.len() as f64;
+    let norm = (n_machines as f64).log2();
+    let mut counts = vec![0usize; n_machines];
+    let mut total = 0.0;
+    for t in 0..n_tasks {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for ind in population {
+            counts[ind.schedule.machine_of(t)] += 1;
+        }
+        let mut h = 0.0;
+        for &c in &counts {
+            if c > 0 {
+                let p = c as f64 / pop;
+                h -= p * p.log2();
+            }
+        }
+        total += h / norm;
+    }
+    total / n_tasks as f64
+}
+
+/// Mean normalized Hamming distance over `samples` random pairs
+/// (0 = clones everywhere, 1 = no agreement at all).
+pub fn mean_pairwise_distance(
+    population: &[Individual],
+    samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(population.len() >= 2, "need at least two individuals");
+    let n_tasks = population[0].schedule.n_tasks();
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let a = rng.gen_range(0..population.len());
+        let mut b = rng.gen_range(0..population.len());
+        while b == a {
+            b = rng.gen_range(0..population.len());
+        }
+        let (sa, sb) = (&population[a].schedule, &population[b].schedule);
+        let differing = sa
+            .assignment()
+            .iter()
+            .zip(sb.assignment())
+            .filter(|(x, y)| x != y)
+            .count();
+        total += differing as f64 / n_tasks as f64;
+    }
+    total / samples as f64
+}
+
+/// Coefficient of variation of the population fitness.
+pub fn fitness_spread(population: &[Individual]) -> f64 {
+    assert!(!population.is_empty(), "empty population");
+    let n = population.len() as f64;
+    let mean = population.iter().map(|i| i.fitness).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = population.iter().map(|i| (i.fitness - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etc_model::EtcInstance;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scheduling::Schedule;
+
+    fn population_of(instance: &EtcInstance, assignments: Vec<Vec<u32>>) -> Vec<Individual> {
+        assignments
+            .into_iter()
+            .map(|a| Individual::new(Schedule::from_assignment(instance, a)))
+            .collect()
+    }
+
+    #[test]
+    fn clones_have_zero_entropy_and_distance() {
+        let inst = EtcInstance::toy(6, 3);
+        let pop = population_of(&inst, vec![vec![0, 1, 2, 0, 1, 2]; 8]);
+        assert_eq!(assignment_entropy(&pop, 3), 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(mean_pairwise_distance(&pop, 50, &mut rng), 0.0);
+        assert_eq!(fitness_spread(&pop), 0.0);
+    }
+
+    #[test]
+    fn uniform_disagreement_has_full_entropy() {
+        let inst = EtcInstance::toy(4, 2);
+        // Half the population on machine 0, half on machine 1, per task.
+        let pop = population_of(
+            &inst,
+            vec![vec![0, 0, 0, 0], vec![1, 1, 1, 1], vec![0, 1, 0, 1], vec![1, 0, 1, 0]],
+        );
+        let h = assignment_entropy(&pop, 2);
+        assert!((h - 1.0).abs() < 1e-12, "h = {h}");
+    }
+
+    #[test]
+    fn random_population_is_diverse() {
+        let inst = EtcInstance::toy(32, 8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pop: Vec<Individual> = (0..64)
+            .map(|_| Individual::new(Schedule::random(&inst, &mut rng)))
+            .collect();
+        let h = assignment_entropy(&pop, 8);
+        assert!(h > 0.8, "random population entropy {h}");
+        let d = mean_pairwise_distance(&pop, 200, &mut rng);
+        assert!(d > 0.7, "random population distance {d}");
+        assert!(fitness_spread(&pop) > 0.0);
+    }
+
+    #[test]
+    fn entropy_single_machine_is_zero() {
+        let inst = EtcInstance::toy(4, 1);
+        let pop = population_of(&inst, vec![vec![0, 0, 0, 0]; 4]);
+        assert_eq!(assignment_entropy(&pop, 1), 0.0);
+    }
+
+    #[test]
+    fn distance_partial() {
+        let inst = EtcInstance::toy(4, 2);
+        let pop =
+            population_of(&inst, vec![vec![0, 0, 0, 0], vec![0, 0, 1, 1]]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = mean_pairwise_distance(&pop, 10, &mut rng);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        assignment_entropy(&[], 4);
+    }
+}

@@ -1,0 +1,388 @@
+//! The parallel asynchronous engine (paper Algorithms 2 and 3).
+//!
+//! One thread per contiguous population block; threads never barrier
+//! between generations. Every individual sits behind its own
+//! `parking_lot::RwLock` (padded to a cache line to avoid false sharing
+//! between neighboring locks): selection and recombination take brief
+//! read locks on neighbors — which may live in *other* blocks —
+//! and replacement takes a write lock on the evolved cell only. At most
+//! one lock is ever held at a time, so the engine is deadlock-free by
+//! construction.
+
+use crate::config::PaCgaConfig;
+use crate::grid::GridTopology;
+use crate::individual::Individual;
+use crate::neighborhood::NeighborhoodTable;
+use crate::partition::partition_blocks;
+use crate::rng::stream_rng;
+use crate::trace::{RunOutcome, ThreadTrace};
+use crossbeam::utils::CachePadded;
+use etc_model::EtcInstance;
+use parking_lot::RwLock;
+use rand::Rng;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A padded, lockable population cell.
+type Cell = CachePadded<RwLock<Individual>>;
+
+/// The parallel asynchronous cellular GA.
+///
+/// ```
+/// use etc_model::EtcInstance;
+/// use pa_cga_core::config::{PaCgaConfig, Termination};
+/// use pa_cga_core::engine::PaCga;
+///
+/// let instance = EtcInstance::toy(32, 4);
+/// let config = PaCgaConfig::builder()
+///     .grid(4, 4)
+///     .threads(2)
+///     .termination(Termination::Generations(20))
+///     .seed(7)
+///     .build();
+/// let outcome = PaCga::new(&instance, config).run();
+/// assert_eq!(outcome.generations.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct PaCga<'a> {
+    instance: &'a EtcInstance,
+    config: PaCgaConfig,
+}
+
+impl<'a> PaCga<'a> {
+    /// Binds a validated configuration to an instance.
+    pub fn new(instance: &'a EtcInstance, config: PaCgaConfig) -> Self {
+        config.validate();
+        Self { instance, config }
+    }
+
+    /// The bound configuration.
+    pub fn config(&self) -> &PaCgaConfig {
+        &self.config
+    }
+
+    /// Runs to termination and reports the outcome.
+    pub fn run(&self) -> RunOutcome {
+        self.run_with_population().0
+    }
+
+    /// Runs to termination, returning the final population alongside the
+    /// outcome — used by invariant audits and diversity studies.
+    pub fn run_with_population(&self) -> (RunOutcome, Vec<Individual>) {
+        self.run_internal(None)
+    }
+
+    /// Warm-start: evolves an existing population instead of initializing
+    /// a fresh one (the island model's epoch driver). Fitness values are
+    /// trusted as cached; the initial-evaluation count is *not* re-charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not match the configured population size.
+    pub fn run_seeded(&self, initial: Vec<Individual>) -> (RunOutcome, Vec<Individual>) {
+        assert_eq!(
+            initial.len(),
+            self.config.population_size(),
+            "warm-start population size mismatch"
+        );
+        self.run_internal(Some(initial))
+    }
+
+    fn run_internal(&self, initial: Option<Vec<Individual>>) -> (RunOutcome, Vec<Individual>) {
+        let cfg = &self.config;
+        let instance = self.instance;
+        let grid = GridTopology::new(cfg.grid_width, cfg.grid_height);
+        let table = NeighborhoodTable::new(grid, cfg.neighborhood);
+        let warm = initial.is_some();
+        let individuals = initial.unwrap_or_else(|| super::init_population(instance, cfg));
+        // The paper's initial_evaluation() counts toward the totals; a
+        // warm-started population was already evaluated by its producer.
+        let evaluations =
+            AtomicU64::new(if warm { 0 } else { individuals.len() as u64 });
+        let population: Vec<Cell> = individuals
+            .into_iter()
+            .map(|ind| CachePadded::new(RwLock::new(ind)))
+            .collect();
+        let blocks = partition_blocks(population.len(), cfg.threads);
+        let start = Instant::now();
+
+        let mut per_thread: Vec<(u64, u64, ThreadTrace)> = Vec::with_capacity(cfg.threads);
+        std::thread::scope(|scope| {
+            let pop = &population;
+            let table = &table;
+            let evals = &evaluations;
+            let handles: Vec<_> = blocks
+                .iter()
+                .enumerate()
+                .map(|(tid, block)| {
+                    let block = block.clone();
+                    scope.spawn(move || {
+                        evolve_block(instance, cfg, pop, table, block, tid as u64, start, evals)
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().expect("worker thread panicked"));
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let final_pop: Vec<Individual> = population
+            .into_iter()
+            .map(|cell| CachePadded::into_inner(cell).into_inner())
+            .collect();
+        let best = final_pop
+            .iter()
+            .min_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
+            .expect("population is non-empty")
+            .clone();
+        let mut generations = Vec::with_capacity(per_thread.len());
+        let mut replacements = Vec::with_capacity(per_thread.len());
+        let mut traces = Vec::with_capacity(per_thread.len());
+        for (g, r, t) in per_thread {
+            generations.push(g);
+            replacements.push(r);
+            traces.push(t);
+        }
+        (
+            RunOutcome {
+                best,
+                evaluations: evaluations.load(Ordering::Relaxed),
+                generations,
+                replacements,
+                elapsed,
+                traces,
+            },
+            final_pop,
+        )
+    }
+}
+
+/// The paper's `evolve()` (Algorithm 3), for one thread's block.
+#[allow(clippy::too_many_arguments)]
+fn evolve_block(
+    instance: &EtcInstance,
+    cfg: &PaCgaConfig,
+    pop: &[Cell],
+    table: &NeighborhoodTable,
+    block: Range<usize>,
+    thread_id: u64,
+    start: Instant,
+    evals: &AtomicU64,
+) -> (u64, u64, ThreadTrace) {
+    let mut rng = stream_rng(cfg.seed, thread_id);
+    let mut trace = ThreadTrace::default();
+
+    // Reusable scratch: parents, offspring, neighborhood snapshot, H2LL
+    // machine ordering, sweep order. No allocation inside the hot loop.
+    let template: Individual = pop[block.start].read().clone();
+    let mut p1 = template.clone();
+    let mut p2 = template.clone();
+    let mut offspring = template;
+    let mut snapshot: Vec<(u32, f64)> = Vec::with_capacity(cfg.neighborhood.size());
+    let mut ls_scratch: Vec<usize> = Vec::with_capacity(instance.n_machines());
+    let mut order: Vec<usize> = Vec::with_capacity(block.len());
+
+    let mut generations = 0u64;
+    let mut replacements = 0u64;
+    loop {
+        cfg.sweep.order_into(block.clone(), &mut order, &mut rng);
+        for &i in &order {
+            // get_neighborhood + select: brief read locks, one at a time.
+            snapshot.clear();
+            for &nb in table.neighbors(i) {
+                let fitness = pop[nb as usize].read().fitness;
+                snapshot.push((nb, fitness));
+            }
+            let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
+            let g0 = snapshot[s0].0 as usize;
+            let g1 = snapshot[s1].0 as usize;
+            p1.copy_from(&pop[g0].read());
+            if g1 == g0 {
+                p2.copy_from(&p1);
+            } else {
+                p2.copy_from(&pop[g1].read());
+            }
+
+            // recombine(p_comb, parents)
+            if rng.gen_bool(cfg.p_crossover) {
+                cfg.crossover.recombine_into(
+                    instance,
+                    &p1.schedule,
+                    &p2.schedule,
+                    &mut offspring.schedule,
+                    &mut rng,
+                );
+            } else {
+                offspring.schedule.copy_from(&p1.schedule);
+            }
+            // mutate(p_mut, offspring)
+            if rng.gen_bool(cfg.p_mutation) {
+                cfg.mutation.mutate(instance, &mut offspring.schedule, &mut rng);
+            }
+            // H2LL(p_ser, iter, offspring)
+            if let Some(ls) = cfg.local_search {
+                if rng.gen_bool(cfg.p_local_search) {
+                    ls.apply_with_scratch(instance, &mut offspring.schedule, &mut rng, &mut ls_scratch);
+                }
+            }
+            // evaluate(offspring)
+            offspring.evaluate();
+            evals.fetch_add(1, Ordering::Relaxed);
+
+            // replace(ind, offspring): the only write lock.
+            let mut current = pop[i].write();
+            if cfg.replacement.accepts(current.fitness, offspring.fitness) {
+                current.copy_from(&offspring);
+                replacements += 1;
+            }
+        }
+        generations += 1;
+
+        if cfg.record_traces {
+            let mut sum = 0.0;
+            let mut best = f64::INFINITY;
+            for i in block.clone() {
+                let f = pop[i].read().fitness;
+                sum += f;
+                best = best.min(f);
+            }
+            trace.push(sum / block.len() as f64, best);
+        }
+
+        // Algorithm 3 line 1: the stop check runs once per block sweep.
+        if cfg
+            .termination
+            .should_stop(start, generations, evals.load(Ordering::Relaxed))
+        {
+            break;
+        }
+    }
+    (generations, replacements, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Termination;
+    use scheduling::check_schedule;
+
+    fn instance() -> EtcInstance {
+        EtcInstance::toy(48, 6)
+    }
+
+    fn base_config(threads: usize) -> PaCgaConfig {
+        PaCgaConfig::builder()
+            .grid(6, 6)
+            .threads(threads)
+            .local_search_iterations(5)
+            .termination(Termination::Generations(15))
+            .seed(42)
+            .record_traces(true)
+            .build()
+    }
+
+    #[test]
+    fn single_thread_run_is_deterministic() {
+        let inst = instance();
+        let a = PaCga::new(&inst, base_config(1)).run();
+        let b = PaCga::new(&inst, base_config(1)).run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn generation_budget_respected_exactly() {
+        let inst = instance();
+        let out = PaCga::new(&inst, base_config(3)).run();
+        assert_eq!(out.generations, vec![15, 15, 15]);
+        // 36 initial + 15 gens × 36 offspring.
+        assert_eq!(out.evaluations, 36 + 15 * 36);
+    }
+
+    #[test]
+    fn best_improves_on_population_seed() {
+        let inst = instance();
+        let out = PaCga::new(&inst, base_config(2)).run();
+        let minmin = heuristics::min_min(&inst).makespan();
+        assert!(
+            out.best.makespan() <= minmin,
+            "best {} vs min-min {minmin}",
+            out.best.makespan()
+        );
+    }
+
+    #[test]
+    fn final_population_is_valid_under_parallelism() {
+        let inst = instance();
+        let cfg = PaCgaConfig::builder()
+            .grid(6, 6)
+            .threads(4)
+            .local_search_iterations(5)
+            .termination(Termination::Generations(30))
+            .seed(7)
+            .build();
+        let (out, pop) = PaCga::new(&inst, cfg).run_with_population();
+        assert_eq!(pop.len(), 36);
+        for ind in &pop {
+            assert!(check_schedule(&inst, &ind.schedule).is_ok());
+            assert_eq!(ind.fitness, ind.schedule.makespan());
+        }
+        assert!(out.best.makespan() > 0.0);
+    }
+
+    #[test]
+    fn traces_recorded_per_thread() {
+        let inst = instance();
+        let out = PaCga::new(&inst, base_config(2)).run();
+        assert_eq!(out.traces.len(), 2);
+        for t in &out.traces {
+            assert_eq!(t.len(), 15);
+            // Block best is never worse than block mean.
+            for (m, b) in t.block_mean.iter().zip(&t.block_best) {
+                assert!(b <= m);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_budget_stops_run() {
+        let inst = instance();
+        let cfg = PaCgaConfig::builder()
+            .grid(6, 6)
+            .threads(2)
+            .termination(Termination::Evaluations(500))
+            .seed(1)
+            .build();
+        let out = PaCga::new(&inst, cfg).run();
+        // Threads overshoot by at most one block sweep each.
+        assert!(out.evaluations >= 500);
+        assert!(out.evaluations < 500 + 2 * 36 + 36);
+    }
+
+    #[test]
+    fn wall_time_budget_stops_quickly() {
+        let inst = instance();
+        let cfg = PaCgaConfig::builder()
+            .grid(6, 6)
+            .threads(2)
+            .termination(Termination::wall_time_ms(50))
+            .seed(1)
+            .build();
+        let out = PaCga::new(&inst, cfg).run();
+        assert!(out.elapsed.as_millis() >= 50);
+        assert!(out.elapsed.as_secs() < 10, "run did not stop near its budget");
+    }
+
+    #[test]
+    fn replace_if_better_makes_block_best_monotone() {
+        let inst = instance();
+        let out = PaCga::new(&inst, base_config(1)).run();
+        let best = &out.traces[0].block_best;
+        for w in best.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "block best regressed: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The sequential **synchronous** cellular GA.
+//!
+//! Offspring are written to an auxiliary population and swapped in all at
+//! once per generation, so every selection decision sees the *previous*
+//! generation. The paper (§3.1, citing \[1\], \[14\]) notes the asynchronous
+//! model converges faster; the `async_vs_sync` harness reproduces that
+//! comparison against [`super::PaCga`] with one thread.
+
+use crate::config::PaCgaConfig;
+use crate::grid::GridTopology;
+use crate::neighborhood::NeighborhoodTable;
+use crate::rng::stream_rng;
+use crate::trace::{RunOutcome, ThreadTrace};
+use etc_model::EtcInstance;
+use rand::Rng;
+use std::time::Instant;
+
+/// Sequential synchronous cellular GA sharing the PA-CGA operator set and
+/// configuration type (`threads` is ignored; the model is sequential by
+/// definition).
+#[derive(Debug)]
+pub struct SyncCga<'a> {
+    instance: &'a EtcInstance,
+    config: PaCgaConfig,
+}
+
+impl<'a> SyncCga<'a> {
+    /// Binds a validated configuration to an instance.
+    pub fn new(instance: &'a EtcInstance, config: PaCgaConfig) -> Self {
+        config.validate();
+        Self { instance, config }
+    }
+
+    /// Runs to termination.
+    pub fn run(&self) -> RunOutcome {
+        self.run_with_population().0
+    }
+
+    /// Runs to termination, also returning the final population (for
+    /// diversity studies and invariant audits).
+    pub fn run_with_population(&self) -> (RunOutcome, Vec<crate::individual::Individual>) {
+        let cfg = &self.config;
+        let instance = self.instance;
+        let grid = GridTopology::new(cfg.grid_width, cfg.grid_height);
+        let table = NeighborhoodTable::new(grid, cfg.neighborhood);
+        let mut rng = stream_rng(cfg.seed, 0);
+
+        let mut pop = super::init_population(instance, cfg);
+        let mut aux = pop.clone();
+        let mut evaluations = pop.len() as u64;
+        let mut snapshot: Vec<(u32, f64)> = Vec::with_capacity(cfg.neighborhood.size());
+        let mut ls_scratch: Vec<usize> = Vec::with_capacity(instance.n_machines());
+        let mut offspring = pop[0].clone();
+        let mut trace = ThreadTrace::default();
+        let start = Instant::now();
+        let mut generations = 0u64;
+        let mut replacements = 0u64;
+
+        loop {
+            for i in 0..pop.len() {
+                snapshot.clear();
+                for &nb in table.neighbors(i) {
+                    snapshot.push((nb, pop[nb as usize].fitness));
+                }
+                let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
+                let p1 = &pop[snapshot[s0].0 as usize];
+                let p2 = &pop[snapshot[s1].0 as usize];
+
+                if rng.gen_bool(cfg.p_crossover) {
+                    cfg.crossover.recombine_into(
+                        instance,
+                        &p1.schedule,
+                        &p2.schedule,
+                        &mut offspring.schedule,
+                        &mut rng,
+                    );
+                } else {
+                    offspring.schedule.copy_from(&p1.schedule);
+                }
+                if rng.gen_bool(cfg.p_mutation) {
+                    cfg.mutation.mutate(instance, &mut offspring.schedule, &mut rng);
+                }
+                if let Some(ls) = cfg.local_search {
+                    if rng.gen_bool(cfg.p_local_search) {
+                        ls.apply_with_scratch(
+                            instance,
+                            &mut offspring.schedule,
+                            &mut rng,
+                            &mut ls_scratch,
+                        );
+                    }
+                }
+                offspring.evaluate();
+                evaluations += 1;
+
+                // Synchronous: the decision reads the OLD population, the
+                // result lands in the auxiliary one.
+                if cfg.replacement.accepts(pop[i].fitness, offspring.fitness) {
+                    aux[i].copy_from(&offspring);
+                    replacements += 1;
+                } else {
+                    aux[i].copy_from(&pop[i]);
+                }
+            }
+            std::mem::swap(&mut pop, &mut aux);
+            generations += 1;
+
+            if cfg.record_traces {
+                let sum: f64 = pop.iter().map(|ind| ind.fitness).sum();
+                let best = pop
+                    .iter()
+                    .map(|ind| ind.fitness)
+                    .fold(f64::INFINITY, f64::min);
+                trace.push(sum / pop.len() as f64, best);
+            }
+            if cfg.termination.should_stop(start, generations, evaluations) {
+                break;
+            }
+        }
+
+        let best = pop
+            .iter()
+            .min_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
+            .expect("population is non-empty")
+            .clone();
+        (
+            RunOutcome {
+                best,
+                evaluations,
+                generations: vec![generations],
+                replacements: vec![replacements],
+                elapsed: start.elapsed(),
+                traces: vec![trace],
+            },
+            pop,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Termination;
+    use scheduling::check_schedule;
+
+    fn config(gens: u64) -> PaCgaConfig {
+        PaCgaConfig::builder()
+            .grid(6, 6)
+            .threads(1)
+            .local_search_iterations(5)
+            .termination(Termination::Generations(gens))
+            .seed(42)
+            .record_traces(true)
+            .build()
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = EtcInstance::toy(48, 6);
+        let a = SyncCga::new(&inst, config(10)).run();
+        let b = SyncCga::new(&inst, config(10)).run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn exact_evaluation_count() {
+        let inst = EtcInstance::toy(48, 6);
+        let out = SyncCga::new(&inst, config(10)).run();
+        assert_eq!(out.evaluations, 36 + 10 * 36);
+        assert_eq!(out.generations, vec![10]);
+    }
+
+    #[test]
+    fn best_schedule_is_valid_and_beats_min_min_seed() {
+        let inst = EtcInstance::toy(48, 6);
+        let out = SyncCga::new(&inst, config(20)).run();
+        assert!(check_schedule(&inst, &out.best.schedule).is_ok());
+        assert!(out.best.makespan() <= heuristics::min_min(&inst).makespan());
+    }
+
+    #[test]
+    fn traces_have_one_thread() {
+        let inst = EtcInstance::toy(48, 6);
+        let out = SyncCga::new(&inst, config(8)).run();
+        assert_eq!(out.traces.len(), 1);
+        assert_eq!(out.traces[0].len(), 8);
+    }
+
+    #[test]
+    fn population_best_monotone_with_replace_if_better() {
+        let inst = EtcInstance::toy(48, 6);
+        let out = SyncCga::new(&inst, config(15)).run();
+        for w in out.traces[0].block_best.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+}

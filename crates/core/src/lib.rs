@@ -1,0 +1,68 @@
+//! # PA-CGA — Parallel Asynchronous Cellular Genetic Algorithm
+//!
+//! Rust implementation of the algorithm of Pinel, Dorronsoro & Bouvry,
+//! *"A New Parallel Asynchronous Cellular Genetic Algorithm for Scheduling
+//! in Grids"* (2010), together with the canonical sequential cellular GA it
+//! generalizes and a synchronous variant for comparison.
+//!
+//! ## Architecture
+//!
+//! * The population lives on a 2-D toroidal [`grid`]; each individual only
+//!   mates within its [`neighborhood`] (Von Neumann L5 by default).
+//! * The parallel engine ([`engine::PaCga`]) splits the row-major
+//!   population into contiguous blocks, one per thread
+//!   ([`partition`]). Threads sweep their block in fixed line-sweep order
+//!   ([`sweep`]) **without generation barriers** — the asynchronous model.
+//!   Neighborhoods cross block boundaries, so every individual sits behind
+//!   a `parking_lot::RwLock` (concurrent reads, exclusive writes), exactly
+//!   mirroring the paper's POSIX rwlock design.
+//! * The breeding loop is assembled from pluggable operators:
+//!   [`selection`], [`crossover`] (one-point / two-point / uniform),
+//!   [`mutation`] (move / swap / rebalance), the paper's new [`local_search`]
+//!   operator **H2LL**, and [`replacement`].
+//! * Termination is wall-clock time (the paper's choice), a generation
+//!   budget, or an evaluation budget ([`termination`]); evaluation budgets
+//!   make single-threaded runs fully deterministic for testing.
+//! * Per-generation traces ([`trace`]) feed the Figure 4/6 harnesses.
+//!
+//! ## Minimal example
+//!
+//! ```
+//! use etc_model::EtcInstance;
+//! use pa_cga_core::config::{PaCgaConfig, Termination};
+//! use pa_cga_core::engine::PaCga;
+//!
+//! let instance = EtcInstance::toy(32, 4);
+//! let config = PaCgaConfig::builder()
+//!     .grid(8, 8)
+//!     .threads(2)
+//!     .termination(Termination::Evaluations(10_000))
+//!     .seed(1)
+//!     .build();
+//! let outcome = PaCga::new(&instance, config).run();
+//! assert!(outcome.best.makespan() > 0.0);
+//! ```
+
+pub mod checkpoint;
+pub mod config;
+pub mod crossover;
+pub mod diversity;
+pub mod engine;
+pub mod grid;
+pub mod individual;
+pub mod local_search;
+pub mod mutation;
+pub mod neighborhood;
+pub mod partition;
+pub mod replacement;
+pub mod rng;
+pub mod seeding;
+pub mod selection;
+pub mod sweep;
+pub mod termination;
+pub mod trace;
+
+pub use config::{PaCgaConfig, Termination};
+pub use engine::{PaCga, RunOutcome, SyncCga};
+pub use individual::Individual;
+pub use local_search::H2ll;

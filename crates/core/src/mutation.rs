@@ -1,0 +1,137 @@
+//! Mutation operators.
+//!
+//! The paper's mutation **moves one randomly chosen task to a randomly
+//! chosen machine** (Table 1, p_mut = 1.0). Swap and rebalance variants
+//! are provided for ablation studies.
+
+use etc_model::EtcInstance;
+use rand::Rng;
+use scheduling::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Mutation policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MutationOp {
+    /// Move a random task to a random machine (the paper's operator).
+    Move,
+    /// Swap the machines of two random tasks.
+    Swap,
+    /// Move a random task *off the most loaded machine* to a random
+    /// machine — a makespan-aware variant.
+    Rebalance,
+}
+
+impl MutationOp {
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationOp::Move => "move",
+            MutationOp::Swap => "swap",
+            MutationOp::Rebalance => "rebalance",
+        }
+    }
+
+    /// Mutates `schedule` in place.
+    pub fn mutate(self, instance: &EtcInstance, schedule: &mut Schedule, rng: &mut impl Rng) {
+        let n = schedule.n_tasks();
+        let m = schedule.n_machines();
+        match self {
+            MutationOp::Move => {
+                let t = rng.gen_range(0..n);
+                let mac = rng.gen_range(0..m);
+                schedule.move_task(instance, t, mac);
+            }
+            MutationOp::Swap => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                schedule.swap_tasks(instance, a, b);
+            }
+            MutationOp::Rebalance => {
+                let loaded = schedule.most_loaded_machine();
+                let candidates = schedule.tasks_on(loaded);
+                if candidates.is_empty() {
+                    return;
+                }
+                let t = candidates[rng.gen_range(0..candidates.len())];
+                let mac = rng.gen_range(0..m);
+                schedule.move_task(instance, t, mac);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MutationOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etc_model::EtcInstance;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scheduling::check_schedule;
+
+    #[test]
+    fn all_mutations_preserve_validity() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for op in [MutationOp::Move, MutationOp::Swap, MutationOp::Rebalance] {
+            let mut s = Schedule::random(&inst, &mut rng);
+            for _ in 0..500 {
+                op.mutate(&inst, &mut s, &mut rng);
+            }
+            assert!(check_schedule(&inst, &s).is_ok(), "{op}");
+        }
+    }
+
+    #[test]
+    fn move_changes_at_most_one_task() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s0 = Schedule::random(&inst, &mut rng);
+        let mut s = s0.clone();
+        MutationOp::Move.mutate(&inst, &mut s, &mut rng);
+        let diffs = s0
+            .assignment()
+            .iter()
+            .zip(s.assignment())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diffs <= 1);
+    }
+
+    #[test]
+    fn swap_changes_at_most_two_tasks() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s0 = Schedule::random(&inst, &mut rng);
+        let mut s = s0.clone();
+        MutationOp::Swap.mutate(&inst, &mut s, &mut rng);
+        let diffs = s0
+            .assignment()
+            .iter()
+            .zip(s.assignment())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(diffs == 0 || diffs == 2, "diffs = {diffs}");
+    }
+
+    #[test]
+    fn rebalance_moves_from_most_loaded() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s0 = Schedule::random(&inst, &mut rng);
+        let loaded = s0.most_loaded_machine();
+        let mut s = s0.clone();
+        MutationOp::Rebalance.mutate(&inst, &mut s, &mut rng);
+        // The changed task (if any) must have been on the most loaded machine.
+        for t in 0..inst.n_tasks() {
+            if s.machine_of(t) != s0.machine_of(t) {
+                assert_eq!(s0.machine_of(t), loaded);
+            }
+        }
+    }
+}

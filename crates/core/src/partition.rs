@@ -1,0 +1,126 @@
+//! Block partitioning of the population (paper §3.2, Figure 2).
+//!
+//! The population is split into contiguous blocks of row-major indices —
+//! "successive individuals in the same block … the successor of an
+//! individual is its right neighbor, moving to the next row at the end of
+//! a row". Block sizes differ by at most one when the population does not
+//! divide evenly.
+
+use std::ops::Range;
+
+/// Splits `len` individuals into `n_blocks` contiguous ranges whose sizes
+/// differ by at most one (larger blocks first).
+///
+/// # Panics
+///
+/// Panics if `n_blocks` is zero or exceeds `len`.
+pub fn partition_blocks(len: usize, n_blocks: usize) -> Vec<Range<usize>> {
+    assert!(n_blocks > 0, "need at least one block");
+    assert!(n_blocks <= len, "more blocks ({n_blocks}) than individuals ({len})");
+    let base = len / n_blocks;
+    let extra = len % n_blocks;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    let mut start = 0;
+    for b in 0..n_blocks {
+        let size = base + usize::from(b < extra);
+        blocks.push(start..start + size);
+        start += size;
+    }
+    blocks
+}
+
+/// Which block owns a given individual index.
+pub fn block_of(blocks: &[Range<usize>], index: usize) -> usize {
+    blocks
+        .iter()
+        .position(|r| r.contains(&index))
+        .unwrap_or_else(|| panic!("index {index} outside all blocks"))
+}
+
+/// Number of individuals in a block whose L5 neighborhood crosses the
+/// block boundary — the contention metric the paper's speedup discussion
+/// (§4.2) reasons about. For a `width`-column grid, an individual is a
+/// boundary cell when its north or south neighbor falls outside the block.
+pub fn boundary_cells(block: &Range<usize>, width: usize, len: usize) -> usize {
+    block
+        .clone()
+        .filter(|&i| {
+            let north = (i + len - width) % len;
+            let south = (i + width) % len;
+            !block.contains(&north) || !block.contains(&south)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let blocks = partition_blocks(256, 4);
+        assert_eq!(blocks.len(), 4);
+        for (b, r) in blocks.iter().enumerate() {
+            assert_eq!(r.len(), 64, "block {b}");
+        }
+        assert_eq!(blocks[0], 0..64);
+        assert_eq!(blocks[3], 192..256);
+    }
+
+    #[test]
+    fn uneven_split_differs_by_at_most_one() {
+        let blocks = partition_blocks(256, 3);
+        let sizes: Vec<usize> = blocks.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 256);
+        assert_eq!(sizes, vec![86, 85, 85]);
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_cover() {
+        let blocks = partition_blocks(100, 7);
+        let mut next = 0;
+        for r in &blocks {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, 100);
+    }
+
+    #[test]
+    fn single_block_is_everything() {
+        let blocks = partition_blocks(64, 1);
+        assert_eq!(blocks, vec![0..64]);
+    }
+
+    #[test]
+    fn block_of_lookup() {
+        let blocks = partition_blocks(64, 4);
+        assert_eq!(block_of(&blocks, 0), 0);
+        assert_eq!(block_of(&blocks, 15), 0);
+        assert_eq!(block_of(&blocks, 16), 1);
+        assert_eq!(block_of(&blocks, 63), 3);
+    }
+
+    #[test]
+    fn more_threads_more_boundary_fraction() {
+        // The paper: smaller blocks -> more individuals on the boundary.
+        let len = 256;
+        let width = 16;
+        let frac = |n: usize| -> f64 {
+            let blocks = partition_blocks(len, n);
+            let total: usize = blocks.iter().map(|b| boundary_cells(b, width, len)).sum();
+            total as f64 / len as f64
+        };
+        assert!(frac(2) <= frac(4));
+        assert!(frac(4) <= frac(8));
+        // With 16-row blocks of a 16x16 grid split 8 ways (2 rows each),
+        // every cell is a boundary cell.
+        assert_eq!(frac(8), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more blocks")]
+    fn too_many_blocks_panics() {
+        partition_blocks(4, 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the PA-CGA operators: every operator must preserve
+//! the schedule invariant, and H2LL must never worsen the makespan.
+
+use etc_model::{Consistency, EtcGenerator, EtcInstance, GeneratorParams, Heterogeneity};
+use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_core::local_search::H2ll;
+use pa_cga_core::mutation::MutationOp;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scheduling::{check_schedule, Schedule};
+
+const N_TASKS: usize = 40;
+const N_MACHINES: usize = 7;
+
+fn instance(seed: u64, consistency: Consistency) -> EtcInstance {
+    EtcGenerator::new(GeneratorParams {
+        n_tasks: N_TASKS,
+        n_machines: N_MACHINES,
+        task_heterogeneity: Heterogeneity::High,
+        machine_heterogeneity: Heterogeneity::High,
+        consistency,
+        seed,
+    })
+    .generate()
+}
+
+fn consistency_strategy() -> impl Strategy<Value = Consistency> {
+    prop_oneof![
+        Just(Consistency::Consistent),
+        Just(Consistency::SemiConsistent),
+        Just(Consistency::Inconsistent),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn crossover_offspring_always_valid(
+        inst_seed in 0u64..20,
+        rng_seed in 0u64..1000,
+        consistency in consistency_strategy(),
+        a1 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+        a2 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        let inst = instance(inst_seed, consistency);
+        let p1 = Schedule::from_assignment(&inst, a1);
+        let p2 = Schedule::from_assignment(&inst, a2);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        for op in [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+            let off = op.recombine(&inst, &p1, &p2, &mut rng);
+            prop_assert!(check_schedule(&inst, &off).is_ok(), "{op}");
+            // Every gene from a parent.
+            for t in 0..N_TASKS {
+                let g = off.machine_of(t);
+                prop_assert!(g == p1.machine_of(t) || g == p2.machine_of(t));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_validity(
+        inst_seed in 0u64..20,
+        rng_seed in 0u64..1000,
+        assignment in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        let inst = instance(inst_seed, Consistency::Inconsistent);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        for op in [MutationOp::Move, MutationOp::Swap, MutationOp::Rebalance] {
+            let mut s = Schedule::from_assignment(&inst, assignment.clone());
+            op.mutate(&inst, &mut s, &mut rng);
+            prop_assert!(check_schedule(&inst, &s).is_ok(), "{op}");
+        }
+    }
+
+    #[test]
+    fn h2ll_never_increases_makespan(
+        inst_seed in 0u64..20,
+        rng_seed in 0u64..1000,
+        iterations in 0usize..20,
+        n_candidates in proptest::option::of(1usize..N_MACHINES + 2),
+        consistency in consistency_strategy(),
+        assignment in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        let inst = instance(inst_seed, consistency);
+        let mut s = Schedule::from_assignment(&inst, assignment);
+        let before = s.makespan();
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let op = H2ll { iterations, n_candidates };
+        op.apply(&inst, &mut s, &mut rng);
+        prop_assert!(s.makespan() <= before * (1.0 + 1e-12) + 1e-9,
+            "H2LL worsened makespan: {before} -> {}", s.makespan());
+        prop_assert!(check_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn h2ll_accepted_moves_strictly_improve_or_hold(
+        inst_seed in 0u64..10,
+        rng_seed in 0u64..200,
+        assignment in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        // Makespan after each single iteration is monotonically
+        // non-increasing.
+        let inst = instance(inst_seed, Consistency::Inconsistent);
+        let mut s = Schedule::from_assignment(&inst, assignment);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let op = H2ll::with_iterations(1);
+        let mut last = s.makespan();
+        for _ in 0..10 {
+            op.apply(&inst, &mut s, &mut rng);
+            let now = s.makespan();
+            prop_assert!(now <= last + 1e-9);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn operator_pipeline_preserves_validity(
+        inst_seed in 0u64..10,
+        rng_seed in 0u64..200,
+        a1 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+        a2 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        // The full breeding pipeline: crossover -> mutation -> H2LL.
+        let inst = instance(inst_seed, Consistency::SemiConsistent);
+        let p1 = Schedule::from_assignment(&inst, a1);
+        let p2 = Schedule::from_assignment(&inst, a2);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let mut off = CrossoverOp::TwoPoint.recombine(&inst, &p1, &p2, &mut rng);
+        MutationOp::Move.mutate(&inst, &mut off, &mut rng);
+        H2ll::with_iterations(10).apply(&inst, &mut off, &mut rng);
+        prop_assert!(check_schedule(&inst, &off).is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! Blazewicz α|β|γ scheduling notation (Blazewicz, Lenstra & Rinnooy Kan,
+//! 1983), as printed for each benchmark instance in the paper's §4.1.
+//!
+//! * Consistent instances map to **uniform** machines: `Q16|…|Cmax`.
+//! * Semi-consistent and inconsistent instances map to **unrelated**
+//!   machines: `R16|…|Cmax`.
+//! * The β field is the processing-time range `a ≤ pj ≤ b`.
+
+use crate::consistency::{classify, Consistency};
+use crate::instance::EtcInstance;
+
+/// Machine environment code (α field) for a consistency class.
+pub fn machine_environment(consistency: Consistency) -> char {
+    match consistency {
+        Consistency::Consistent => 'Q',
+        Consistency::SemiConsistent | Consistency::Inconsistent => 'R',
+    }
+}
+
+/// Formats the Blazewicz notation of an instance, classifying its matrix,
+/// e.g. `Q16|26.48 ≤ pj ≤ 2892648.25|Cmax`.
+pub fn blazewicz_notation(instance: &EtcInstance) -> String {
+    let class = classify(instance.etc());
+    let range = instance.etc_range();
+    format!(
+        "{}{}|{}|Cmax",
+        machine_environment(class),
+        instance.n_machines(),
+        range
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::EtcMatrix;
+
+    #[test]
+    fn consistent_is_q() {
+        assert_eq!(machine_environment(Consistency::Consistent), 'Q');
+    }
+
+    #[test]
+    fn inconsistent_and_semi_are_r() {
+        assert_eq!(machine_environment(Consistency::Inconsistent), 'R');
+        assert_eq!(machine_environment(Consistency::SemiConsistent), 'R');
+    }
+
+    #[test]
+    fn notation_for_consistent_matrix() {
+        let etc = EtcMatrix::from_task_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let inst = EtcInstance::new("t", etc);
+        assert_eq!(blazewicz_notation(&inst), "Q2|1.00 ≤ pj ≤ 4.00|Cmax");
+    }
+
+    #[test]
+    fn notation_for_inconsistent_matrix() {
+        let etc = EtcMatrix::from_task_major(2, 2, vec![1.0, 2.0, 4.0, 3.0]);
+        let inst = EtcInstance::new("t", etc);
+        assert!(blazewicz_notation(&inst).starts_with("R2|"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Instance I/O.
+//!
+//! Two text formats are supported:
+//!
+//! * **Classic Braun format** — exactly `n_tasks · n_machines` whitespace-
+//!   separated numbers in task-major order, no header. Dimensions must be
+//!   supplied by the caller (the original distribution fixed them at
+//!   512×16). [`read_braun_format`] / [`write_braun_format`].
+//! * **Header format** — a self-describing variant: first line
+//!   `name n_tasks n_machines`, second line the ready times, then the
+//!   task-major ETC values. [`read_instance`] / [`write_instance`].
+
+use crate::instance::EtcInstance;
+use crate::matrix::EtcMatrix;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing instance files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A token could not be parsed as a number.
+    Parse(String),
+    /// Wrong number of values for the declared dimensions.
+    Shape(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(t) => write!(f, "cannot parse {t:?} as a number"),
+            IoError::Shape(m) => write!(f, "shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_f64(tok: &str) -> Result<f64, IoError> {
+    tok.parse::<f64>().map_err(|_| IoError::Parse(tok.to_string()))
+}
+
+/// Reads a classic Braun-format stream: `n_tasks · n_machines` numbers in
+/// task-major order.
+pub fn read_braun_format<R: BufRead>(
+    reader: R,
+    name: impl Into<String>,
+    n_tasks: usize,
+    n_machines: usize,
+) -> Result<EtcInstance, IoError> {
+    let mut values = Vec::with_capacity(n_tasks * n_machines);
+    for line in reader.lines() {
+        let line = line?;
+        for tok in line.split_whitespace() {
+            values.push(parse_f64(tok)?);
+        }
+    }
+    if values.len() != n_tasks * n_machines {
+        return Err(IoError::Shape(format!(
+            "expected {} values for {n_tasks}×{n_machines}, found {}",
+            n_tasks * n_machines,
+            values.len()
+        )));
+    }
+    Ok(EtcInstance::new(name, EtcMatrix::from_task_major(n_tasks, n_machines, values)))
+}
+
+/// Writes the classic Braun format (one value per line, task-major), as in
+/// the original benchmark files.
+pub fn write_braun_format<W: Write>(writer: &mut W, instance: &EtcInstance) -> io::Result<()> {
+    for v in instance.etc().task_major_data() {
+        writeln!(writer, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Writes the self-describing header format.
+pub fn write_instance<W: Write>(writer: &mut W, instance: &EtcInstance) -> io::Result<()> {
+    writeln!(
+        writer,
+        "{} {} {}",
+        instance.name(),
+        instance.n_tasks(),
+        instance.n_machines()
+    )?;
+    let ready: Vec<String> = instance.ready_times().iter().map(|r| r.to_string()).collect();
+    writeln!(writer, "{}", ready.join(" "))?;
+    write_braun_format(writer, instance)
+}
+
+/// Reads the self-describing header format.
+pub fn read_instance<R: BufRead>(mut reader: R) -> Result<EtcInstance, IoError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let mut parts = header.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| IoError::Shape("empty header".into()))?
+        .to_string();
+    let n_tasks: usize = parts
+        .next()
+        .ok_or_else(|| IoError::Shape("missing n_tasks".into()))?
+        .parse()
+        .map_err(|_| IoError::Parse("n_tasks".into()))?;
+    let n_machines: usize = parts
+        .next()
+        .ok_or_else(|| IoError::Shape("missing n_machines".into()))?
+        .parse()
+        .map_err(|_| IoError::Parse("n_machines".into()))?;
+
+    let mut ready_line = String::new();
+    reader.read_line(&mut ready_line)?;
+    let ready: Result<Vec<f64>, IoError> = ready_line.split_whitespace().map(parse_f64).collect();
+    let ready = ready?;
+    if ready.len() != n_machines {
+        return Err(IoError::Shape(format!(
+            "expected {n_machines} ready times, found {}",
+            ready.len()
+        )));
+    }
+
+    let body = read_braun_format(reader, name.clone(), n_tasks, n_machines)?;
+    Ok(EtcInstance::with_ready_times(name, body.etc().clone(), ready))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn braun_round_trip() {
+        let inst = EtcInstance::toy(4, 3);
+        let mut buf = Vec::new();
+        write_braun_format(&mut buf, &inst).unwrap();
+        let back =
+            read_braun_format(BufReader::new(buf.as_slice()), "toy_4x3", 4, 3).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn header_round_trip_with_ready_times() {
+        let etc = EtcMatrix::from_task_major(2, 2, vec![1.5, 2.5, 3.5, 4.5]);
+        let inst = EtcInstance::with_ready_times("named", etc, vec![1.0, 0.5]);
+        let mut buf = Vec::new();
+        write_instance(&mut buf, &inst).unwrap();
+        let back = read_instance(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn wrong_count_is_shape_error() {
+        let data = "1.0 2.0 3.0";
+        let err = read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap_err();
+        assert!(matches!(err, IoError::Shape(_)), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_parse_error() {
+        let data = "1.0 oops 3.0 4.0";
+        let err = read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn multiple_values_per_line_accepted() {
+        let data = "1 2\n3 4\n";
+        let inst = read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap();
+        assert_eq!(inst.etc().etc(1, 1), 4.0);
+    }
+
+    #[test]
+    fn header_errors() {
+        let err = read_instance(BufReader::new("".as_bytes())).unwrap_err();
+        assert!(matches!(err, IoError::Shape(_)));
+        let err = read_instance(BufReader::new("name 2".as_bytes())).unwrap_err();
+        assert!(matches!(err, IoError::Shape(_)));
+    }
+}

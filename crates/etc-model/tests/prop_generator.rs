@@ -1,0 +1,123 @@
+//! Property tests on the instance generator and consistency machinery.
+
+use etc_model::consistency::{classify, consistency_degree, has_consistent_submatrix, is_consistent};
+use etc_model::{Consistency, EtcGenerator, EtcMatrix, GeneratorParams, Heterogeneity};
+use proptest::prelude::*;
+
+fn het_strategy() -> impl Strategy<Value = Heterogeneity> {
+    prop_oneof![Just(Heterogeneity::Low), Just(Heterogeneity::High)]
+}
+
+fn consistency_strategy() -> impl Strategy<Value = Consistency> {
+    prop_oneof![
+        Just(Consistency::Consistent),
+        Just(Consistency::SemiConsistent),
+        Just(Consistency::Inconsistent),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_instances_match_requested_class(
+        seed in 0u64..10_000,
+        n_tasks in 8usize..64,
+        n_machines in 4usize..12,
+        th in het_strategy(),
+        mh in het_strategy(),
+        consistency in consistency_strategy(),
+    ) {
+        let params = GeneratorParams {
+            n_tasks, n_machines,
+            task_heterogeneity: th,
+            machine_heterogeneity: mh,
+            consistency,
+            seed,
+        };
+        let inst = EtcGenerator::new(params).generate();
+        prop_assert_eq!(inst.n_tasks(), n_tasks);
+        prop_assert_eq!(inst.n_machines(), n_machines);
+
+        match consistency {
+            Consistency::Consistent => prop_assert!(is_consistent(inst.etc())),
+            Consistency::SemiConsistent => {
+                prop_assert!(has_consistent_submatrix(inst.etc()));
+            }
+            // Random draws are inconsistent with overwhelming probability
+            // for these sizes, but not guaranteed; only assert validity.
+            Consistency::Inconsistent => {}
+        }
+
+        // Entries respect the distribution support.
+        let max = th.task_phi() * mh.machine_phi();
+        for (_, _, v) in inst.etc().entries() {
+            prop_assert!(v >= 1.0 && v <= max);
+        }
+    }
+
+    #[test]
+    fn row_sorting_any_matrix_yields_consistency(
+        values in proptest::collection::vec(0.5f64..1000.0, 36),
+    ) {
+        let m = EtcMatrix::from_task_major(6, 6, values);
+        let sorted = m.row_sorted();
+        prop_assert!(is_consistent(&sorted));
+        prop_assert_eq!(classify(&sorted), Consistency::Consistent);
+        prop_assert!((consistency_degree(&sorted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_agrees_with_task_major(
+        values in proptest::collection::vec(0.5f64..1000.0, 24),
+    ) {
+        let m = EtcMatrix::from_task_major(4, 6, values);
+        for t in 0..4 {
+            for mac in 0..6 {
+                prop_assert_eq!(m.etc(t, mac), m.etc_on(mac, t));
+            }
+        }
+        for mac in 0..6 {
+            let row = m.machine_row(mac);
+            for (t, &v) in row.iter().enumerate() {
+                prop_assert_eq!(v, m.etc(t, mac));
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_degree_bounded(
+        values in proptest::collection::vec(0.5f64..100.0, 30),
+    ) {
+        let m = EtcMatrix::from_task_major(5, 6, values);
+        let d = consistency_degree(&m);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // classify() and the predicates agree.
+        match classify(&m) {
+            Consistency::Consistent => prop_assert!((d - 1.0).abs() < 1e-12),
+            Consistency::SemiConsistent => prop_assert!(has_consistent_submatrix(&m)),
+            Consistency::Inconsistent => prop_assert!(!is_consistent(&m)),
+        }
+    }
+
+    #[test]
+    fn io_round_trip_any_instance(
+        seed in 0u64..1000,
+        n_tasks in 2usize..20,
+        n_machines in 2usize..8,
+    ) {
+        use etc_model::io::{read_instance, write_instance};
+        use std::io::BufReader;
+        let inst = EtcGenerator::new(GeneratorParams {
+            n_tasks, n_machines,
+            task_heterogeneity: Heterogeneity::High,
+            machine_heterogeneity: Heterogeneity::High,
+            consistency: Consistency::Inconsistent,
+            seed,
+        }).generate_named("roundtrip");
+        let mut buf = Vec::new();
+        write_instance(&mut buf, &inst).unwrap();
+        let back = read_instance(BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+}

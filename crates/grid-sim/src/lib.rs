@@ -1,0 +1,41 @@
+//! # Grid execution simulator
+//!
+//! The PA-CGA paper schedules *statically*: it assumes the ETC estimates
+//! hold and the grid stays up. Its problem statement (§2.1), however,
+//! describes a **dynamic environment** — machines "could dynamically be
+//! added/dropped from the grid", tasks run non-preemptively "unless the
+//! resource drops", and machines carry **ready times** from previously
+//! assigned work.
+//!
+//! This crate closes that loop with a discrete-event simulator:
+//!
+//! * [`simulator::Simulator`] executes a static [`scheduling::Schedule`]
+//!   against an [`etc_model::EtcInstance`] and reports per-task timelines.
+//!   Without failures the simulated makespan equals the schedule's cached
+//!   makespan exactly — an end-to-end validation of the representation.
+//! * [`failures::FailureTrace`] injects machine drop events; the running
+//!   task of a dropped machine is lost and must be re-run, pending tasks
+//!   are orphaned.
+//! * [`reschedule`] supplies rescheduling policies invoked at failure
+//!   time: the cheap [`reschedule::MctRescheduler`] and the
+//!   [`reschedule::PaCgaRescheduler`] that re-optimizes the remaining work
+//!   with the paper's own algorithm, using machine **ready times** to
+//!   carry committed load — exactly the field the ETC model reserves for
+//!   this purpose.
+//! * [`batch`] drives multi-batch arrival scenarios (the "batch scheduling
+//!   in grids" mode of the title): each arriving batch is scheduled
+//!   against the ready times left by its predecessors.
+
+pub mod batch;
+pub mod failures;
+pub mod noise;
+pub mod report;
+pub mod reschedule;
+pub mod simulator;
+
+pub use batch::{BatchArrival, BatchSimulator};
+pub use failures::FailureTrace;
+pub use noise::{run_under_noise, NoiseModel};
+pub use report::{SimReport, TaskRecord};
+pub use reschedule::{MctRescheduler, PaCgaRescheduler, Rescheduler};
+pub use simulator::Simulator;

@@ -1,0 +1,253 @@
+//! Rescheduling policies invoked when a machine drops.
+//!
+//! A policy sees the orphaned tasks, the surviving machines, and each
+//! survivor's **ready time** (when it will have finished its committed
+//! work — the exact quantity the ETC model's `ready` field describes) and
+//! produces a new assignment for the orphans.
+
+use etc_model::{EtcInstance, EtcMatrix};
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::PaCga;
+use scheduling::Schedule;
+
+/// A rescheduling policy.
+pub trait Rescheduler {
+    /// Maps each task of `orphans` to one of the `alive` machines.
+    /// `ready[m]` (indexed by *global* machine id) is when machine `m`
+    /// can start new work. Returns one global machine id per orphan.
+    fn reschedule(
+        &self,
+        instance: &EtcInstance,
+        orphans: &[usize],
+        alive: &[usize],
+        ready: &[f64],
+    ) -> Vec<usize>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Greedy Minimum-Completion-Time rescheduling: each orphan (in index
+/// order) goes where it finishes soonest. Cheap, always available.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MctRescheduler;
+
+impl Rescheduler for MctRescheduler {
+    fn reschedule(
+        &self,
+        instance: &EtcInstance,
+        orphans: &[usize],
+        alive: &[usize],
+        ready: &[f64],
+    ) -> Vec<usize> {
+        assert!(!alive.is_empty(), "no machines left to reschedule onto");
+        let mut avail: Vec<f64> = alive.iter().map(|&m| ready[m]).collect();
+        let mut out = Vec::with_capacity(orphans.len());
+        for &task in orphans {
+            let mut best = 0;
+            let mut best_ct = f64::INFINITY;
+            for (i, &m) in alive.iter().enumerate() {
+                let ct = avail[i] + instance.etc().etc_on(m, task);
+                if ct < best_ct {
+                    best_ct = ct;
+                    best = i;
+                }
+            }
+            avail[best] = best_ct;
+            out.push(alive[best]);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "mct"
+    }
+}
+
+/// Re-optimizes the orphans with PA-CGA itself on the *residual* problem:
+/// a sub-instance whose tasks are the orphans, whose machines are the
+/// survivors, and whose ready times carry the survivors' committed load.
+#[derive(Debug, Clone, Copy)]
+pub struct PaCgaRescheduler {
+    /// Evaluation budget for the re-optimization (deterministic).
+    pub evaluations: u64,
+    /// Grid side of the (square) re-optimization population.
+    pub grid_side: usize,
+    /// H2LL iterations during re-optimization.
+    pub ls_iterations: usize,
+    /// Seed for the re-optimization run.
+    pub seed: u64,
+}
+
+impl Default for PaCgaRescheduler {
+    fn default() -> Self {
+        Self { evaluations: 5_000, grid_side: 8, ls_iterations: 5, seed: 0 }
+    }
+}
+
+impl Rescheduler for PaCgaRescheduler {
+    fn reschedule(
+        &self,
+        instance: &EtcInstance,
+        orphans: &[usize],
+        alive: &[usize],
+        ready: &[f64],
+    ) -> Vec<usize> {
+        assert!(!alive.is_empty(), "no machines left to reschedule onto");
+        if orphans.is_empty() {
+            return Vec::new();
+        }
+        // Residual sub-instance: rows = orphans, columns = alive machines.
+        let etc = EtcMatrix::from_fn(orphans.len(), alive.len(), |i, j| {
+            instance.etc().etc_on(alive[j], orphans[i])
+        });
+        // Normalize ready times so the smallest is 0 — the offset is
+        // common to every machine and does not change the argmin, but
+        // keeps residual makespans comparable across failure times.
+        let min_ready = alive.iter().map(|&m| ready[m]).fold(f64::INFINITY, f64::min);
+        let sub_ready: Vec<f64> = alive.iter().map(|&m| ready[m] - min_ready).collect();
+        let sub = EtcInstance::with_ready_times("residual", etc, sub_ready);
+
+        let config = PaCgaConfig::builder()
+            .grid(self.grid_side, self.grid_side)
+            .threads(1) // deterministic re-optimization
+            .local_search_iterations(self.ls_iterations)
+            .termination(Termination::Evaluations(self.evaluations))
+            .seed(self.seed)
+            .build();
+        let outcome = PaCga::new(&sub, config).run();
+        outcome
+            .best
+            .schedule
+            .assignment()
+            .iter()
+            .map(|&j| alive[j as usize])
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "pa-cga"
+    }
+}
+
+/// Helper shared by tests and the batch driver: applies a rescheduler and
+/// folds the result into a full `Schedule` for the surviving machines.
+pub fn apply_reschedule(
+    instance: &EtcInstance,
+    base: &Schedule,
+    orphans: &[usize],
+    new_machines: &[usize],
+) -> Schedule {
+    assert_eq!(orphans.len(), new_machines.len());
+    let mut s = base.clone();
+    for (&t, &m) in orphans.iter().zip(new_machines) {
+        s.move_task(instance, t, m);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> EtcInstance {
+        EtcInstance::toy(12, 4) // ETC[t][m] = (t+1)(m+1)
+    }
+
+    #[test]
+    fn mct_places_on_soonest_finisher() {
+        let inst = inst();
+        let ready = vec![100.0, 0.0, 50.0, 0.0];
+        let alive = vec![1, 2, 3];
+        let out = MctRescheduler.reschedule(&inst, &[0], &alive, &ready);
+        // Task 0: m1 -> 0+2, m2 -> 50+3, m3 -> 0+4. Best m1.
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn mct_accumulates_load_across_orphans() {
+        let inst = inst();
+        let ready = vec![0.0; 4];
+        let alive = vec![0, 1];
+        let out = MctRescheduler.reschedule(&inst, &[0, 1, 2], &alive, &ready);
+        assert_eq!(out.len(), 3);
+        // Orphans can't all pile on machine 0: after t0 (cost 1) and
+        // t1 (cost 2) land there, t2 is cheaper on m1 (6 vs 3+3... both 6,
+        // tie to first) — at minimum the loads stay balanced within reason.
+        for &m in &out {
+            assert!(alive.contains(&m));
+        }
+    }
+
+    #[test]
+    fn pa_cga_rescheduler_uses_alive_machines_only() {
+        let inst = inst();
+        let ready = vec![5.0, 3.0, 0.0, 100.0];
+        let alive = vec![0, 2];
+        let orphans = vec![1, 4, 7, 9];
+        let out = PaCgaRescheduler { evaluations: 500, ..Default::default() }
+            .reschedule(&inst, &orphans, &alive, &ready);
+        assert_eq!(out.len(), orphans.len());
+        for &m in &out {
+            assert!(alive.contains(&m), "assigned to dead machine {m}");
+        }
+    }
+
+    #[test]
+    fn pa_cga_rescheduler_deterministic() {
+        let inst = inst();
+        let ready = vec![1.0, 2.0, 3.0, 4.0];
+        let alive = vec![0, 1, 3];
+        let r = PaCgaRescheduler { evaluations: 400, seed: 5, ..Default::default() };
+        let a = r.reschedule(&inst, &[2, 5, 8], &alive, &ready);
+        let b = r.reschedule(&inst, &[2, 5, 8], &alive, &ready);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pa_cga_beats_or_matches_mct_on_residual_makespan() {
+        let inst = EtcInstance::toy(20, 4);
+        let ready = vec![0.0; 4];
+        let alive = vec![0, 1, 2, 3];
+        let orphans: Vec<usize> = (0..20).collect();
+        let residual_makespan = |assign: &[usize]| -> f64 {
+            let mut loads = ready.clone();
+            for (&t, &m) in orphans.iter().zip(assign) {
+                loads[m] += inst.etc().etc_on(m, t);
+            }
+            loads.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        };
+        let mct = residual_makespan(&MctRescheduler.reschedule(&inst, &orphans, &alive, &ready));
+        let pa = residual_makespan(
+            &PaCgaRescheduler { evaluations: 4_000, ..Default::default() }
+                .reschedule(&inst, &orphans, &alive, &ready),
+        );
+        assert!(pa <= mct * 1.001, "PA-CGA residual {pa} worse than MCT {mct}");
+    }
+
+    #[test]
+    fn apply_reschedule_moves_only_orphans() {
+        let inst = inst();
+        let base = Schedule::round_robin(&inst);
+        let moved = apply_reschedule(&inst, &base, &[0, 5], &[3, 3]);
+        assert_eq!(moved.machine_of(0), 3);
+        assert_eq!(moved.machine_of(5), 3);
+        for t in [1, 2, 3, 4, 6, 7] {
+            assert_eq!(moved.machine_of(t), base.machine_of(t));
+        }
+    }
+
+    #[test]
+    fn empty_orphans_yield_empty_assignment() {
+        let inst = inst();
+        let out = PaCgaRescheduler::default().reschedule(&inst, &[], &[0], &[0.0; 4]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no machines left")]
+    fn no_alive_machines_panics() {
+        let inst = inst();
+        MctRescheduler.reschedule(&inst, &[0], &[], &[0.0; 4]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests on the discrete-event simulator: conservation (every
+//! task completes exactly once), failure semantics (nothing finishes on a
+//! machine after it dropped), and fidelity (no failures ⇒ simulated
+//! makespan equals the schedule's cached makespan).
+
+use etc_model::{Consistency, EtcGenerator, EtcInstance, GeneratorParams, Heterogeneity};
+use grid_sim::{FailureTrace, MctRescheduler, Simulator};
+use proptest::prelude::*;
+use scheduling::Schedule;
+
+const N_TASKS: usize = 30;
+const N_MACHINES: usize = 6;
+
+fn instance(seed: u64) -> EtcInstance {
+    EtcGenerator::new(GeneratorParams {
+        n_tasks: N_TASKS,
+        n_machines: N_MACHINES,
+        task_heterogeneity: Heterogeneity::High,
+        machine_heterogeneity: Heterogeneity::Low,
+        consistency: Consistency::Inconsistent,
+        seed,
+    })
+    .generate()
+}
+
+/// Failure times as fractions of the clean makespan; at most
+/// `N_MACHINES - 1` machines fail so the workload can always finish.
+fn failures_strategy() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0..N_MACHINES, 0.01f64..0.95), 0..N_MACHINES - 1)
+        .prop_map(|mut v| {
+            v.sort_by_key(|&(m, _)| m);
+            v.dedup_by_key(|&mut (m, _)| m);
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn failure_free_simulation_is_exact(
+        seed in 0u64..30,
+        assignment in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        let inst = instance(seed);
+        let s = Schedule::from_assignment(&inst, assignment);
+        let report = Simulator::new(&inst).run(&s, &MctRescheduler);
+        prop_assert_eq!(report.makespan, s.makespan());
+        prop_assert!(report.validate().is_ok());
+        prop_assert_eq!(report.lost_work, 0.0);
+        prop_assert_eq!(report.reschedules, 0);
+        // Every task ran on its assigned machine.
+        for t in 0..N_TASKS {
+            prop_assert_eq!(report.tasks[t].machine, s.machine_of(t));
+        }
+    }
+
+    #[test]
+    fn failures_preserve_conservation_and_semantics(
+        seed in 0u64..30,
+        assignment in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+        fail_fracs in failures_strategy(),
+    ) {
+        let inst = instance(seed);
+        let s = Schedule::from_assignment(&inst, assignment);
+        let clean = s.makespan();
+        let events: Vec<(usize, f64)> =
+            fail_fracs.iter().map(|&(m, f)| (m, f * clean)).collect();
+        let trace = FailureTrace::new(events.clone());
+        let report = Simulator::with_failures(&inst, trace).run(&s, &MctRescheduler);
+
+        prop_assert!(report.validate().is_ok());
+        prop_assert_eq!(report.tasks.len(), N_TASKS, "conservation");
+        prop_assert!(report.lost_work >= 0.0);
+        prop_assert!(report.makespan.is_finite());
+
+        // Nothing may finish on a machine after it dropped, and nothing
+        // may run on a dead machine at all past its drop time.
+        for (t, r) in report.tasks.iter().enumerate() {
+            if let Some((_, tf)) = events.iter().find(|&&(m, _)| m == r.machine) {
+                prop_assert!(
+                    r.finish <= *tf + 1e-9,
+                    "task {t} finished at {} on machine that died at {tf}",
+                    r.finish
+                );
+            }
+        }
+
+        // Note: failures do NOT always degrade the makespan — rescheduling
+        // a poor random schedule's orphans through MCT can out-balance the
+        // original assignment. The invariants above (conservation, dead
+        // machines stay dead, finite result) are the real guarantees.
+    }
+
+    #[test]
+    fn retried_tasks_have_positive_attempts_iff_aborted(
+        seed in 0u64..10,
+        assignment in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+        fail_fracs in failures_strategy(),
+    ) {
+        let inst = instance(seed);
+        let s = Schedule::from_assignment(&inst, assignment);
+        let clean = s.makespan();
+        let events: Vec<(usize, f64)> =
+            fail_fracs.iter().map(|&(m, f)| (m, f * clean)).collect();
+        let report =
+            Simulator::with_failures(&inst, FailureTrace::new(events)).run(&s, &MctRescheduler);
+        let retried = report.retried_tasks();
+        if report.lost_work == 0.0 {
+            prop_assert_eq!(retried, 0, "no lost work but {} retries", retried);
+        } else {
+            prop_assert!(retried > 0, "lost work {} without retries", report.lost_work);
+        }
+    }
+}

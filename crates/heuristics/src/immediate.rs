@@ -1,0 +1,142 @@
+//! Immediate-mode heuristics: one pass over the tasks in index order, each
+//! task mapped as soon as it is considered (OLB, MET, MCT).
+
+use etc_model::EtcInstance;
+use scheduling::Schedule;
+
+/// Index of the minimum value, ties to the lowest index.
+fn argmin(values: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::INFINITY;
+    for (i, v) in values.enumerate() {
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Shared driver: grows partial loads task by task, choosing each task's
+/// machine with `pick(task, loads)`.
+fn immediate(
+    instance: &EtcInstance,
+    mut pick: impl FnMut(usize, &[f64]) -> usize,
+) -> Schedule {
+    let mut loads: Vec<f64> = instance.ready_times().to_vec();
+    let mut assignment = Vec::with_capacity(instance.n_tasks());
+    for t in 0..instance.n_tasks() {
+        let m = pick(t, &loads);
+        loads[m] += instance.etc().etc_on(m, t);
+        assignment.push(m as u32);
+    }
+    Schedule::from_assignment(instance, assignment)
+}
+
+/// Opportunistic Load Balancing: each task goes to the machine that becomes
+/// available soonest, ignoring how long the task runs there.
+pub fn olb(instance: &EtcInstance) -> Schedule {
+    immediate(instance, |_t, loads| argmin(loads.iter().copied()))
+}
+
+/// Minimum Execution Time: each task goes to its fastest machine, ignoring
+/// current load (can badly overload a uniformly fast machine on consistent
+/// instances — expected, and visible in the example output).
+pub fn met(instance: &EtcInstance) -> Schedule {
+    immediate(instance, |t, loads| {
+        argmin((0..loads.len()).map(|m| instance.etc().etc_on(m, t)))
+    })
+}
+
+/// Minimum Completion Time: each task goes to the machine where it would
+/// *finish* soonest given current loads.
+pub fn mct(instance: &EtcInstance) -> Schedule {
+    immediate(instance, |t, loads| {
+        argmin((0..loads.len()).map(|m| loads[m] + instance.etc().etc_on(m, t)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etc_model::EtcMatrix;
+    use scheduling::check_schedule;
+
+    /// 2 machines, machine 1 always 10× slower.
+    fn skewed() -> EtcInstance {
+        EtcInstance::new(
+            "skew",
+            EtcMatrix::from_fn(6, 2, |t, m| (t + 1) as f64 * if m == 0 { 1.0 } else { 10.0 }),
+        )
+    }
+
+    /// 2 machines, machine 1 only 2× slower — offloading pays off.
+    fn mildly_skewed() -> EtcInstance {
+        EtcInstance::new(
+            "skew2",
+            EtcMatrix::from_fn(6, 2, |t, m| (t + 1) as f64 * if m == 0 { 1.0 } else { 2.0 }),
+        )
+    }
+
+    #[test]
+    fn met_puts_everything_on_fastest_machine() {
+        let inst = skewed();
+        let s = met(&inst);
+        for t in 0..6 {
+            assert_eq!(s.machine_of(t), 0);
+        }
+        assert!(check_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn olb_alternates_on_uniform_etc() {
+        let inst = EtcInstance::new("u", EtcMatrix::from_fn(4, 2, |_, _| 1.0));
+        let s = olb(&inst);
+        assert_eq!(s.count_on(0), 2);
+        assert_eq!(s.count_on(1), 2);
+    }
+
+    #[test]
+    fn mct_beats_met_when_offloading_pays() {
+        // MET piles everything on machine 0 (makespan 21); MCT offloads
+        // task 3 to machine 1 and finishes at 17.
+        let inst = mildly_skewed();
+        assert_eq!(met(&inst).makespan(), 21.0);
+        assert_eq!(mct(&inst).makespan(), 17.0);
+    }
+
+    #[test]
+    fn mct_single_task_optimal() {
+        let inst =
+            EtcInstance::new("one", EtcMatrix::from_task_major(1, 3, vec![5.0, 2.0, 9.0]));
+        let s = mct(&inst);
+        assert_eq!(s.machine_of(0), 1);
+        assert_eq!(s.makespan(), 2.0);
+    }
+
+    #[test]
+    fn olb_ignores_etc() {
+        // Machine 0 is free but terrible for task 0; OLB still uses it.
+        let inst =
+            EtcInstance::new("bad", EtcMatrix::from_task_major(1, 2, vec![100.0, 1.0]));
+        let s = olb(&inst);
+        assert_eq!(s.machine_of(0), 0);
+    }
+
+    #[test]
+    fn olb_respects_ready_times() {
+        // Machine 0 busy until t=50: first task must go to machine 1.
+        let etc = EtcMatrix::from_task_major(1, 2, vec![1.0, 1.0]);
+        let inst = EtcInstance::with_ready_times("rt", etc, vec![50.0, 0.0]);
+        let s = olb(&inst);
+        assert_eq!(s.machine_of(0), 1);
+    }
+
+    #[test]
+    fn all_remain_valid_on_larger_instance() {
+        let inst = EtcInstance::toy(40, 7);
+        for s in [olb(&inst), met(&inst), mct(&inst)] {
+            assert!(check_schedule(&inst, &s).is_ok());
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Iterative (batch) heuristics: each round scans **all** unassigned tasks
+//! before committing one of them (Min-min, Max-min, Sufferage). O(n²·m).
+
+use etc_model::EtcInstance;
+use scheduling::Schedule;
+
+/// For one task, the best machine under current loads and the resulting
+/// completion time, plus the second-best completion time (for sufferage).
+#[derive(Debug, Clone, Copy)]
+struct TaskChoice {
+    machine: usize,
+    completion: f64,
+    second_completion: f64,
+}
+
+fn choice_for(instance: &EtcInstance, loads: &[f64], task: usize) -> TaskChoice {
+    let mut best_m = 0;
+    let mut best = f64::INFINITY;
+    let mut second = f64::INFINITY;
+    for (m, &load) in loads.iter().enumerate() {
+        let c = load + instance.etc().etc_on(m, task);
+        if c < best {
+            second = best;
+            best = c;
+            best_m = m;
+        } else if c < second {
+            second = c;
+        }
+    }
+    TaskChoice { machine: best_m, completion: best, second_completion: second }
+}
+
+/// Shared driver: every round, evaluate each unassigned task's best choice,
+/// let `select` pick which task to commit, assign it, repeat.
+fn iterative(
+    instance: &EtcInstance,
+    mut select: impl FnMut(&[(usize, TaskChoice)]) -> usize,
+) -> Schedule {
+    let n = instance.n_tasks();
+    let mut loads: Vec<f64> = instance.ready_times().to_vec();
+    let mut assignment = vec![0u32; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    let mut choices: Vec<(usize, TaskChoice)> = Vec::with_capacity(n);
+
+    while !unassigned.is_empty() {
+        choices.clear();
+        for &t in &unassigned {
+            choices.push((t, choice_for(instance, &loads, t)));
+        }
+        let pick = select(&choices);
+        let (task, choice) = choices[pick];
+        assignment[task] = choice.machine as u32;
+        loads[choice.machine] += instance.etc().etc_on(choice.machine, task);
+        let pos = unassigned.iter().position(|&t| t == task).expect("task is unassigned");
+        unassigned.swap_remove(pos);
+    }
+    Schedule::from_assignment(instance, assignment)
+}
+
+/// Min-min (Ibarra & Kim 1977): commit the task whose best completion time
+/// is **smallest**. The PA-CGA paper seeds one individual with this
+/// schedule (Table 1).
+pub fn min_min(instance: &EtcInstance) -> Schedule {
+    iterative(instance, |choices| {
+        let mut best = 0;
+        for (i, (_, c)) in choices.iter().enumerate() {
+            if c.completion < choices[best].1.completion {
+                best = i;
+            }
+        }
+        best
+    })
+}
+
+/// Max-min: commit the task whose best completion time is **largest**
+/// (places long tasks early, packing short ones around them).
+pub fn max_min(instance: &EtcInstance) -> Schedule {
+    iterative(instance, |choices| {
+        let mut best = 0;
+        for (i, (_, c)) in choices.iter().enumerate() {
+            if c.completion > choices[best].1.completion {
+                best = i;
+            }
+        }
+        best
+    })
+}
+
+/// Sufferage (Maheswaran et al. 1999): commit the task that would *suffer*
+/// most — largest gap between its best and second-best completion times —
+/// if it were denied its best machine.
+pub fn sufferage(instance: &EtcInstance) -> Schedule {
+    iterative(instance, |choices| {
+        let mut best = 0;
+        let mut best_suffer = f64::NEG_INFINITY;
+        for (i, (_, c)) in choices.iter().enumerate() {
+            let suffer = if c.second_completion.is_finite() {
+                c.second_completion - c.completion
+            } else {
+                // Single machine: no alternative, sufferage zero.
+                0.0
+            };
+            if suffer > best_suffer {
+                best_suffer = suffer;
+                best = i;
+            }
+        }
+        best
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etc_model::EtcMatrix;
+    use scheduling::check_schedule;
+
+    #[test]
+    fn min_min_optimal_on_tiny_instance() {
+        // 2 tasks, 2 machines; optimum: t0->m0 (1), t1->m1 (2), makespan 2.
+        let inst = EtcInstance::new(
+            "tiny",
+            EtcMatrix::from_task_major(2, 2, vec![1.0, 3.0, 4.0, 2.0]),
+        );
+        let s = min_min(&inst);
+        assert_eq!(s.machine_of(0), 0);
+        assert_eq!(s.machine_of(1), 1);
+        assert_eq!(s.makespan(), 2.0);
+    }
+
+    #[test]
+    fn min_min_spreads_when_machine_fills_up() {
+        // Uniform ETC, 4 tasks, 2 machines: min-min must balance 2/2.
+        let inst = EtcInstance::new("u", EtcMatrix::from_fn(4, 2, |_, _| 1.0));
+        let s = min_min(&inst);
+        assert_eq!(s.count_on(0), 2);
+        assert_eq!(s.count_on(1), 2);
+        assert_eq!(s.makespan(), 2.0);
+    }
+
+    #[test]
+    fn max_min_schedules_long_tasks_first() {
+        // One long task (10) and two short (1). Max-min places the long one
+        // first on its best machine, then packs shorts on the other.
+        let inst = EtcInstance::new(
+            "lm",
+            EtcMatrix::from_task_major(3, 2, vec![10.0, 11.0, 1.0, 1.5, 1.0, 1.5]),
+        );
+        let s = max_min(&inst);
+        assert_eq!(s.machine_of(0), 0);
+        // Both short tasks avoid machine 0 (already loaded to 10).
+        assert_eq!(s.machine_of(1), 1);
+        assert_eq!(s.machine_of(2), 1);
+    }
+
+    #[test]
+    fn sufferage_prioritizes_high_stake_tasks() {
+        // Task 0: best 1 on m0, second 100  (sufferage 99).
+        // Task 1: best 2 on m0, second 2.5  (sufferage 0.5).
+        // Sufferage gives m0 to task 0 first; task 1 then finishes sooner
+        // on m1 (2.5) than behind task 0 on m0 (1 + 2 = 3).
+        let inst = EtcInstance::new(
+            "sf",
+            EtcMatrix::from_task_major(2, 2, vec![1.0, 100.0, 2.0, 2.5]),
+        );
+        let s = sufferage(&inst);
+        assert_eq!(s.machine_of(0), 0);
+        assert_eq!(s.machine_of(1), 1);
+    }
+
+    #[test]
+    fn iterative_heuristics_valid_on_generated_instance() {
+        let inst = EtcInstance::toy(30, 5);
+        for s in [min_min(&inst), max_min(&inst), sufferage(&inst)] {
+            assert!(check_schedule(&inst, &s).is_ok());
+        }
+    }
+
+    #[test]
+    fn single_machine_everything_assigned_there() {
+        let inst = EtcInstance::toy(5, 1);
+        for s in [min_min(&inst), max_min(&inst), sufferage(&inst)] {
+            assert_eq!(s.count_on(0), 5);
+        }
+    }
+
+    #[test]
+    fn min_min_not_worse_than_olb_on_heterogeneous() {
+        use crate::immediate::olb;
+        let inst = EtcInstance::new(
+            "het",
+            EtcMatrix::from_fn(24, 4, |t, m| ((t * 7 + m * 13) % 29 + 1) as f64),
+        );
+        assert!(min_min(&inst).makespan() <= olb(&inst).makespan());
+    }
+}
+
+/// Duplex (Braun et al. 2001): runs both Min-min and Max-min and keeps
+/// whichever achieves the smaller makespan — hedging between the two
+/// orderings' failure modes at twice the cost.
+pub fn duplex(instance: &EtcInstance) -> Schedule {
+    let a = min_min(instance);
+    let b = max_min(instance);
+    if a.makespan() <= b.makespan() {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod duplex_tests {
+    use super::*;
+    use scheduling::check_schedule;
+
+    #[test]
+    fn duplex_is_the_better_of_both() {
+        let inst = EtcInstance::toy(30, 5);
+        let d = duplex(&inst);
+        let mm = min_min(&inst).makespan();
+        let xm = max_min(&inst).makespan();
+        assert_eq!(d.makespan(), mm.min(xm));
+        assert!(check_schedule(&inst, &d).is_ok());
+    }
+
+    #[test]
+    fn duplex_never_worse_than_min_min() {
+        for seed in 0..5u64 {
+            let inst = etc_model::EtcGenerator::new(etc_model::GeneratorParams {
+                n_tasks: 40,
+                n_machines: 6,
+                task_heterogeneity: etc_model::Heterogeneity::High,
+                machine_heterogeneity: etc_model::Heterogeneity::High,
+                consistency: etc_model::Consistency::Inconsistent,
+                seed,
+            })
+            .generate();
+            assert!(duplex(&inst).makespan() <= min_min(&inst).makespan());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! ASCII Gantt rendering of schedules — one row per machine, bar length
+//! proportional to completion time, with per-machine task counts. Used by
+//! the examples and the CLI to make schedules inspectable at a glance.
+//!
+//! ```text
+//! m00 |############################                  | 12034.5 (31 tasks)
+//! m01 |##############################################| 19873.1 (35 tasks)  <- makespan
+//! ```
+
+use crate::schedule::Schedule;
+
+/// Renders per-machine load bars. `width` is the bar width in characters
+/// (the longest bar, the makespan machine, spans it fully).
+pub fn render_loads(schedule: &Schedule, width: usize) -> String {
+    assert!(width >= 4, "bar width too small");
+    let makespan = schedule.makespan();
+    let most_loaded = schedule.most_loaded_machine();
+    let mut out = String::new();
+    for m in 0..schedule.n_machines() {
+        let ct = schedule.completion(m);
+        let filled = if makespan > 0.0 {
+            ((ct / makespan) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let marker = if m == most_loaded { "  <- makespan" } else { "" };
+        out.push_str(&format!(
+            "m{m:02} |{}{}| {ct:.1} ({} tasks){marker}\n",
+            "#".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+            schedule.count_on(m),
+        ));
+    }
+    out
+}
+
+/// Renders a compact per-machine timeline of task segments for small
+/// instances: each task appears as its id followed by a proportional run
+/// of `-`. Machines with many tasks elide detail (`…`) past `max_segments`.
+pub fn render_timeline(
+    schedule: &Schedule,
+    etc_of: impl Fn(usize, usize) -> f64,
+    max_segments: usize,
+) -> String {
+    let makespan = schedule.makespan().max(1e-12);
+    let scale = 48.0 / makespan;
+    let mut out = String::new();
+    for m in 0..schedule.n_machines() {
+        out.push_str(&format!("m{m:02} |"));
+        let tasks = schedule.tasks_on(m);
+        for (i, &t) in tasks.iter().enumerate() {
+            if i >= max_segments {
+                out.push('…');
+                break;
+            }
+            let span = ((etc_of(m, t) * scale).round() as usize).max(1);
+            out.push_str(&format!("{t}{}", "-".repeat(span)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etc_model::EtcInstance;
+
+    #[test]
+    fn load_bars_scale_to_makespan() {
+        let inst = EtcInstance::toy(6, 3);
+        let s = Schedule::from_assignment(&inst, vec![0, 0, 1, 1, 2, 2]);
+        let out = render_loads(&s, 40);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(out.contains("<- makespan"));
+        // The makespan machine's bar is the longest.
+        let hashes = |l: &str| l.matches('#').count();
+        let most = s.most_loaded_machine();
+        for (m, l) in lines.iter().enumerate() {
+            assert!(hashes(l) <= hashes(lines[most]), "machine {m} bar too long");
+        }
+    }
+
+    #[test]
+    fn task_counts_shown() {
+        let inst = EtcInstance::toy(4, 2);
+        let s = Schedule::from_assignment(&inst, vec![0, 0, 0, 1]);
+        let out = render_loads(&s, 20);
+        assert!(out.contains("(3 tasks)"));
+        assert!(out.contains("(1 tasks)"));
+    }
+
+    #[test]
+    fn timeline_lists_tasks_in_order() {
+        let inst = EtcInstance::toy(4, 2);
+        let s = Schedule::from_assignment(&inst, vec![0, 1, 0, 1]);
+        let out = render_timeline(&s, |m, t| inst.etc().etc_on(m, t), 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains('0') && lines[0].contains('2'));
+        assert!(lines[1].contains('1') && lines[1].contains('3'));
+    }
+
+    #[test]
+    fn timeline_elides_long_machines() {
+        let inst = EtcInstance::toy(20, 2);
+        let s = Schedule::from_assignment(&inst, vec![0; 20]);
+        let out = render_timeline(&s, |m, t| inst.etc().etc_on(m, t), 3);
+        assert!(out.lines().next().unwrap().contains('…'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_width_panics() {
+        let inst = EtcInstance::toy(2, 2);
+        let s = Schedule::round_robin(&inst);
+        render_loads(&s, 2);
+    }
+}

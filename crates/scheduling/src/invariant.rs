@@ -1,0 +1,168 @@
+//! Representation invariant checking.
+//!
+//! The cached `CT` vector must always equal the from-scratch recomputation
+//! `ready[m] + Σ ETC[t][m]`. Incremental f64 updates accumulate drift, so
+//! equality is checked with a relative tolerance. Every operator in the
+//! core crate is property-tested against this check.
+
+use crate::schedule::Schedule;
+use etc_model::EtcInstance;
+
+/// Default relative tolerance for CT drift. Incremental updates perform one
+/// add/sub pair per move; thousands of moves stay far below this bound.
+pub const DEFAULT_TOLERANCE: f64 = 1e-8;
+
+/// Why a schedule failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantError {
+    /// A task's machine index is out of range.
+    MachineOutOfRange {
+        /// Offending task.
+        task: usize,
+        /// Its (invalid) machine index.
+        machine: usize,
+    },
+    /// A cached completion time drifted from its recomputed value.
+    CompletionDrift {
+        /// Machine whose CT drifted.
+        machine: usize,
+        /// Cached value.
+        cached: f64,
+        /// Freshly recomputed value.
+        recomputed: f64,
+    },
+    /// Dimension mismatch between schedule and instance.
+    DimensionMismatch {
+        /// What mismatched.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantError::MachineOutOfRange { task, machine } => {
+                write!(f, "task {task} assigned to out-of-range machine {machine}")
+            }
+            InvariantError::CompletionDrift { machine, cached, recomputed } => write!(
+                f,
+                "CT[{machine}] cached {cached} but recomputed {recomputed} (drift {})",
+                (cached - recomputed).abs()
+            ),
+            InvariantError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+/// Validates a schedule against its instance with the default tolerance.
+pub fn check_schedule(instance: &EtcInstance, schedule: &Schedule) -> Result<(), InvariantError> {
+    check_schedule_with_tolerance(instance, schedule, DEFAULT_TOLERANCE)
+}
+
+/// Validates a schedule with an explicit relative tolerance.
+pub fn check_schedule_with_tolerance(
+    instance: &EtcInstance,
+    schedule: &Schedule,
+    rel_tol: f64,
+) -> Result<(), InvariantError> {
+    if schedule.n_tasks() != instance.n_tasks() {
+        return Err(InvariantError::DimensionMismatch {
+            detail: format!(
+                "schedule has {} tasks, instance {}",
+                schedule.n_tasks(),
+                instance.n_tasks()
+            ),
+        });
+    }
+    if schedule.n_machines() != instance.n_machines() {
+        return Err(InvariantError::DimensionMismatch {
+            detail: format!(
+                "schedule has {} machines, instance {}",
+                schedule.n_machines(),
+                instance.n_machines()
+            ),
+        });
+    }
+    let n_machines = instance.n_machines();
+    let mut recomputed: Vec<f64> = instance.ready_times().to_vec();
+    for t in 0..schedule.n_tasks() {
+        let m = schedule.machine_of(t);
+        if m >= n_machines {
+            return Err(InvariantError::MachineOutOfRange { task: t, machine: m });
+        }
+        recomputed[m] += instance.etc().etc_on(m, t);
+    }
+    for (m, &fresh) in recomputed.iter().enumerate() {
+        let cached = schedule.completion(m);
+        let scale = fresh.abs().max(1.0);
+        if (cached - fresh).abs() > rel_tol * scale {
+            return Err(InvariantError::CompletionDrift { machine: m, cached, recomputed: fresh });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fresh_schedule_passes() {
+        let inst = EtcInstance::toy(8, 3);
+        let s = Schedule::round_robin(&inst);
+        assert!(check_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn survives_many_incremental_moves() {
+        let inst = EtcInstance::toy(32, 4);
+        let mut s = Schedule::round_robin(&inst);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let t = rng.gen_range(0..inst.n_tasks());
+            let m = rng.gen_range(0..inst.n_machines());
+            s.move_task(&inst, t, m);
+        }
+        assert!(check_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn wrong_instance_dimension_detected() {
+        let inst = EtcInstance::toy(8, 3);
+        let other = EtcInstance::toy(9, 3);
+        let s = Schedule::round_robin(&inst);
+        let err = check_schedule(&other, &s).unwrap_err();
+        assert!(matches!(err, InvariantError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn drift_detected() {
+        let inst = EtcInstance::toy(4, 2);
+        let good = Schedule::from_assignment(&inst, vec![0, 1, 0, 1]);
+        // Forge a drifted CT by deserializing a tampered clone.
+        let mut forged = good.clone();
+        // Move then "forget" to update by moving on a *different* instance
+        // whose ETC differs: toy(4,2) vs a doubled matrix.
+        let doubled = EtcInstance::new(
+            "d",
+            etc_model::EtcMatrix::from_fn(4, 2, |t, m| 2.0 * ((t + 1) * (m + 1)) as f64),
+        );
+        forged.move_task(&doubled, 0, 1);
+        let err = check_schedule(&inst, &forged).unwrap_err();
+        assert!(matches!(err, InvariantError::CompletionDrift { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = InvariantError::MachineOutOfRange { task: 3, machine: 99 };
+        assert!(e.to_string().contains("task 3"));
+        let e = InvariantError::CompletionDrift { machine: 1, cached: 2.0, recomputed: 3.0 };
+        assert!(e.to_string().contains("CT[1]"));
+    }
+}

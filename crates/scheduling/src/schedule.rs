@@ -1,0 +1,342 @@
+//! The `S` + `CT` solution representation with incremental updates.
+
+use etc_model::EtcInstance;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A complete assignment of every task to one machine, with cached
+/// per-machine completion times.
+///
+/// All mutators take the [`EtcInstance`] as an argument (the schedule does
+/// not own it), update `CT` incrementally in O(1) per moved task, and keep
+/// the representation valid. Makespan evaluation is O(#machines).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// `assignment[t] = m`: task `t` runs on machine `m`.
+    assignment: Vec<u32>,
+    /// `completion[m]`: ready time of `m` plus the ETC of every task
+    /// assigned to it.
+    completion: Vec<f64>,
+}
+
+impl Schedule {
+    /// Builds a schedule from an explicit assignment, computing `CT` from
+    /// scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from the instance's task
+    /// count or any machine index is out of range.
+    pub fn from_assignment(instance: &EtcInstance, assignment: Vec<u32>) -> Self {
+        assert_eq!(assignment.len(), instance.n_tasks(), "one machine per task");
+        let n_machines = instance.n_machines();
+        let mut completion: Vec<f64> = instance.ready_times().to_vec();
+        for (t, &m) in assignment.iter().enumerate() {
+            let m = m as usize;
+            assert!(m < n_machines, "task {t} assigned to machine {m} of {n_machines}");
+            completion[m] += instance.etc().etc_on(m, t);
+        }
+        Self { assignment, completion }
+    }
+
+    /// A uniformly random schedule.
+    pub fn random(instance: &EtcInstance, rng: &mut impl Rng) -> Self {
+        let n_machines = instance.n_machines() as u32;
+        let assignment = (0..instance.n_tasks()).map(|_| rng.gen_range(0..n_machines)).collect();
+        Self::from_assignment(instance, assignment)
+    }
+
+    /// A round-robin schedule (task `t` on machine `t mod M`) — a cheap
+    /// deterministic starting point used in tests and examples.
+    pub fn round_robin(instance: &EtcInstance) -> Self {
+        let m = instance.n_machines() as u32;
+        let assignment = (0..instance.n_tasks() as u32).map(|t| t % m).collect();
+        Self::from_assignment(instance, assignment)
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.completion.len()
+    }
+
+    /// Machine assigned to `task`.
+    #[inline]
+    pub fn machine_of(&self, task: usize) -> usize {
+        self.assignment[task] as usize
+    }
+
+    /// The raw assignment vector (`S` in the paper).
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The cached completion time of `machine` (`CT[m]`), its *load*.
+    #[inline]
+    pub fn completion(&self, machine: usize) -> f64 {
+        self.completion[machine]
+    }
+
+    /// All cached completion times.
+    #[inline]
+    pub fn completion_times(&self) -> &[f64] {
+        &self.completion
+    }
+
+    /// The paper's `evaluate()`: the maximum completion time.
+    #[inline]
+    pub fn makespan(&self) -> f64 {
+        self.completion.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Index of the most loaded machine (ties break to the lowest index);
+    /// its completion time *defines* the makespan.
+    pub fn most_loaded_machine(&self) -> usize {
+        let mut best = 0;
+        for m in 1..self.completion.len() {
+            if self.completion[m] > self.completion[best] {
+                best = m;
+            }
+        }
+        best
+    }
+
+    /// Index of the least loaded machine (ties break to the lowest index).
+    pub fn least_loaded_machine(&self) -> usize {
+        let mut best = 0;
+        for m in 1..self.completion.len() {
+            if self.completion[m] < self.completion[best] {
+                best = m;
+            }
+        }
+        best
+    }
+
+    /// Machine indices sorted by ascending completion time (the sort in
+    /// H2LL's Algorithm 4 line 2). Allocates; hot callers should reuse
+    /// [`Schedule::sort_machines_into`].
+    pub fn machines_by_load(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.completion.len()).collect();
+        self.sort_machines_into(&mut order);
+        order
+    }
+
+    /// Sorts the provided index buffer by ascending completion time without
+    /// allocating. `order` must contain each machine index exactly once.
+    pub fn sort_machines_into(&self, order: &mut [usize]) {
+        debug_assert_eq!(order.len(), self.completion.len());
+        order.sort_by(|&a, &b| {
+            self.completion[a]
+                .partial_cmp(&self.completion[b])
+                .expect("completion times are finite")
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Moves `task` to `new_machine`, updating both completion times
+    /// incrementally (the paper's O(1) update). Returns the previous
+    /// machine. A move to the same machine is a no-op.
+    pub fn move_task(&mut self, instance: &EtcInstance, task: usize, new_machine: usize) -> usize {
+        let old = self.assignment[task] as usize;
+        if old == new_machine {
+            return old;
+        }
+        let etc = instance.etc();
+        self.completion[old] -= etc.etc_on(old, task);
+        self.completion[new_machine] += etc.etc_on(new_machine, task);
+        self.assignment[task] = new_machine as u32;
+        old
+    }
+
+    /// Swaps the machines of two tasks, incrementally.
+    pub fn swap_tasks(&mut self, instance: &EtcInstance, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let ma = self.assignment[a] as usize;
+        let mb = self.assignment[b] as usize;
+        self.move_task(instance, a, mb);
+        self.move_task(instance, b, ma);
+    }
+
+    /// Tasks currently assigned to `machine` (O(#tasks) scan).
+    pub fn tasks_on(&self, machine: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m as usize == machine)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Number of tasks on `machine` (O(#tasks) scan).
+    pub fn count_on(&self, machine: usize) -> usize {
+        self.assignment.iter().filter(|&&m| m as usize == machine).count()
+    }
+
+    /// Recomputes `CT` from scratch, discarding accumulated floating-point
+    /// drift from long runs of incremental updates.
+    pub fn renormalize(&mut self, instance: &EtcInstance) {
+        let etc = instance.etc();
+        self.completion.copy_from_slice(instance.ready_times());
+        for (t, &m) in self.assignment.iter().enumerate() {
+            let m = m as usize;
+            self.completion[m] += etc.etc_on(m, t);
+        }
+    }
+
+    /// Copies another schedule's contents into this one without
+    /// reallocating — the hot path for replacement under a write lock.
+    pub fn copy_from(&mut self, other: &Schedule) {
+        self.assignment.copy_from_slice(&other.assignment);
+        self.completion.copy_from_slice(&other.completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> EtcInstance {
+        // ETC[t][m] = (t+1)(m+1): 4 tasks × 3 machines.
+        EtcInstance::toy(4, 3)
+    }
+
+    #[test]
+    fn from_assignment_computes_completion() {
+        let inst = toy();
+        // tasks 0,1 -> machine 0; task 2 -> machine 1; task 3 -> machine 2.
+        let s = Schedule::from_assignment(&inst, vec![0, 0, 1, 2]);
+        assert_eq!(s.completion(0), 1.0 + 2.0);
+        assert_eq!(s.completion(1), 6.0); // (2+1)*(1+1)
+        assert_eq!(s.completion(2), 12.0); // (3+1)*(2+1)
+        assert_eq!(s.makespan(), 12.0);
+        assert_eq!(s.most_loaded_machine(), 2);
+        assert_eq!(s.least_loaded_machine(), 0);
+    }
+
+    #[test]
+    fn ready_times_enter_completion() {
+        let etc = etc_model::EtcMatrix::from_task_major(1, 2, vec![10.0, 1.0]);
+        let inst = EtcInstance::with_ready_times("r", etc, vec![0.0, 100.0]);
+        let s = Schedule::from_assignment(&inst, vec![1]);
+        assert_eq!(s.completion(1), 101.0);
+        assert_eq!(s.completion(0), 0.0);
+        assert_eq!(s.makespan(), 101.0);
+    }
+
+    #[test]
+    fn move_task_is_incremental_and_correct() {
+        let inst = toy();
+        let mut s = Schedule::from_assignment(&inst, vec![0, 0, 1, 2]);
+        let old = s.move_task(&inst, 3, 0); // ETC[3][2]=12 leaves m2, ETC[3][0]=4 joins m0
+        assert_eq!(old, 2);
+        assert_eq!(s.completion(2), 0.0);
+        assert_eq!(s.completion(0), 3.0 + 4.0);
+        assert_eq!(s.machine_of(3), 0);
+        let mut fresh = s.clone();
+        fresh.renormalize(&inst);
+        assert_eq!(fresh, s);
+    }
+
+    #[test]
+    fn move_to_same_machine_is_noop() {
+        let inst = toy();
+        let mut s = Schedule::from_assignment(&inst, vec![0, 1, 2, 0]);
+        let before = s.clone();
+        s.move_task(&inst, 1, 1);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn swap_tasks_swaps_machines() {
+        let inst = toy();
+        let mut s = Schedule::from_assignment(&inst, vec![0, 1, 2, 0]);
+        s.swap_tasks(&inst, 0, 2);
+        assert_eq!(s.machine_of(0), 2);
+        assert_eq!(s.machine_of(2), 0);
+        let mut fresh = s.clone();
+        fresh.renormalize(&inst);
+        for m in 0..3 {
+            assert!((fresh.completion(m) - s.completion(m)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn swap_same_task_is_noop() {
+        let inst = toy();
+        let mut s = Schedule::round_robin(&inst);
+        let before = s.clone();
+        s.swap_tasks(&inst, 2, 2);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn round_robin_distributes() {
+        let inst = toy();
+        let s = Schedule::round_robin(&inst);
+        assert_eq!(s.assignment(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn random_is_valid_and_seed_deterministic() {
+        let inst = toy();
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        let a = Schedule::random(&inst, &mut r1);
+        let b = Schedule::random(&inst, &mut r2);
+        assert_eq!(a, b);
+        for t in 0..inst.n_tasks() {
+            assert!(a.machine_of(t) < inst.n_machines());
+        }
+    }
+
+    #[test]
+    fn machines_by_load_sorted() {
+        let inst = toy();
+        let s = Schedule::from_assignment(&inst, vec![2, 2, 1, 0]);
+        let order = s.machines_by_load();
+        for w in order.windows(2) {
+            assert!(s.completion(w[0]) <= s.completion(w[1]));
+        }
+    }
+
+    #[test]
+    fn tasks_on_and_count() {
+        let inst = toy();
+        let s = Schedule::from_assignment(&inst, vec![1, 1, 0, 1]);
+        assert_eq!(s.tasks_on(1), vec![0, 1, 3]);
+        assert_eq!(s.count_on(1), 3);
+        assert_eq!(s.count_on(2), 0);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let inst = toy();
+        let a = Schedule::from_assignment(&inst, vec![0, 1, 2, 0]);
+        let mut b = Schedule::round_robin(&inst);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one machine per task")]
+    fn wrong_length_panics() {
+        Schedule::from_assignment(&toy(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to machine")]
+    fn out_of_range_machine_panics() {
+        Schedule::from_assignment(&toy(), vec![0, 1, 2, 9]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: the `S`+`CT` representation stays valid under arbitrary
+//! sequences of incremental operations.
+
+use etc_model::{Consistency, EtcGenerator, EtcInstance, GeneratorParams, Heterogeneity};
+use proptest::prelude::*;
+use scheduling::{check_schedule, Schedule};
+
+fn small_instance(seed: u64) -> EtcInstance {
+    EtcGenerator::new(GeneratorParams {
+        n_tasks: 24,
+        n_machines: 5,
+        task_heterogeneity: Heterogeneity::High,
+        machine_heterogeneity: Heterogeneity::Low,
+        consistency: Consistency::Inconsistent,
+        seed,
+    })
+    .generate()
+}
+
+/// One incremental operation against a schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    Move { task: usize, machine: usize },
+    Swap { a: usize, b: usize },
+}
+
+fn op_strategy(n_tasks: usize, n_machines: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_tasks, 0..n_machines).prop_map(|(task, machine)| Op::Move { task, machine }),
+        (0..n_tasks, 0..n_tasks).prop_map(|(a, b)| Op::Swap { a, b }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_assignment_builds_valid_schedule(
+        seed in 0u64..50,
+        assignment in proptest::collection::vec(0u32..5, 24)
+    ) {
+        let inst = small_instance(seed);
+        let s = Schedule::from_assignment(&inst, assignment);
+        prop_assert!(check_schedule(&inst, &s).is_ok());
+        prop_assert!(s.makespan() > 0.0);
+    }
+
+    #[test]
+    fn op_sequences_preserve_invariant(
+        seed in 0u64..20,
+        ops in proptest::collection::vec(op_strategy(24, 5), 1..200)
+    ) {
+        let inst = small_instance(seed);
+        let mut s = Schedule::round_robin(&inst);
+        for op in ops {
+            match op {
+                Op::Move { task, machine } => { s.move_task(&inst, task, machine); }
+                Op::Swap { a, b } => s.swap_tasks(&inst, a, b),
+            }
+        }
+        prop_assert!(check_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn makespan_equals_max_of_recomputed_completions(
+        seed in 0u64..20,
+        assignment in proptest::collection::vec(0u32..5, 24)
+    ) {
+        let inst = small_instance(seed);
+        let mut s = Schedule::from_assignment(&inst, assignment);
+        let before = s.makespan();
+        s.renormalize(&inst);
+        prop_assert!((s.makespan() - before).abs() <= 1e-9 * before.abs().max(1.0));
+    }
+
+    #[test]
+    fn machines_by_load_is_a_permutation_sorted_by_ct(
+        seed in 0u64..20,
+        assignment in proptest::collection::vec(0u32..5, 24)
+    ) {
+        let inst = small_instance(seed);
+        let s = Schedule::from_assignment(&inst, assignment);
+        let order = s.machines_by_load();
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(s.completion(w[0]) <= s.completion(w[1]));
+        }
+    }
+
+    #[test]
+    fn move_then_move_back_restores_completion(
+        seed in 0u64..20,
+        task in 0usize..24,
+        machine in 0usize..5
+    ) {
+        let inst = small_instance(seed);
+        let mut s = Schedule::round_robin(&inst);
+        let reference = s.clone();
+        let old = s.move_task(&inst, task, machine);
+        s.move_task(&inst, task, old);
+        prop_assert_eq!(s.assignment(), reference.assignment());
+        for m in 0..5 {
+            prop_assert!((s.completion(m) - reference.completion(m)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # Statistics toolkit for the PA-CGA experiment harness
+//!
+//! Everything the paper's evaluation section needs, self-contained:
+//!
+//! * [`Descriptive`] — mean / std / min / max over run samples (Table 2
+//!   reports means over independent runs).
+//! * [`Quartiles`] and [`BoxplotStats`] — five-number summaries with the
+//!   **notches** MATLAB draws in Figure 5; non-overlapping notches are the
+//!   paper's 95%-confidence "true medians differ" criterion.
+//! * [`mann_whitney`] — the Mann-Whitney U rank-sum test, a distribution-
+//!   free check we run alongside the notch criterion.
+//! * [`speedup`] — the paper's evaluation-count speedup ratio (Eq. 5).
+//! * [`series`] — aggregating per-generation traces across runs (Figure 6).
+//! * [`table`] — fixed-width ASCII tables for harness output.
+//! * [`render`] — ASCII box plots (Figure 5's visual, in a terminal).
+
+pub mod boxplot;
+pub mod csv;
+pub mod descriptive;
+pub mod friedman;
+pub mod mann_whitney;
+pub mod quartiles;
+pub mod render;
+pub mod series;
+pub mod speedup;
+pub mod table;
+
+pub use boxplot::BoxplotStats;
+pub use descriptive::Descriptive;
+pub use friedman::{friedman_test, FriedmanResult};
+pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
+pub use quartiles::Quartiles;
+pub use series::TraceAggregator;
+pub use speedup::speedup_percentages;
+pub use table::Table;

@@ -1,0 +1,119 @@
+//! ASCII rendering of box plots — the terminal stand-in for Figure 5.
+//!
+//! Each sample renders as one line:
+//!
+//! ```text
+//! opx/5   |     o----[  ===|===  ]------|      o
+//! ```
+//!
+//! `[`/`]` are the quartiles, `|` inside the box is the median, `===` the
+//! notch extent, `-` the whiskers, `o` outliers.
+
+use crate::boxplot::BoxplotStats;
+
+/// Renders several labelled box plots on a shared horizontal axis.
+pub fn render_boxplots(labelled: &[(&str, &BoxplotStats)], width: usize) -> String {
+    assert!(width >= 20, "width too small to draw");
+    assert!(!labelled.is_empty(), "nothing to draw");
+
+    let lo = labelled
+        .iter()
+        .map(|(_, b)| b.outliers.first().copied().unwrap_or(b.whisker_lo).min(b.whisker_lo))
+        .fold(f64::INFINITY, f64::min);
+    let hi = labelled
+        .iter()
+        .map(|(_, b)| b.outliers.last().copied().unwrap_or(b.whisker_hi).max(b.whisker_hi))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let label_w = labelled.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+
+    let scale = |v: f64| -> usize {
+        (((v - lo) / span) * (width - 1) as f64).round().clamp(0.0, (width - 1) as f64) as usize
+    };
+
+    let mut out = String::new();
+    for (label, b) in labelled {
+        let mut line = vec![b' '; width];
+        let w_lo = scale(b.whisker_lo);
+        let w_hi = scale(b.whisker_hi);
+        let q1 = scale(b.quartiles.q1);
+        let q3 = scale(b.quartiles.q3);
+        let med = scale(b.quartiles.median);
+        let n_lo = scale(b.notch_lo.max(b.quartiles.q1));
+        let n_hi = scale(b.notch_hi.min(b.quartiles.q3));
+
+        for cell in line.iter_mut().take(w_hi + 1).skip(w_lo) {
+            *cell = b'-';
+        }
+        for cell in line.iter_mut().take(q3 + 1).skip(q1) {
+            *cell = b' ';
+        }
+        for cell in line.iter_mut().take(n_hi + 1).skip(n_lo) {
+            *cell = b'=';
+        }
+        line[q1] = b'[';
+        line[q3] = b']';
+        line[med] = b'|';
+        for &o in &b.outliers {
+            line[scale(o)] = b'o';
+        }
+        out.push_str(&format!(
+            "{label:<label_w$} {}\n",
+            String::from_utf8(line).expect("ascii")
+        ));
+    }
+    out.push_str(&format!(
+        "{:<label_w$} {:<.4e}{}{:>.4e}\n",
+        "",
+        lo,
+        " ".repeat(width.saturating_sub(22)),
+        hi
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(values: &[f64]) -> BoxplotStats {
+        BoxplotStats::from_sample(values)
+    }
+
+    #[test]
+    fn renders_all_labels() {
+        let a = stats(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = stats(&[2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = render_boxplots(&[("opx/5", &a), ("tpx/10", &b)], 60);
+        assert!(out.contains("opx/5"));
+        assert!(out.contains("tpx/10"));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn box_glyphs_present() {
+        // Spread wide enough that quartile/median cells don't collide.
+        let a = stats(&[10.0, 20.0, 30.0, 40.0, 200.0]);
+        let out = render_boxplots(&[("x", &a)], 60);
+        let line = out.lines().next().unwrap();
+        assert!(line.contains('['), "{line}");
+        assert!(line.contains(']'), "{line}");
+        assert!(line.contains('|'), "{line}");
+        assert!(line.contains('o'), "outlier glyph missing: {line}");
+    }
+
+    #[test]
+    fn degenerate_sample_does_not_panic() {
+        // All glyphs collapse onto one cell; the median glyph wins.
+        let a = stats(&[5.0, 5.0, 5.0]);
+        let out = render_boxplots(&[("flat", &a)], 40);
+        assert!(out.contains('|'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width too small")]
+    fn tiny_width_panics() {
+        let a = stats(&[1.0, 2.0]);
+        render_boxplots(&[("x", &a)], 5);
+    }
+}

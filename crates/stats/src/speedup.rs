@@ -1,0 +1,72 @@
+//! The paper's speedup metric (Eq. 5).
+//!
+//! Because the stop condition is fixed wall time, the paper replaces
+//! `time(1)/time(n)` with the ratio of **total evaluations performed**:
+//! `S(n) = #evaluations(n) / #evaluations(1)`, plotted as a percentage
+//! ("Evaluations increase %", Figure 4 — 100% means no speedup).
+
+/// Converts mean evaluation counts per thread count into Figure 4's
+/// percentage series. `evals[i]` is the mean evaluation count with `i+1`
+/// threads; `evals\[0\]` is the single-thread baseline.
+///
+/// # Panics
+///
+/// Panics if `evals` is empty or the baseline is zero/non-finite.
+pub fn speedup_percentages(evals: &[f64]) -> Vec<f64> {
+    assert!(!evals.is_empty(), "need at least the 1-thread baseline");
+    let base = evals[0];
+    assert!(base.is_finite() && base > 0.0, "baseline evaluations must be positive");
+    evals.iter().map(|&e| 100.0 * e / base).collect()
+}
+
+/// Classic time-based speedup `time(1)/time(n)` for completeness (Eq. 4).
+pub fn time_speedup(times: &[f64]) -> Vec<f64> {
+    assert!(!times.is_empty(), "need at least the 1-processor baseline");
+    let base = times[0];
+    assert!(base.is_finite() && base > 0.0, "baseline time must be positive");
+    times.iter().map(|&t| base / t).collect()
+}
+
+/// Parallel efficiency `S(n)/n` from a speedup series (index i ↔ n = i+1).
+pub fn efficiency(speedups: &[f64]) -> Vec<f64> {
+    speedups.iter().enumerate().map(|(i, &s)| s / (i + 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_100_percent() {
+        let s = speedup_percentages(&[50_000.0, 90_000.0, 120_000.0]);
+        assert_eq!(s[0], 100.0);
+        assert_eq!(s[1], 180.0);
+        assert_eq!(s[2], 240.0);
+    }
+
+    #[test]
+    fn degradation_below_100() {
+        let s = speedup_percentages(&[50_000.0, 40_000.0]);
+        assert_eq!(s[1], 80.0);
+    }
+
+    #[test]
+    fn time_speedup_classic() {
+        let s = time_speedup(&[90.0, 45.0, 30.0]);
+        assert_eq!(s, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn efficiency_from_speedup() {
+        let e = efficiency(&[1.0, 2.0, 2.4]);
+        assert_eq!(e[0], 1.0);
+        assert_eq!(e[1], 1.0);
+        assert!((e[2] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn zero_baseline_panics() {
+        speedup_percentages(&[0.0, 10.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests on the statistics toolkit.
+
+use pa_cga_stats::{mann_whitney_u, BoxplotStats, Descriptive, Quartiles};
+use proptest::prelude::*;
+
+fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..100)
+}
+
+proptest! {
+    #[test]
+    fn descriptive_bounds(sample in sample_strategy()) {
+        let d = Descriptive::from_sample(&sample);
+        prop_assert!(d.min <= d.mean + 1e-9);
+        prop_assert!(d.mean <= d.max + 1e-9);
+        prop_assert!(d.std_dev >= 0.0);
+        prop_assert_eq!(d.n, sample.len());
+    }
+
+    #[test]
+    fn quartiles_ordered_and_within_range(sample in sample_strategy()) {
+        let q = Quartiles::from_sample(&sample);
+        let d = Descriptive::from_sample(&sample);
+        prop_assert!(d.min <= q.q1 + 1e-9);
+        prop_assert!(q.q1 <= q.median + 1e-9);
+        prop_assert!(q.median <= q.q3 + 1e-9);
+        prop_assert!(q.q3 <= d.max + 1e-9);
+        prop_assert!(q.iqr() >= -1e-9);
+    }
+
+    #[test]
+    fn shifting_a_sample_shifts_its_quartiles(
+        sample in sample_strategy(),
+        shift in -1e5f64..1e5,
+    ) {
+        let q0 = Quartiles::from_sample(&sample);
+        let shifted: Vec<f64> = sample.iter().map(|&x| x + shift).collect();
+        let q1 = Quartiles::from_sample(&shifted);
+        let tol = 1e-6 * (1.0 + shift.abs() + q0.median.abs());
+        prop_assert!((q1.median - (q0.median + shift)).abs() < tol);
+        prop_assert!((q1.iqr() - q0.iqr()).abs() < tol);
+    }
+
+    #[test]
+    fn boxplot_invariants(sample in sample_strategy()) {
+        let b = BoxplotStats::from_sample(&sample);
+        prop_assert!(b.notch_lo <= b.quartiles.median + 1e-9);
+        prop_assert!(b.quartiles.median <= b.notch_hi + 1e-9);
+        prop_assert!(b.whisker_lo <= b.whisker_hi + 1e-9);
+        // Whiskers sit inside the Tukey fences.
+        let fence_lo = b.quartiles.q1 - 1.5 * b.quartiles.iqr();
+        let fence_hi = b.quartiles.q3 + 1.5 * b.quartiles.iqr();
+        prop_assert!(b.whisker_lo >= fence_lo - 1e-9);
+        prop_assert!(b.whisker_hi <= fence_hi + 1e-9);
+        // Outliers + inliers = n.
+        prop_assert!(b.outliers.len() <= b.n);
+        // A sample never "differs" from itself.
+        prop_assert!(!b.medians_differ(&b.clone()));
+    }
+
+    #[test]
+    fn mann_whitney_p_in_unit_interval(
+        a in proptest::collection::vec(-1e4f64..1e4, 2..50),
+        b in proptest::collection::vec(-1e4f64..1e4, 2..50),
+    ) {
+        let r = mann_whitney_u(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+        prop_assert!(r.u >= 0.0);
+        // Symmetry.
+        let r2 = mann_whitney_u(&b, &a);
+        prop_assert!((r.p_value - r2.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mann_whitney_shift_monotone(
+        a in proptest::collection::vec(0.0f64..100.0, 10..40),
+    ) {
+        // A hugely shifted copy must be at least as significant as an
+        // identical copy.
+        let same = mann_whitney_u(&a, &a).p_value;
+        let shifted: Vec<f64> = a.iter().map(|&x| x + 1e6).collect();
+        let far = mann_whitney_u(&a, &shifted).p_value;
+        prop_assert!(far <= same + 1e-9, "far {far} vs same {same}");
+    }
+}

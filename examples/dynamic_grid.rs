@@ -1,0 +1,81 @@
+//! The dynamic side of the paper's problem statement (§2.1): machines
+//! dropping mid-run and batches arriving over time. A static PA-CGA
+//! schedule is executed in the discrete-event simulator; failures orphan
+//! work that a rescheduling policy (greedy MCT vs PA-CGA re-optimization)
+//! must replace.
+//!
+//! ```text
+//! cargo run --release --example dynamic_grid
+//! ```
+
+use pa_cga::prelude::*;
+use pa_cga::sim::reschedule::Rescheduler;
+use pa_cga::stats::Table;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let instance = braun_instance("u_i_hilo.0");
+    println!("instance : {} ({} tasks × {} machines)", instance.name(), instance.n_tasks(), instance.n_machines());
+
+    // 1. Build a good static schedule with PA-CGA.
+    let config = PaCgaConfig::builder()
+        .threads(3)
+        .termination(Termination::Evaluations(30_000))
+        .seed(1)
+        .build();
+    let schedule = PaCga::new(&instance, config).run().best.schedule;
+    println!("static makespan (no failures): {:.1}", schedule.makespan());
+
+    // 2. Execute it while 3 machines drop mid-run.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let horizon = schedule.makespan() * 0.6;
+    let failures = FailureTrace::sample(instance.n_machines(), 3.0 / 16.0, horizon, &mut rng);
+    println!(
+        "\nfailure trace: {:?}",
+        failures.events().iter().map(|&(m, t)| (m, t.round())).collect::<Vec<_>>()
+    );
+
+    let mut table = Table::new(&[
+        "rescheduler",
+        "makespan",
+        "degradation",
+        "lost work",
+        "retried tasks",
+        "reschedules",
+    ]);
+    let policies: [&dyn Rescheduler; 2] = [
+        &MctRescheduler,
+        &PaCgaRescheduler { evaluations: 10_000, ..Default::default() },
+    ];
+    for policy in policies {
+        let report =
+            Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
+        report.validate().expect("inconsistent simulation");
+        table.row(&[
+            policy.name().to_string(),
+            format!("{:.1}", report.makespan),
+            format!("+{:.1}%", 100.0 * (report.makespan / schedule.makespan() - 1.0)),
+            format!("{:.1}", report.lost_work),
+            report.retried_tasks().to_string(),
+            report.reschedules.to_string(),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    // 3. Batch arrivals: the same workload submitted as 6 batches.
+    println!("batch arrivals (6 equal batches, MCT vs PA-CGA placement):");
+    let mut batch_table = Table::new(&["policy", "makespan", "mean batch latency"]);
+    for policy in [
+        &MctRescheduler as &dyn Rescheduler,
+        &PaCgaRescheduler { evaluations: 10_000, ..Default::default() },
+    ] {
+        let report = BatchSimulator::equal_batches(&instance, 6, 2_000.0).run(policy);
+        batch_table.row(&[
+            policy.name().to_string(),
+            format!("{:.1}", report.makespan),
+            format!("{:.1}", report.mean_latency()),
+        ]);
+    }
+    println!("\n{}", batch_table.render());
+}

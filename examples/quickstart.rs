@@ -1,0 +1,53 @@
+//! Quickstart: schedule a 512×16 benchmark batch with PA-CGA and compare
+//! against the Min-min heuristic.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pa_cga::prelude::*;
+
+fn main() {
+    // One of the paper's 12 benchmark instances (regenerated
+    // deterministically; see DESIGN.md §4).
+    let instance = braun_instance("u_i_hihi.0");
+    println!("instance : {}", instance.name());
+    println!("notation : {}", blazewicz_notation(&instance));
+    println!(
+        "size     : {} tasks × {} machines",
+        instance.n_tasks(),
+        instance.n_machines()
+    );
+
+    // The deterministic baseline the paper seeds its population with.
+    let minmin = heuristics::min_min(&instance);
+    println!("\nMin-min makespan      : {:.1}", minmin.makespan());
+
+    // PA-CGA, paper parameters (Table 1) with a laptop-friendly budget.
+    let config = PaCgaConfig::builder()
+        .threads(3)
+        .termination(Termination::wall_time_ms(2_000))
+        .seed(42)
+        .build();
+    println!("\nPA-CGA   : {}", config.summary());
+
+    let outcome = PaCga::new(&instance, config).run();
+    println!("\nbest makespan         : {:.1}", outcome.best.makespan());
+    println!("total evaluations     : {}", outcome.evaluations);
+    println!("generations per thread: {:?}", outcome.generations);
+    println!(
+        "improvement vs Min-min: {:.2}%",
+        100.0 * (minmin.makespan() - outcome.best.makespan()) / minmin.makespan()
+    );
+
+    // The returned schedule is a fully valid assignment.
+    let schedule = &outcome.best.schedule;
+    println!(
+        "\nmachine loads (completion times):\n{:?}",
+        schedule
+            .completion_times()
+            .iter()
+            .map(|c| (c / 1000.0).round() * 1000.0)
+            .collect::<Vec<_>>()
+    );
+}

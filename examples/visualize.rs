@@ -1,0 +1,51 @@
+//! Visual inspection: Gantt-style machine load bars for Min-min vs PA-CGA,
+//! a per-machine timeline on a small instance, and an ASCII box-plot of
+//! run-to-run variation.
+//!
+//! ```text
+//! cargo run --release --example visualize
+//! ```
+
+use pa_cga::prelude::*;
+use pa_cga::sched::gantt::{render_loads, render_timeline};
+use pa_cga::stats::render::render_boxplots;
+use pa_cga::stats::BoxplotStats;
+
+fn main() {
+    let instance = braun_instance("u_i_hilo.0");
+    println!("=== {} ===\n", instance.name());
+
+    let minmin = heuristics::min_min(&instance);
+    println!("Min-min machine loads (makespan {:.0}):", minmin.makespan());
+    println!("{}", render_loads(&minmin, 50));
+
+    let config = PaCgaConfig::builder()
+        .threads(3)
+        .termination(Termination::Evaluations(40_000))
+        .seed(3)
+        .build();
+    let best = PaCga::new(&instance, config).run().best.schedule;
+    println!("PA-CGA machine loads (makespan {:.0}):", best.makespan());
+    println!("{}", render_loads(&best, 50));
+
+    // A small instance where per-task timelines are readable.
+    let small = EtcInstance::toy(10, 4);
+    let s = heuristics::mct(&small);
+    println!("MCT timeline on a toy 10×4 instance:");
+    println!("{}", render_timeline(&s, |m, t| small.etc().etc_on(m, t), 8));
+
+    // Run-to-run distribution of PA-CGA bests as a box plot.
+    let bests: Vec<f64> = (0..12)
+        .map(|seed| {
+            let cfg = PaCgaConfig::builder()
+                .threads(2)
+                .termination(Termination::Evaluations(15_000))
+                .seed(seed)
+                .build();
+            PaCga::new(&instance, cfg).run().best.makespan()
+        })
+        .collect();
+    let stats = BoxplotStats::from_sample(&bests);
+    println!("PA-CGA best makespan over 12 seeds (15k evaluations):");
+    println!("{}", render_boxplots(&[("pa-cga", &stats)], 60));
+}

@@ -1,0 +1,77 @@
+//! # pa-cga — facade crate
+//!
+//! Re-exports the whole PA-CGA workspace behind one dependency:
+//!
+//! * [`etc`] — the ETC instance model (matrices, generators, benchmark
+//!   instances, Blazewicz notation, I/O).
+//! * [`sched`] — schedule representation with incrementally maintained
+//!   completion times, metrics and invariants.
+//! * [`heur`] — deterministic list heuristics (Min-min, Max-min, …).
+//! * [`cga`] — the cellular GA core: operators, H2LL local search, and the
+//!   sequential/synchronous/parallel engines.
+//! * [`baseline`] — literature baselines (Struggle GA, cMA+LTH).
+//! * [`sim`] — the discrete-event grid simulator (machine churn, batch
+//!   arrivals, rescheduling policies).
+//! * [`stats`] — the statistics toolkit behind the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pa_cga::prelude::*;
+//!
+//! // A benchmark-class instance (scaled down for the doctest).
+//! let params = GeneratorParams {
+//!     n_tasks: 64,
+//!     n_machines: 8,
+//!     task_heterogeneity: Heterogeneity::High,
+//!     machine_heterogeneity: Heterogeneity::High,
+//!     consistency: Consistency::Inconsistent,
+//!     seed: 42,
+//! };
+//! let instance = EtcGenerator::new(params).generate();
+//!
+//! // Configure a small PA-CGA run with a deterministic evaluation budget.
+//! let config = PaCgaConfig::builder()
+//!     .grid(8, 8)
+//!     .threads(2)
+//!     .local_search_iterations(5)
+//!     .termination(Termination::Evaluations(20_000))
+//!     .seed(7)
+//!     .build();
+//!
+//! let outcome = PaCga::new(&instance, config).run();
+//! let minmin = heuristics::min_min(&instance).makespan();
+//! assert!(outcome.best.makespan() <= minmin);
+//! ```
+
+pub use baselines as baseline;
+pub use etc_model as etc;
+pub use grid_sim as sim;
+pub use heuristics as heur;
+pub use pa_cga_core as cga;
+pub use pa_cga_stats as stats;
+pub use scheduling as sched;
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use baselines::{cma_lth::CmaLth, struggle::StruggleGa};
+    pub use etc_model::{
+        blazewicz_notation, braun_instance, braun_instance_names, Consistency, EtcGenerator,
+        EtcInstance, EtcMatrix, GeneratorParams, Heterogeneity,
+    };
+    pub use heuristics;
+    pub use pa_cga_core::{
+        config::{PaCgaConfig, Termination},
+        crossover::CrossoverOp,
+        engine::PaCga,
+        local_search::H2ll,
+        mutation::MutationOp,
+        neighborhood::NeighborhoodShape,
+        selection::SelectionOp,
+    };
+    pub use grid_sim::{
+        BatchSimulator, FailureTrace, MctRescheduler, PaCgaRescheduler, Simulator,
+    };
+    pub use pa_cga_stats::{Descriptive, Quartiles};
+    pub use scheduling::Schedule;
+}

@@ -1,0 +1,97 @@
+//! Cross-algorithm integration: the baselines run end-to-end on benchmark
+//! instances, return valid schedules, and PA-CGA holds its own at an equal
+//! evaluation budget (Table 2's qualitative core, shrunk for CI).
+
+use pa_cga::baseline::{CmaLth, CmaLthConfig, StruggleConfig, StruggleGa};
+use pa_cga::prelude::*;
+use pa_cga::sched::check_schedule;
+
+const EVALS: u64 = 8_000;
+
+fn pa_cga_best(instance: &EtcInstance, seed: u64) -> f64 {
+    let cfg = PaCgaConfig::builder()
+        .threads(1)
+        .termination(Termination::Evaluations(EVALS))
+        .seed(seed)
+        .build();
+    PaCga::new(instance, cfg).run().best.makespan()
+}
+
+fn struggle_best(instance: &EtcInstance, seed: u64) -> f64 {
+    let cfg = StruggleConfig {
+        termination: Termination::Evaluations(EVALS),
+        seed,
+        ..StruggleConfig::default()
+    };
+    let out = StruggleGa::new(instance, cfg).run();
+    check_schedule(instance, &out.best.schedule).expect("struggle schedule invalid");
+    out.best.makespan()
+}
+
+fn cma_best(instance: &EtcInstance, seed: u64) -> f64 {
+    let cfg = CmaLthConfig {
+        termination: Termination::Evaluations(EVALS),
+        seed,
+        ..CmaLthConfig::default()
+    };
+    let out = CmaLth::new(instance, cfg).run();
+    check_schedule(instance, &out.best.schedule).expect("cMA+LTH schedule invalid");
+    out.best.makespan()
+}
+
+#[test]
+fn all_three_algorithms_beat_random_scheduling() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let instance = braun_instance("u_i_hihi.0");
+    let mut rng = SmallRng::seed_from_u64(0);
+    let random = pa_cga::sched::Schedule::random(&instance, &mut rng).makespan();
+    for (name, best) in [
+        ("pa-cga", pa_cga_best(&instance, 1)),
+        ("struggle", struggle_best(&instance, 1)),
+        ("cma+lth", cma_best(&instance, 1)),
+    ] {
+        assert!(best < random, "{name}: {best} not better than random {random}");
+    }
+}
+
+#[test]
+fn pa_cga_competitive_on_inconsistent_hihi_at_equal_wall_time() {
+    // The paper's strongest territory, compared the way the paper does:
+    // a common *wall-time* budget (PA-CGA trades cheap H2LL steps for
+    // more evaluations per second; an evaluation-count budget would hide
+    // exactly that advantage). 5% tolerance absorbs CI timing noise.
+    let instance = braun_instance("u_i_hihi.0");
+    let budget = Termination::wall_time_ms(400);
+
+    let mean = |f: &dyn Fn(u64) -> f64| -> f64 { (0..3).map(f).sum::<f64>() / 3.0 };
+    let pa = mean(&|seed| {
+        let cfg = PaCgaConfig::builder()
+            .threads(1)
+            .termination(budget)
+            .seed(seed)
+            .build();
+        PaCga::new(&instance, cfg).run().best.makespan()
+    });
+    let struggle = mean(&|seed| {
+        let cfg = StruggleConfig { termination: budget, seed, ..StruggleConfig::default() };
+        StruggleGa::new(&instance, cfg).run().best.makespan()
+    });
+    let cma = mean(&|seed| {
+        let cfg = CmaLthConfig { termination: budget, seed, ..CmaLthConfig::default() };
+        CmaLth::new(&instance, cfg).run().best.makespan()
+    });
+    assert!(
+        pa <= struggle * 1.05,
+        "PA-CGA {pa} lost to Struggle GA {struggle} by >5%"
+    );
+    assert!(pa <= cma * 1.05, "PA-CGA {pa} lost to cMA+LTH {cma} by >5%");
+}
+
+#[test]
+fn baselines_improve_their_min_min_seed() {
+    let instance = braun_instance("u_s_hilo.0");
+    let minmin = heuristics::min_min(&instance).makespan();
+    assert!(struggle_best(&instance, 2) <= minmin);
+    assert!(cma_best(&instance, 2) <= minmin);
+}

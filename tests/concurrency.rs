@@ -1,0 +1,85 @@
+//! Concurrency stress: the lock discipline must keep every individual
+//! internally consistent no matter the thread count, block size, or
+//! neighborhood shape (boundary crossings are where the races would be).
+
+use pa_cga::cga::engine::PaCga;
+use pa_cga::prelude::*;
+use pa_cga::sched::check_schedule;
+
+fn stress(threads: usize, shape: NeighborhoodShape, seed: u64) {
+    let instance = braun_instance("u_i_lohi.0");
+    let config = PaCgaConfig::builder()
+        .grid(8, 8) // small blocks => maximal boundary crossing
+        .threads(threads)
+        .neighborhood(shape)
+        .local_search_iterations(1)
+        .termination(Termination::Evaluations(6_000))
+        .seed(seed)
+        .build();
+    let (outcome, population) = PaCga::new(&instance, config).run_with_population();
+
+    assert_eq!(population.len(), 64);
+    for (i, ind) in population.iter().enumerate() {
+        check_schedule(&instance, &ind.schedule)
+            .unwrap_or_else(|e| panic!("individual {i} corrupt after {threads} threads: {e}"));
+        assert_eq!(
+            ind.fitness,
+            ind.schedule.makespan(),
+            "individual {i}: cached fitness out of sync"
+        );
+    }
+    // The best individual is the population minimum.
+    let pop_min = population
+        .iter()
+        .map(|i| i.fitness)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(outcome.best.fitness, pop_min);
+}
+
+#[test]
+fn two_threads_l5() {
+    stress(2, NeighborhoodShape::L5, 1);
+}
+
+#[test]
+fn four_threads_l5() {
+    stress(4, NeighborhoodShape::L5, 2);
+}
+
+#[test]
+fn eight_threads_l5() {
+    stress(8, NeighborhoodShape::L5, 3);
+}
+
+#[test]
+fn four_threads_moore_c9() {
+    stress(4, NeighborhoodShape::C9, 4);
+}
+
+#[test]
+fn eight_threads_c13_maximal_boundary() {
+    stress(8, NeighborhoodShape::C13, 5);
+}
+
+#[test]
+fn one_thread_per_row() {
+    // 8 blocks of one row each: every cell's N/S neighbors cross blocks.
+    stress(8, NeighborhoodShape::L5, 6);
+}
+
+#[test]
+fn async_threads_progress_independently() {
+    // Under wall-time termination the per-thread generation counts need
+    // not be equal — that is the asynchrony. They must all be positive.
+    let instance = braun_instance("u_c_hilo.0");
+    let config = PaCgaConfig::builder()
+        .threads(4)
+        .termination(Termination::wall_time_ms(300))
+        .seed(9)
+        .build();
+    let outcome = PaCga::new(&instance, config).run();
+    assert_eq!(outcome.generations.len(), 4);
+    for (t, &g) in outcome.generations.iter().enumerate() {
+        assert!(g > 0, "thread {t} never completed a generation");
+    }
+}

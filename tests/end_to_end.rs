@@ -1,0 +1,90 @@
+//! End-to-end: PA-CGA on every benchmark instance must return a valid
+//! schedule at least as good as its Min-min seed, and strictly better on
+//! the clear majority (the paper's whole premise).
+
+use pa_cga::prelude::*;
+use pa_cga::sched::check_schedule;
+
+fn quick_config(seed: u64) -> PaCgaConfig {
+    PaCgaConfig::builder()
+        .threads(2)
+        .local_search_iterations(5)
+        .termination(Termination::Evaluations(4_000))
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn improves_min_min_on_all_benchmark_instances() {
+    let mut strictly_better = 0;
+    let names = braun_instance_names();
+    for (k, name) in names.iter().enumerate() {
+        let instance = braun_instance(name);
+        let minmin = heuristics::min_min(&instance).makespan();
+        let outcome = PaCga::new(&instance, quick_config(k as u64)).run();
+
+        assert!(
+            check_schedule(&instance, &outcome.best.schedule).is_ok(),
+            "{name}: invalid best schedule"
+        );
+        assert!(
+            outcome.best.makespan() <= minmin,
+            "{name}: best {} worse than Min-min {minmin}",
+            outcome.best.makespan()
+        );
+        if outcome.best.makespan() < minmin * 0.999 {
+            strictly_better += 1;
+        }
+    }
+    assert!(
+        strictly_better >= 9,
+        "PA-CGA strictly improved only {strictly_better}/12 instances"
+    );
+}
+
+#[test]
+fn beats_every_immediate_heuristic_on_inconsistent_hihi() {
+    use pa_cga::heur::Heuristic;
+    let instance = braun_instance("u_i_hihi.0");
+    let outcome = PaCga::new(&instance, quick_config(3)).run();
+    for h in [Heuristic::Olb, Heuristic::Met, Heuristic::Mct] {
+        let hm = h.schedule(&instance).makespan();
+        assert!(
+            outcome.best.makespan() < hm,
+            "PA-CGA {} not better than {h} {hm}",
+            outcome.best.makespan()
+        );
+    }
+}
+
+#[test]
+fn longer_budget_never_hurts() {
+    // With replace-if-better and a fixed seed, a strictly larger
+    // evaluation budget can only improve (or match) the single-threaded
+    // result: the short run is a prefix of the long one.
+    let instance = braun_instance("u_c_lohi.0");
+    let run = |evals: u64| {
+        let cfg = PaCgaConfig::builder()
+            .threads(1)
+            .termination(Termination::Evaluations(evals))
+            .seed(5)
+            .build();
+        PaCga::new(&instance, cfg).run().best.makespan()
+    };
+    let short = run(2_000);
+    let long = run(10_000);
+    assert!(long <= short, "longer run regressed: {long} > {short}");
+}
+
+#[test]
+fn flowtime_and_utilization_are_sane_on_best_schedule() {
+    use pa_cga::sched::{flowtime, load_imbalance, utilization};
+    let instance = braun_instance("u_s_lolo.0");
+    let outcome = PaCga::new(&instance, quick_config(1)).run();
+    let s = &outcome.best.schedule;
+    let u = utilization(s);
+    assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    let imb = load_imbalance(s);
+    assert!((0.0..=1.0).contains(&imb), "imbalance {imb}");
+    assert!(flowtime(&instance, s) >= s.makespan(), "flowtime below makespan");
+}

@@ -1,0 +1,89 @@
+//! Full-pipeline integration: optimize with PA-CGA, execute in the
+//! discrete-event simulator, survive failures via both rescheduling
+//! policies, and run a batch-arrival scenario — the complete story the
+//! paper's §2.1 problem statement implies.
+
+use pa_cga::prelude::*;
+use pa_cga::sim::reschedule::Rescheduler;
+
+fn optimized_schedule(instance: &EtcInstance, seed: u64) -> Schedule {
+    let config = PaCgaConfig::builder()
+        .threads(2)
+        .local_search_iterations(5)
+        .termination(Termination::Evaluations(5_000))
+        .seed(seed)
+        .build();
+    PaCga::new(instance, config).run().best.schedule
+}
+
+#[test]
+fn simulator_confirms_optimized_makespan() {
+    // The cached CT representation and the event simulation must agree on
+    // a failure-free run. The cached value carries floating-point drift
+    // from thousands of incremental updates during optimization, so the
+    // comparison is at tight relative tolerance (bit-exact equality holds
+    // for freshly built schedules — see grid-sim's property tests).
+    let instance = braun_instance("u_i_hilo.0");
+    let schedule = optimized_schedule(&instance, 1);
+    let report = Simulator::new(&instance).run(&schedule, &MctRescheduler);
+    let rel = (report.makespan - schedule.makespan()).abs() / schedule.makespan();
+    assert!(rel < 1e-9, "relative divergence {rel}");
+    report.validate().expect("consistent report");
+}
+
+#[test]
+fn both_policies_survive_multi_failure_runs() {
+    let instance = braun_instance("u_s_hilo.0");
+    let schedule = optimized_schedule(&instance, 2);
+    let horizon = schedule.makespan() * 0.5;
+    let failures = FailureTrace::new(vec![(0, horizon * 0.3), (7, horizon * 0.6), (12, horizon)]);
+
+    let policies: [&dyn Rescheduler; 2] = [
+        &MctRescheduler,
+        &PaCgaRescheduler { evaluations: 2_000, ..Default::default() },
+    ];
+    for policy in policies {
+        let report =
+            Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
+        report.validate().unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+        assert_eq!(report.tasks.len(), instance.n_tasks(), "{}: lost tasks", policy.name());
+        assert_eq!(report.failed_machines, vec![0, 7, 12]);
+        // No task may have completed on a dead machine after its drop.
+        for (t, r) in report.tasks.iter().enumerate() {
+            if let Some(tf) = failures.drop_time(r.machine) {
+                assert!(r.finish <= tf + 1e-9, "{}: task {t} on dead machine", policy.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn pa_cga_rescheduling_not_worse_than_mct_after_failures() {
+    let instance = braun_instance("u_i_hihi.0");
+    let schedule = optimized_schedule(&instance, 3);
+    let failures = FailureTrace::new(vec![(2, schedule.makespan() * 0.2)]);
+
+    let mct = Simulator::with_failures(&instance, failures.clone())
+        .run(&schedule, &MctRescheduler)
+        .makespan;
+    let pa = Simulator::with_failures(&instance, failures)
+        .run(&schedule, &PaCgaRescheduler { evaluations: 8_000, ..Default::default() })
+        .makespan;
+    assert!(
+        pa <= mct * 1.02,
+        "PA-CGA rescheduling ({pa}) much worse than MCT ({mct})"
+    );
+}
+
+#[test]
+fn batch_arrivals_with_pa_cga_policy() {
+    let instance = braun_instance("u_c_hilo.0");
+    let report = BatchSimulator::equal_batches(&instance, 4, 5_000.0)
+        .run(&PaCgaRescheduler { evaluations: 2_000, ..Default::default() });
+    assert_eq!(report.batches.len(), 4);
+    for w in report.batches.windows(2) {
+        assert!(w[1].arrival > w[0].arrival);
+    }
+    assert!(report.makespan >= report.batches.last().unwrap().arrival);
+    assert!(report.mean_latency() > 0.0);
+}
