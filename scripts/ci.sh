@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full local CI gate. Run from anywhere; operates on the repo root.
+#
+#   scripts/ci.sh
+#
+# Three stages, each fatal on failure:
+#   1. cargo build --release (every crate, every target — benches and
+#      experiment binaries must at least compile)
+#   2. cargo test -q (unit + property + integration + doc tests)
+#   3. cargo doc --no-deps with warnings denied, so doc rot (broken
+#      intra-doc links and other rustdoc warnings) fails fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/3] cargo build --release (all targets)"
+cargo build --release --workspace --all-targets
+
+echo "==> [2/3] cargo test -q"
+cargo test -q --workspace
+
+echo "==> [3/3] cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> CI green"

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Presents the same authoring API (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`,
+//! `criterion_group!`, `criterion_main!`) but measures with a simple
+//! adaptive wall-clock loop and prints one line per benchmark instead
+//! of doing statistical analysis. Good enough to rank alternatives and
+//! catch order-of-magnitude regressions; swap in the real crate for
+//! publication-grade numbers.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) or setting
+//! `CRITERION_STUB_SMOKE=1` runs every benchmark body exactly once as a
+//! smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    smoke: bool,
+    /// (iterations, total elapsed) of the measurement loop.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        // One warmup, then batches until enough signal: ≥10 iterations
+        // or ≥20 ms of accumulated runtime, whichever comes first at a
+        // batch boundary.
+        black_box(f());
+        let budget = Duration::from_millis(20);
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut batch = 1u64;
+        while iters < 10 && elapsed < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            if elapsed < Duration::from_micros(100) {
+                batch = batch.saturating_mul(4);
+            }
+        }
+        self.result = Some((iters, elapsed));
+    }
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+        || std::env::var("CRITERION_STUB_SMOKE").map_or(false, |v| v != "0")
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        smoke: smoke_mode(),
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((1, d)) if d == Duration::ZERO => println!("bench {label:<50} smoke-ok"),
+        Some((iters, elapsed)) => {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {label:<50} {per:>14.1} ns/iter ({iters} iters)");
+        }
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Mirrors `criterion::Criterion` (the configuration methods are
+/// accepted and ignored).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam` — only the pieces this workspace
+//! uses, currently `utils::CachePadded`.
+
+pub mod utils {
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (a conservative upper bound of) the
+    /// cache line size, preventing false sharing between adjacent
+    /// per-thread slots. 128 bytes covers the common cases the real
+    /// crate special-cases per architecture (x86_64 prefetches line
+    /// pairs; apple-silicon lines are 128 B).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn aligned_and_transparent() {
+            let p = CachePadded::new(3u64);
+            assert_eq!(*p, 3);
+            assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+            assert_eq!(p.into_inner(), 3);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use — `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, ranges-as-strategies, tuple strategies,
+//! `prop_map`, `collection::vec`, and `option::of` — on top of the
+//! vendored `rand` stub.
+//!
+//! Differences from the real crate, deliberate for a hermetic build:
+//!
+//! * **No shrinking.** A failing case is reported with its test name
+//!   and case index, not minimized.
+//! * **Deterministic.** Cases derive from a fixed seed mixed with the
+//!   test's name and the case index, so CI failures always reproduce
+//!   and different properties draw different streams. Set
+//!   `PROPTEST_CASES` to change the per-test case count (default 64).
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+/// Per-block runner configuration, mirroring
+/// `proptest::test_runner::Config` as far as the workspace uses it.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` env var if set,
+/// otherwise the block's [`ProptestConfig`].
+pub fn case_count(config: &ProptestConfig) -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(config.cases)
+}
+
+/// Deterministic RNG for the `case`-th execution of the property named
+/// `name`. Mixing the name in gives every property its own stream;
+/// the fixed master seed makes failures reproduce run-over-run.
+pub fn case_rng(name: &str, case: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name, then splitmixed with the case index.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(
+        h ^ 0x70726F_70746573u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Runs one case, tagging any panic with the test name and case index
+/// (deterministic, so re-running reproduces the same failing inputs).
+pub fn run_case<F: FnOnce()>(name: &str, case: u64, body: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        eprintln!("proptest {name}: failed on case {case} (deterministic; rerun reproduces it)");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Defines property tests. Each function body runs [`case_count`] times
+/// with fresh samples drawn from each `name in strategy` binding.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let cases = $crate::case_count(&config);
+                for case in 0..cases {
+                    let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(
+                            &($strat), &mut __proptest_rng);
+                    )*
+                    $crate::run_case(stringify!($name), case, || $body);
+                }
+            }
+        )*
+    };
+    // No block-level config: run with the defaults.
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn name_mixes_into_stream() {
+        use crate::strategy::Strategy;
+        let mut a = crate::case_rng("alpha", 0);
+        let mut b = crate::case_rng("beta", 0);
+        let s = 0u64..u64::MAX;
+        assert_ne!(s.sample_value(&mut a), s.sample_value(&mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_values_respect_strategy(
+            x in 5u32..10,
+            v in crate::collection::vec(0u8..4, 3..6),
+            o in crate::option::of(1usize..3),
+        ) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 4));
+            if let Some(i) = o {
+                prop_assert!((1..3).contains(&i));
+            }
+        }
+
+        #[test]
+        #[should_panic]
+        fn failing_case_propagates(x in 0u32..10) {
+            prop_assert!(x > 100, "x={x}");
+        }
+    }
+}

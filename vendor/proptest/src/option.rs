@@ -1,0 +1,28 @@
+//! Option strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Strategy producing `None` 25% of the time (like the real crate's
+/// default 1:3 weighting) and `Some(inner sample)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample_value(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.sample_value(rng))
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build environment has no registry access, so this crate
+//! re-implements exactly the slice of the `rand` 0.8 API the workspace
+//! uses: `SmallRng` (xoshiro256++, the same generator the real crate
+//! uses on 64-bit targets, seeded through SplitMix64 like
+//! `SeedableRng::seed_from_u64`), the `Rng` extension trait
+//! (`gen`/`gen_range`/`gen_bool`), and `seq::SliceRandom::shuffle`
+//! (Fisher–Yates). Streams are deterministic per seed, which is all the
+//! engine's reproducibility story requires; statistical quality matches
+//! the upstream generator because the core algorithm is identical.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level generator interface, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable generators, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion — identical to rand_core's impl, so seeds
+        // produce the same initial state as the real crate.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly over their whole domain via `Rng::gen`.
+pub trait Fill {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Fill for u8 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Fill for u16 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Fill for u32 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Fill for u64 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Fill for usize {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Fill for i32 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Fill for i64 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Fill for bool {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Fill for f64 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits into [0, 1), as rand's Standard does.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Fill for f32 {
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by `Rng::gen_range`, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Fill>::fill_from(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Closed-unit sample: scale 53 random bits by 1/(2^53-1)
+                // so `hi` is reachable, unlike the half-open case.
+                let unit = (rng.next_u64() >> 11) as $t
+                    * (1.0 / ((1u64 << 53) - 1) as $t);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+/// User-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Fill>(&mut self) -> T {
+        T::fill_from(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        <f64 as Fill>::fill_from(self) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(numerator <= denominator);
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let f = r.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i = r.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Generator implementations, mirroring `rand::rngs`.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — the algorithm behind `rand::rngs::SmallRng` on 64-bit
+/// platforms (Blackman & Vigna 2019). Not cryptographically secure;
+/// fast, small, and fine for randomized search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // The all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        SmallRng { s }
+    }
+}
+
+/// Alias: the workspace never relies on `StdRng`'s ChaCha security
+/// properties, only on determinism, so one generator serves both names.
+pub type StdRng = SmallRng;

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive/src/lib.rs` for the rationale. `Serialize`
+//! and `Deserialize` exist here as marker traits with blanket impls so
+//! that both `#[derive(Serialize, Deserialize)]` and `T: Serialize`
+//! bounds compile unchanged against the real crate's surface.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, and no code in the repository performs actual
+//! serialization yet (the derives only mark types as serializable for
+//! future persistence work). These derives therefore expand to nothing;
+//! the matching marker traits live in the sibling `serde` stub crate
+//! and carry blanket impls. Swap both stubs for the real crates by
+//! editing `[workspace.dependencies]` once the build environment has
+//! registry access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
