@@ -54,15 +54,16 @@ impl TabuHillClimb {
         for _ in 0..self.iterations {
             let loaded = schedule.most_loaded_machine();
             let makespan = schedule.completion(loaded);
-            let candidates = schedule.tasks_on(loaded);
-            if candidates.is_empty() {
+            // Borrowed from the task index — no per-iteration allocation.
+            let n_candidates = schedule.count_on(loaded);
+            if n_candidates == 0 {
                 break;
             }
 
             // Sample source tasks (without replacement when possible).
             let mut best: Option<(usize, usize, f64)> = None; // (task, machine, new CT)
-            for _ in 0..self.sample_tasks.min(candidates.len()) {
-                let task = candidates[rng.gen_range(0..candidates.len())];
+            for _ in 0..self.sample_tasks.min(n_candidates) {
+                let task = schedule.tasks_on(loaded)[rng.gen_range(0..n_candidates)] as usize;
                 if tabu.contains(&task) {
                     continue;
                 }

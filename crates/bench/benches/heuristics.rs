@@ -18,5 +18,20 @@ fn bench_heuristics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_heuristics);
+/// The cached-choice Min-min driver A/B'd against the frozen O(T²·M)
+/// full-rescan driver in the same run — `BENCH_*.json` records the
+/// `min_min/scan ÷ min_min/indexed` speedup.
+fn bench_min_min_ab(c: &mut Criterion) {
+    let inst = braun_instance("u_c_hihi.0");
+    let mut group = c.benchmark_group("min_min");
+    group.bench_function("indexed", |b| {
+        b.iter(|| black_box(heuristics::min_min(&inst).makespan()))
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| black_box(heuristics::min_min_scan(&inst).makespan()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_min_min_ab);
 criterion_main!(benches);

@@ -68,5 +68,28 @@ fn bench_h2ll(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crossover, bench_mutation, bench_h2ll);
+/// The frozen pre-index H2LL (full machine sort + O(T) count and pick
+/// scans per iteration), A/B against `h2ll` above in the same run —
+/// `BENCH_*.json` records the `h2ll_scan/N ÷ h2ll/N` speedup.
+fn bench_h2ll_scan(c: &mut Criterion) {
+    let inst = braun_instance("u_i_hihi.0");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let base = Schedule::random(&inst, &mut rng);
+    let mut scratch = Vec::new();
+
+    let mut group = c.benchmark_group("h2ll_scan");
+    for iters in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let op = H2ll::with_iterations(iters);
+            let mut s = base.clone();
+            b.iter(|| {
+                s.copy_from(&base);
+                black_box(op.apply_scan_with_scratch(&inst, &mut s, &mut rng, &mut scratch))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover, bench_mutation, bench_h2ll, bench_h2ll_scan);
 criterion_main!(benches);

@@ -46,6 +46,11 @@ pub struct PaCgaConfig {
     pub sweep: SweepPolicy,
     /// Stop condition (paper: 90 s wall time).
     pub termination: Termination,
+    /// Block sweeps between periodic [`scheduling::Schedule::renormalize`]
+    /// passes over the population, discarding the floating-point drift
+    /// that incremental `CT` updates accumulate over long asynchronous
+    /// runs. `0` disables the pass entirely.
+    pub renormalize_every: u64,
     /// Master seed; derives population-init and per-thread RNG streams.
     pub seed: u64,
     /// How the initial population is seeded (paper: Min-min, 1 ind).
@@ -75,6 +80,7 @@ impl PaCgaConfig {
             replacement: ReplacementPolicy::ReplaceIfBetter,
             sweep: SweepPolicy::LineSweep,
             termination: Termination::WallTime(Duration::from_secs(90)),
+            renormalize_every: 1000,
             seed: 0,
             seeding: Seeding::MinMin,
             record_traces: false,
@@ -227,6 +233,13 @@ impl PaCgaConfigBuilder {
         self
     }
 
+    /// Block sweeps between periodic drift-correcting renormalize passes
+    /// (0 disables).
+    pub fn renormalize_every(mut self, sweeps: u64) -> Self {
+        self.config.renormalize_every = sweeps;
+        self
+    }
+
     /// Master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -277,6 +290,7 @@ mod tests {
         assert_eq!(c.replacement, ReplacementPolicy::ReplaceIfBetter);
         assert_eq!(c.sweep, SweepPolicy::LineSweep);
         assert_eq!(c.termination, Termination::WallTime(Duration::from_secs(90)));
+        assert_eq!(c.renormalize_every, 1000);
         assert_eq!(c.seeding, Seeding::MinMin);
     }
 

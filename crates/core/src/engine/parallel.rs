@@ -240,6 +240,19 @@ fn evolve_block(
         }
         generations += 1;
 
+        // Periodic drift correction: recompute this block's cached CT
+        // vectors from scratch every `renormalize_every` sweeps, so
+        // incremental f64 updates cannot drift over long asynchronous
+        // runs. Consumes no randomness; each thread renormalizes only its
+        // own block, one brief write lock at a time.
+        if cfg.renormalize_every > 0 && generations % cfg.renormalize_every == 0 {
+            for i in block.clone() {
+                let mut ind = pop[i].write();
+                ind.schedule.renormalize(instance);
+                ind.evaluate();
+            }
+        }
+
         if cfg.record_traces {
             let mut sum = 0.0;
             let mut best = f64::INFINITY;
@@ -345,6 +358,33 @@ mod tests {
                 assert!(b <= m);
             }
         }
+    }
+
+    #[test]
+    fn periodic_renormalize_keeps_population_exact_and_deterministic() {
+        let inst = instance();
+        // One thread: cross-block neighbor reads make multi-thread runs
+        // timing-dependent, and this test compares two trajectories.
+        let cfg = |every: u64| {
+            PaCgaConfig::builder()
+                .grid(6, 6)
+                .threads(1)
+                .local_search_iterations(5)
+                .termination(Termination::Generations(10))
+                .renormalize_every(every)
+                .seed(11)
+                .build()
+        };
+        let (out, pop) = PaCga::new(&inst, cfg(3)).run_with_population();
+        for ind in &pop {
+            assert!(check_schedule(&inst, &ind.schedule).is_ok());
+            assert_eq!(ind.fitness, ind.schedule.makespan());
+        }
+        // Renormalizing consumes no randomness, so the search trajectory
+        // is untouched: only cached CT bits may sharpen.
+        let base = PaCga::new(&inst, cfg(0)).run();
+        assert_eq!(out.best.schedule.assignment(), base.best.schedule.assignment());
+        assert_eq!(out.evaluations, base.evaluations);
     }
 
     #[test]

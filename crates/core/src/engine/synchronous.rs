@@ -105,6 +105,15 @@ impl<'a> SyncCga<'a> {
             std::mem::swap(&mut pop, &mut aux);
             generations += 1;
 
+            // Periodic drift correction (see the parallel engine): rebuild
+            // cached CT vectors from scratch every K generations.
+            if cfg.renormalize_every > 0 && generations % cfg.renormalize_every == 0 {
+                for ind in &mut pop {
+                    ind.schedule.renormalize(instance);
+                    ind.evaluate();
+                }
+            }
+
             if cfg.record_traces {
                 let sum: f64 = pop.iter().map(|ind| ind.fitness).sum();
                 let best = pop
@@ -177,6 +186,25 @@ mod tests {
         let out = SyncCga::new(&inst, config(20)).run();
         assert!(check_schedule(&inst, &out.best.schedule).is_ok());
         assert!(out.best.makespan() <= heuristics::min_min(&inst).makespan());
+    }
+
+    #[test]
+    fn periodic_renormalize_keeps_population_exact() {
+        let inst = EtcInstance::toy(48, 6);
+        let cfg = PaCgaConfig::builder()
+            .grid(6, 6)
+            .threads(1)
+            .local_search_iterations(5)
+            .termination(Termination::Generations(9))
+            .renormalize_every(2)
+            .seed(5)
+            .record_traces(true)
+            .build();
+        let (_, pop) = SyncCga::new(&inst, cfg).run_with_population();
+        for ind in &pop {
+            assert!(check_schedule(&inst, &ind.schedule).is_ok());
+            assert_eq!(ind.fitness, ind.schedule.makespan());
+        }
     }
 
     #[test]

@@ -49,7 +49,100 @@ impl H2ll {
     /// moves. `scratch` is a reusable machine-index buffer of length
     /// `n_machines` (contents irrelevant on entry); pass a fresh
     /// `Vec` via [`H2ll::apply`] if you don't keep one.
+    ///
+    /// The machine load ordering (Algorithm 4 line 2) is sorted **once**
+    /// and then maintained incrementally: an accepted move changes the
+    /// loads of exactly two machines, and each is re-sifted to its sorted
+    /// position in O(#machines) swaps instead of a full O(M log M) re-sort
+    /// per iteration. The random task pick uses the schedule's task index
+    /// (O(1)) instead of an O(#tasks) assignment scan. Both refinements
+    /// are move-for-move identical to [`H2ll::apply_scan_with_scratch`]
+    /// whenever the most loaded machine holds at least one task.
+    ///
+    /// When the most loaded machine holds *no* tasks (its load is pure
+    /// ready time), the iteration falls through to the next-loaded machine
+    /// that has one instead of being burned — the move-acceptance
+    /// threshold is then that machine's own completion time, so the
+    /// makespan still never increases.
     pub fn apply_with_scratch(
+        &self,
+        instance: &EtcInstance,
+        schedule: &mut Schedule,
+        rng: &mut impl Rng,
+        scratch: &mut Vec<usize>,
+    ) -> usize {
+        let n_machines = schedule.n_machines();
+        let n_cand = self.candidates_for(n_machines);
+        let etc = instance.etc();
+        let mut moves = 0;
+
+        scratch.clear();
+        scratch.extend(0..n_machines);
+        // Sorted once; re-sifted after each accepted move.
+        schedule.sort_machines_into(scratch);
+
+        for _ in 0..self.iterations {
+            // Source: the most loaded machine that actually holds a task.
+            let mut sp = n_machines - 1;
+            while schedule.count_on(scratch[sp]) == 0 {
+                if sp == 0 {
+                    return moves; // No tasks anywhere.
+                }
+                sp -= 1;
+            }
+            let src = scratch[sp];
+            let threshold = schedule.completion(src);
+
+            // Line 3: a random task from the source machine (O(1) pick).
+            let task = schedule
+                .random_task_on(src, rng)
+                .expect("source machine was chosen non-empty");
+
+            // Lines 4-11: best candidate among the N least loaded machines.
+            let mut best_mac = None;
+            let mut best_score = threshold;
+            for &mac in scratch.iter().take(n_cand) {
+                if mac == src {
+                    continue;
+                }
+                // The transposed access of Algorithm 4 line 6.
+                let new_score = schedule.completion(mac) + etc.etc_on(mac, task);
+                if new_score < best_score {
+                    best_mac = Some(mac);
+                    best_score = new_score;
+                }
+            }
+
+            // Line 12: move the task if a candidate qualified.
+            if let Some(mac) = best_mac {
+                schedule.move_task(instance, task, mac);
+                moves += 1;
+                // Only src (load fell) and mac (load rose) changed rank.
+                resift(scratch, schedule, mac);
+                resift(scratch, schedule, src);
+            }
+        }
+        moves
+    }
+
+    /// Applies the operator in place (allocating the scratch buffer).
+    pub fn apply(
+        &self,
+        instance: &EtcInstance,
+        schedule: &mut Schedule,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mut scratch = Vec::with_capacity(schedule.n_machines());
+        self.apply_with_scratch(instance, schedule, rng, &mut scratch)
+    }
+
+    /// The pre-index implementation, frozen for A/B benchmarking
+    /// (`benches/operators.rs`) and the trace-identity regression test:
+    /// full machine sort plus two O(#tasks) assignment scans (count +
+    /// `nth`-filter pick) per iteration. Behaviorally identical to the
+    /// paper's Algorithm 4; kept verbatim so the `h2ll` vs `h2ll_scan`
+    /// benches measure exactly the retired cost structure.
+    pub fn apply_scan_with_scratch(
         &self,
         instance: &EtcInstance,
         schedule: &mut Schedule,
@@ -70,8 +163,13 @@ impl H2ll {
             let most_loaded = scratch[n_machines - 1];
             let makespan = schedule.completion(most_loaded);
 
-            // Line 3: a random task from the most loaded machine.
-            let count = schedule.count_on(most_loaded);
+            // Line 3: a random task from the most loaded machine, found by
+            // scanning the assignment vector (the retired hot path).
+            let count = schedule
+                .assignment()
+                .iter()
+                .filter(|&&m| m as usize == most_loaded)
+                .count();
             if count == 0 {
                 // Only ready time loads this machine; nothing to move.
                 continue;
@@ -84,7 +182,7 @@ impl H2ll {
                 .filter(|&(_, &m)| m as usize == most_loaded)
                 .nth(pick)
                 .map(|(t, _)| t)
-                .expect("count_on said the task exists");
+                .expect("count said the task exists");
 
             // Lines 4-11: best candidate among the N least loaded machines.
             let mut best_mac = None;
@@ -93,7 +191,6 @@ impl H2ll {
                 if mac == most_loaded {
                     continue;
                 }
-                // The transposed access of Algorithm 4 line 6.
                 let new_score = schedule.completion(mac) + etc.etc_on(mac, task);
                 if new_score < best_score {
                     best_mac = Some(mac);
@@ -109,16 +206,32 @@ impl H2ll {
         }
         moves
     }
+}
 
-    /// Applies the operator in place (allocating the scratch buffer).
-    pub fn apply(
-        &self,
-        instance: &EtcInstance,
-        schedule: &mut Schedule,
-        rng: &mut impl Rng,
-    ) -> usize {
-        let mut scratch = Vec::with_capacity(schedule.n_machines());
-        self.apply_with_scratch(instance, schedule, rng, &mut scratch)
+/// Restores the load-sorted order of `order` after `machine`'s load
+/// changed, by bubbling it to its new position. Uses the same
+/// [`Schedule::load_rank`] key as [`Schedule::sort_machines_into`], so an
+/// incrementally maintained order is always bit-identical to a full
+/// re-sort.
+fn resift(order: &mut [usize], schedule: &Schedule, machine: usize) {
+    let lt = |a: usize, b: usize| {
+        schedule
+            .load_rank(a)
+            .partial_cmp(&schedule.load_rank(b))
+            .expect("completion times are finite")
+            .is_lt()
+    };
+    let mut i = order
+        .iter()
+        .position(|&m| m == machine)
+        .expect("machine is in the order buffer");
+    while i > 0 && lt(order[i], order[i - 1]) {
+        order.swap(i, i - 1);
+        i -= 1;
+    }
+    while i + 1 < order.len() && lt(order[i + 1], order[i]) {
+        order.swap(i, i + 1);
+        i += 1;
     }
 }
 
@@ -199,6 +312,52 @@ mod tests {
             if s.machine_of(t) != before.machine_of(t) {
                 assert!(least.contains(&s.machine_of(t)));
             }
+        }
+    }
+
+    #[test]
+    fn ready_time_loaded_machine_no_longer_burns_iterations() {
+        // Machine 2's load is pure ready time (100) and defines the
+        // makespan; all 16 tasks sit on machine 0. The retired scan
+        // implementation burned every iteration on the taskless machine;
+        // the indexed one falls through to machine 0 and balances it
+        // against machine 1 without ever raising the makespan.
+        let etc = etc_model::EtcMatrix::from_fn(16, 3, |_, _| 1.0);
+        let inst = EtcInstance::with_ready_times("r", etc, vec![0.0, 0.0, 100.0]);
+        let mut s = Schedule::from_assignment(&inst, vec![0; 16]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let moves = H2ll::with_iterations(10).apply(&inst, &mut s, &mut rng);
+        assert!(moves > 0, "fell through to the next-loaded machine");
+        assert_eq!(s.makespan(), 100.0);
+        assert!(s.completion(0) < 16.0, "machine 0 was unloaded");
+        assert!(check_schedule(&inst, &s).is_ok());
+
+        // The frozen scan reference documents the retired behavior: all
+        // iterations burn on the taskless makespan machine.
+        let mut s2 = Schedule::from_assignment(&inst, vec![0; 16]);
+        let mut rng2 = SmallRng::seed_from_u64(7);
+        let mut scratch = Vec::new();
+        let burned = H2ll::with_iterations(10)
+            .apply_scan_with_scratch(&inst, &mut s2, &mut rng2, &mut scratch);
+        assert_eq!(burned, 0);
+    }
+
+    #[test]
+    fn indexed_and_scan_agree_without_ready_times() {
+        let inst = EtcInstance::toy(40, 7);
+        for seed in 0..10u64 {
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let mut init = SmallRng::seed_from_u64(seed + 100);
+            let start = Schedule::random(&inst, &mut init);
+            let mut a = start.clone();
+            let mut b = start.clone();
+            let op = H2ll::with_iterations(25);
+            let ma = op.apply(&inst, &mut a, &mut rng_a);
+            let mut scratch = Vec::new();
+            let mb = op.apply_scan_with_scratch(&inst, &mut b, &mut rng_b, &mut scratch);
+            assert_eq!(ma, mb, "seed {seed}");
+            assert_eq!(a, b, "seed {seed}");
         }
     }
 

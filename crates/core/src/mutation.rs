@@ -47,12 +47,12 @@ impl MutationOp {
                 schedule.swap_tasks(instance, a, b);
             }
             MutationOp::Rebalance => {
+                // O(1) pick via the task index (the retired tasks_on call
+                // allocated and scanned every task).
                 let loaded = schedule.most_loaded_machine();
-                let candidates = schedule.tasks_on(loaded);
-                if candidates.is_empty() {
+                let Some(t) = schedule.random_task_on(loaded, rng) else {
                     return;
-                }
-                let t = candidates[rng.gen_range(0..candidates.len())];
+                };
                 let mac = rng.gen_range(0..m);
                 schedule.move_task(instance, t, mac);
             }

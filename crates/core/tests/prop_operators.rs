@@ -114,6 +114,33 @@ proptest! {
     }
 
     #[test]
+    fn h2ll_indexed_is_trace_identical_to_scan_reference(
+        rng_seed in 0u64..300,
+        assignment in proptest::collection::vec(0u32..3, 24),
+    ) {
+        // Same seed -> same moves: applied one iteration at a time, the
+        // indexed implementation and the frozen pre-index scan must pick
+        // the same task, the same target machine, and consume the same
+        // randomness at every step (the toy instance has no ready times,
+        // so the empty-most-loaded-machine divergence cannot trigger).
+        let inst = EtcInstance::toy(24, 3);
+        let mut indexed = Schedule::from_assignment(&inst, assignment.clone());
+        let mut scan = Schedule::from_assignment(&inst, assignment);
+        let mut rng_a = SmallRng::seed_from_u64(rng_seed);
+        let mut rng_b = SmallRng::seed_from_u64(rng_seed);
+        let op = H2ll::with_iterations(1);
+        let mut scratch = Vec::new();
+        for step in 0..30 {
+            let ma = op.apply(&inst, &mut indexed, &mut rng_a);
+            let mb = op.apply_scan_with_scratch(&inst, &mut scan, &mut rng_b, &mut scratch);
+            prop_assert_eq!(ma, mb, "move count diverged at step {}", step);
+            prop_assert_eq!(indexed.assignment(), scan.assignment(),
+                "assignments diverged at step {}", step);
+        }
+        prop_assert_eq!(&indexed, &scan);
+    }
+
+    #[test]
     fn operator_pipeline_preserves_validity(
         inst_seed in 0u64..10,
         rng_seed in 0u64..200,

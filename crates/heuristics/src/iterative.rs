@@ -1,41 +1,161 @@
-//! Iterative (batch) heuristics: each round scans **all** unassigned tasks
-//! before committing one of them (Min-min, Max-min, Sufferage). O(n²·m).
+//! Iterative (batch) heuristics: each round considers **all** unassigned
+//! tasks before committing one of them (Min-min, Max-min, Sufferage).
+//!
+//! The naive formulation re-evaluates every unassigned task's best machine
+//! every round — O(T²·M). But committing one task changes exactly **one**
+//! machine's load, and loads only ever *increase*: a cached (best,
+//! second-best) pair for a task stays exact unless the committed machine
+//! *is* that task's best or second-best. The drivers here exploit that —
+//! each task's choice is computed once up front (O(T·M)) and re-scanned
+//! only when the machine it was pinned to changed load, collapsing the
+//! common case to ~O(T·M + T²). Results are bit-identical to the naive
+//! scan (kept as [`min_min_scan`] / [`max_min_scan`] / [`sufferage_scan`]
+//! for A/B benchmarks and equivalence tests).
 
 use etc_model::EtcInstance;
 use scheduling::Schedule;
 
+/// Sentinel for "no second-best machine exists" (single-machine instance).
+const NO_MACHINE: usize = usize::MAX;
+
 /// For one task, the best machine under current loads and the resulting
-/// completion time, plus the second-best completion time (for sufferage).
+/// completion time, plus the second-best machine and completion time (for
+/// sufferage and for cache invalidation).
 #[derive(Debug, Clone, Copy)]
 struct TaskChoice {
     machine: usize,
     completion: f64,
+    second_machine: usize,
     second_completion: f64,
 }
 
+impl TaskChoice {
+    /// How much the task would suffer if denied its best machine.
+    fn suffering(&self) -> f64 {
+        if self.second_completion.is_finite() {
+            self.second_completion - self.completion
+        } else {
+            // Single machine: no alternative, sufferage zero.
+            0.0
+        }
+    }
+}
+
 fn choice_for(instance: &EtcInstance, loads: &[f64], task: usize) -> TaskChoice {
-    let mut best_m = 0;
+    let mut best_m = NO_MACHINE;
     let mut best = f64::INFINITY;
+    let mut second_m = NO_MACHINE;
     let mut second = f64::INFINITY;
     for (m, &load) in loads.iter().enumerate() {
         let c = load + instance.etc().etc_on(m, task);
         if c < best {
             second = best;
+            second_m = best_m;
             best = c;
             best_m = m;
         } else if c < second {
             second = c;
+            second_m = m;
         }
     }
-    TaskChoice { machine: best_m, completion: best, second_completion: second }
+    TaskChoice { machine: best_m, completion: best, second_machine: second_m, second_completion: second }
 }
 
-/// Shared driver: every round, evaluate each unassigned task's best choice,
-/// let `select` pick which task to commit, assign it, repeat.
-fn iterative(
-    instance: &EtcInstance,
-    mut select: impl FnMut(&[(usize, TaskChoice)]) -> usize,
-) -> Schedule {
+/// Which task a round commits, given every unassigned task's cached
+/// choice. All three rules are a strict first-wins arg-extremum, so the
+/// indexed and scan drivers share them verbatim.
+#[derive(Debug, Clone, Copy)]
+enum CommitRule {
+    /// Smallest best completion time first (Min-min).
+    MinMin,
+    /// Largest best completion time first (Max-min).
+    MaxMin,
+    /// Largest best-to-second-best gap first (Sufferage).
+    Sufferage,
+}
+
+impl CommitRule {
+    /// `true` if `candidate` strictly beats `incumbent` under the rule.
+    fn better(self, candidate: &TaskChoice, incumbent: &TaskChoice) -> bool {
+        match self {
+            CommitRule::MinMin => candidate.completion < incumbent.completion,
+            CommitRule::MaxMin => candidate.completion > incumbent.completion,
+            CommitRule::Sufferage => candidate.suffering() > incumbent.suffering(),
+        }
+    }
+
+    /// Whether selection reads `second_completion` (only Sufferage does).
+    /// Min-min/Max-min treat it as a mere staleness certificate, which
+    /// lets the driver keep it as a *lower bound* and skip most rescans.
+    fn needs_exact_second(self) -> bool {
+        matches!(self, CommitRule::Sufferage)
+    }
+}
+
+/// The indexed driver: per-task cached choices, invalidated only when the
+/// committed machine was a task's best or second-best.
+///
+/// Cache-freshness invariants, relying on loads only ever *growing*:
+///
+/// 1. `machine`/`completion` are always exact, with the scan driver's
+///    tie-break (lowest machine index wins equal completions).
+/// 2. For Sufferage, `second_machine`/`second_completion` are also exact.
+/// 3. For Min-min/Max-min, `second_completion` is only a **lower bound**
+///    on the best completion among non-`machine` machines (selection
+///    never reads it). When the committed machine is a task's cached
+///    best, one ETC read re-prices it: if the new completion is still
+///    *strictly* below the bound, the machine provably remains the
+///    unique best and the cache is patched in place — the dominant case
+///    on consistent instances, where every task pins the same machine
+///    and exact invalidation would degenerate into the O(T²·M) scan.
+///    Equal-to-bound cases fall back to a full rescan so index ties
+///    break identically to the scan driver.
+fn iterative(instance: &EtcInstance, rule: CommitRule) -> Schedule {
+    let n = instance.n_tasks();
+    let etc = instance.etc();
+    let exact_second = rule.needs_exact_second();
+    let mut loads: Vec<f64> = instance.ready_times().to_vec();
+    let mut assignment = vec![0u32; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    let mut choice: Vec<TaskChoice> =
+        (0..n).map(|t| choice_for(instance, &loads, t)).collect();
+
+    while !unassigned.is_empty() {
+        let mut best = 0;
+        for i in 1..unassigned.len() {
+            if rule.better(&choice[unassigned[i]], &choice[unassigned[best]]) {
+                best = i;
+            }
+        }
+        let task = unassigned[best];
+        let committed = choice[task];
+        assignment[task] = committed.machine as u32;
+        loads[committed.machine] += etc.etc_on(committed.machine, task);
+        unassigned.swap_remove(best);
+
+        for &t in &unassigned {
+            let c = &mut choice[t];
+            if c.machine == committed.machine {
+                let cand = loads[c.machine] + etc.etc_on(c.machine, t);
+                if !exact_second && cand < c.second_completion {
+                    c.completion = cand; // Still the unique best (inv. 3).
+                } else {
+                    *c = choice_for(instance, &loads, t);
+                }
+            } else if exact_second && c.second_machine == committed.machine {
+                *c = choice_for(instance, &loads, t);
+            }
+            // Any other machine growing cannot unseat an exact best, and
+            // only raises the true second — the cached bound stays valid.
+        }
+    }
+    Schedule::from_assignment(instance, assignment)
+}
+
+/// The pre-index driver, frozen for A/B benchmarking and equivalence
+/// tests: every round recomputes every unassigned task's choice from
+/// scratch — O(T²·M).
+fn iterative_scan(instance: &EtcInstance, rule: CommitRule) -> Schedule {
     let n = instance.n_tasks();
     let mut loads: Vec<f64> = instance.ready_times().to_vec();
     let mut assignment = vec![0u32; n];
@@ -47,7 +167,12 @@ fn iterative(
         for &t in &unassigned {
             choices.push((t, choice_for(instance, &loads, t)));
         }
-        let pick = select(&choices);
+        let mut pick = 0;
+        for i in 1..choices.len() {
+            if rule.better(&choices[i].1, &choices[pick].1) {
+                pick = i;
+            }
+        }
         let (task, choice) = choices[pick];
         assignment[task] = choice.machine as u32;
         loads[choice.machine] += instance.etc().etc_on(choice.machine, task);
@@ -61,52 +186,37 @@ fn iterative(
 /// is **smallest**. The PA-CGA paper seeds one individual with this
 /// schedule (Table 1).
 pub fn min_min(instance: &EtcInstance) -> Schedule {
-    iterative(instance, |choices| {
-        let mut best = 0;
-        for (i, (_, c)) in choices.iter().enumerate() {
-            if c.completion < choices[best].1.completion {
-                best = i;
-            }
-        }
-        best
-    })
+    iterative(instance, CommitRule::MinMin)
 }
 
 /// Max-min: commit the task whose best completion time is **largest**
 /// (places long tasks early, packing short ones around them).
 pub fn max_min(instance: &EtcInstance) -> Schedule {
-    iterative(instance, |choices| {
-        let mut best = 0;
-        for (i, (_, c)) in choices.iter().enumerate() {
-            if c.completion > choices[best].1.completion {
-                best = i;
-            }
-        }
-        best
-    })
+    iterative(instance, CommitRule::MaxMin)
 }
 
 /// Sufferage (Maheswaran et al. 1999): commit the task that would *suffer*
 /// most — largest gap between its best and second-best completion times —
 /// if it were denied its best machine.
 pub fn sufferage(instance: &EtcInstance) -> Schedule {
-    iterative(instance, |choices| {
-        let mut best = 0;
-        let mut best_suffer = f64::NEG_INFINITY;
-        for (i, (_, c)) in choices.iter().enumerate() {
-            let suffer = if c.second_completion.is_finite() {
-                c.second_completion - c.completion
-            } else {
-                // Single machine: no alternative, sufferage zero.
-                0.0
-            };
-            if suffer > best_suffer {
-                best_suffer = suffer;
-                best = i;
-            }
-        }
-        best
-    })
+    iterative(instance, CommitRule::Sufferage)
+}
+
+/// [`min_min`] via the retired O(T²·M) full-rescan driver. Kept only to
+/// price the indexed driver against (`benches/heuristics.rs`) and to pin
+/// bit-identical results in tests.
+pub fn min_min_scan(instance: &EtcInstance) -> Schedule {
+    iterative_scan(instance, CommitRule::MinMin)
+}
+
+/// [`max_min`] via the retired full-rescan driver (see [`min_min_scan`]).
+pub fn max_min_scan(instance: &EtcInstance) -> Schedule {
+    iterative_scan(instance, CommitRule::MaxMin)
+}
+
+/// [`sufferage`] via the retired full-rescan driver (see [`min_min_scan`]).
+pub fn sufferage_scan(instance: &EtcInstance) -> Schedule {
+    iterative_scan(instance, CommitRule::Sufferage)
 }
 
 #[cfg(test)]
@@ -182,6 +292,36 @@ mod tests {
         for s in [min_min(&inst), max_min(&inst), sufferage(&inst)] {
             assert_eq!(s.count_on(0), 5);
         }
+    }
+
+    #[test]
+    fn indexed_drivers_bit_identical_to_scan_reference() {
+        // The cached-choice drivers must reproduce the retired full-rescan
+        // drivers exactly — same assignment, same CT bits — across
+        // consistency classes and with non-zero ready times.
+        for seed in 0..8u64 {
+            let inst = etc_model::EtcGenerator::new(etc_model::GeneratorParams {
+                n_tasks: 40,
+                n_machines: 6,
+                task_heterogeneity: etc_model::Heterogeneity::High,
+                machine_heterogeneity: etc_model::Heterogeneity::High,
+                consistency: if seed % 2 == 0 {
+                    etc_model::Consistency::Inconsistent
+                } else {
+                    etc_model::Consistency::Consistent
+                },
+                seed,
+            })
+            .generate();
+            assert_eq!(min_min(&inst), min_min_scan(&inst), "min-min seed {seed}");
+            assert_eq!(max_min(&inst), max_min_scan(&inst), "max-min seed {seed}");
+            assert_eq!(sufferage(&inst), sufferage_scan(&inst), "sufferage seed {seed}");
+        }
+        let etc = EtcMatrix::from_fn(30, 4, |t, m| ((t * 5 + m * 11) % 17 + 1) as f64);
+        let inst = EtcInstance::with_ready_times("rt", etc, vec![3.0, 0.0, 7.5, 1.0]);
+        assert_eq!(min_min(&inst), min_min_scan(&inst));
+        assert_eq!(max_min(&inst), max_min_scan(&inst));
+        assert_eq!(sufferage(&inst), sufferage_scan(&inst));
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod immediate;
 pub mod iterative;
 
 pub use immediate::{mct, met, olb};
-pub use iterative::{duplex, max_min, min_min, sufferage};
+pub use iterative::{
+    duplex, max_min, max_min_scan, min_min, min_min_scan, sufferage, sufferage_scan,
+};
 
 use etc_model::EtcInstance;
 use scheduling::Schedule;

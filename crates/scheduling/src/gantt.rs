@@ -53,7 +53,7 @@ pub fn render_timeline(
                 out.push('…');
                 break;
             }
-            let span = ((etc_of(m, t) * scale).round() as usize).max(1);
+            let span = ((etc_of(m, t as usize) * scale).round() as usize).max(1);
             out.push_str(&format!("{t}{}", "-".repeat(span)));
         }
         out.push('\n');

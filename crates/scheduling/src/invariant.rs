@@ -2,8 +2,9 @@
 //!
 //! The cached `CT` vector must always equal the from-scratch recomputation
 //! `ready[m] + Σ ETC[t][m]`. Incremental f64 updates accumulate drift, so
-//! equality is checked with a relative tolerance. Every operator in the
-//! core crate is property-tested against this check.
+//! equality is checked with a relative tolerance. The per-machine task
+//! index is integer-exact and must agree with the assignment *exactly*.
+//! Every operator in the core crate is property-tested against this check.
 
 use crate::schedule::Schedule;
 use etc_model::EtcInstance;
@@ -36,6 +37,11 @@ pub enum InvariantError {
         /// What mismatched.
         detail: String,
     },
+    /// The per-machine task index disagrees with the assignment.
+    IndexCorrupt {
+        /// What disagreed (from [`Schedule::validate_index`]).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for InvariantError {
@@ -51,6 +57,9 @@ impl std::fmt::Display for InvariantError {
             ),
             InvariantError::DimensionMismatch { detail } => {
                 write!(f, "dimension mismatch: {detail}")
+            }
+            InvariantError::IndexCorrupt { detail } => {
+                write!(f, "task index corrupt: {detail}")
             }
         }
     }
@@ -103,6 +112,9 @@ pub fn check_schedule_with_tolerance(
             return Err(InvariantError::CompletionDrift { machine: m, cached, recomputed: fresh });
         }
     }
+    schedule
+        .validate_index()
+        .map_err(|detail| InvariantError::IndexCorrupt { detail })?;
     Ok(())
 }
 
@@ -164,5 +176,7 @@ mod tests {
         assert!(e.to_string().contains("task 3"));
         let e = InvariantError::CompletionDrift { machine: 1, cached: 2.0, recomputed: 3.0 };
         assert!(e.to_string().contains("CT[1]"));
+        let e = InvariantError::IndexCorrupt { detail: "pos[3] stale".into() };
+        assert!(e.to_string().contains("index corrupt"));
     }
 }

@@ -5,11 +5,21 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A complete assignment of every task to one machine, with cached
-/// per-machine completion times.
+/// per-machine completion times and a per-machine **task index**.
 ///
 /// All mutators take the [`EtcInstance`] as an argument (the schedule does
 /// not own it), update `CT` incrementally in O(1) per moved task, and keep
 /// the representation valid. Makespan evaluation is O(#machines).
+///
+/// The task index (`buckets` + `pos`) mirrors the assignment: `buckets[m]`
+/// holds the tasks on machine `m` in ascending task order, and
+/// `pos[t]` is `t`'s offset inside its machine's bucket. It makes
+/// [`Schedule::count_on`] O(1), [`Schedule::tasks_on`] an allocation-free
+/// slice borrow, and [`Schedule::random_task_on`] an O(1) pick — the
+/// operator hot paths that previously re-scanned the whole assignment.
+/// Keeping buckets sorted costs a short `memmove` inside one bucket
+/// (expected `T/M` elements) per move, and buys a canonical layout:
+/// two schedules with equal assignments have bit-identical indices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
     /// `assignment[t] = m`: task `t` runs on machine `m`.
@@ -17,6 +27,10 @@ pub struct Schedule {
     /// `completion[m]`: ready time of `m` plus the ETC of every task
     /// assigned to it.
     completion: Vec<f64>,
+    /// `buckets[m]`: the tasks assigned to machine `m`, ascending.
+    buckets: Vec<Vec<u32>>,
+    /// `pos[t]`: index of task `t` within `buckets[assignment[t]]`.
+    pos: Vec<u32>,
 }
 
 impl Schedule {
@@ -36,7 +50,53 @@ impl Schedule {
             assert!(m < n_machines, "task {t} assigned to machine {m} of {n_machines}");
             completion[m] += instance.etc().etc_on(m, t);
         }
-        Self { assignment, completion }
+        let mut s = Self {
+            assignment,
+            completion,
+            buckets: vec![Vec::new(); n_machines],
+            pos: Vec::new(),
+        };
+        s.rebuild_index();
+        s
+    }
+
+    /// Rebuilds the task index from the assignment in O(T + M). Iterating
+    /// tasks in ascending order leaves every bucket sorted.
+    fn rebuild_index(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.pos.clear();
+        self.pos.resize(self.assignment.len(), 0);
+        for (t, &m) in self.assignment.iter().enumerate() {
+            let bucket = &mut self.buckets[m as usize];
+            self.pos[t] = bucket.len() as u32;
+            bucket.push(t as u32);
+        }
+    }
+
+    /// Removes `task` from its machine's bucket, shifting the sorted tail
+    /// down one slot and fixing the shifted tasks' back-pointers.
+    fn index_remove(&mut self, task: usize, machine: usize) {
+        let p = self.pos[task] as usize;
+        let bucket = &mut self.buckets[machine];
+        debug_assert_eq!(bucket[p] as usize, task);
+        bucket.remove(p);
+        for &t in &bucket[p..] {
+            self.pos[t as usize] -= 1;
+        }
+    }
+
+    /// Inserts `task` into `machine`'s bucket at its sorted position,
+    /// shifting the tail up one slot and fixing back-pointers.
+    fn index_insert(&mut self, task: usize, machine: usize) {
+        let bucket = &mut self.buckets[machine];
+        let p = bucket.partition_point(|&t| (t as usize) < task);
+        bucket.insert(p, task as u32);
+        self.pos[task] = p as u32;
+        for &t in &bucket[p + 1..] {
+            self.pos[t as usize] += 1;
+        }
     }
 
     /// A uniformly random schedule.
@@ -128,15 +188,23 @@ impl Schedule {
         order
     }
 
+    /// The sort key ordering machines by load: ascending completion time,
+    /// ties broken by machine index. [`Schedule::sort_machines_into`] and
+    /// every incremental re-sorter (H2LL's resift) MUST share this key so
+    /// maintained orders stay bit-identical to a full re-sort.
+    #[inline]
+    pub fn load_rank(&self, machine: usize) -> (f64, usize) {
+        (self.completion[machine], machine)
+    }
+
     /// Sorts the provided index buffer by ascending completion time without
     /// allocating. `order` must contain each machine index exactly once.
     pub fn sort_machines_into(&self, order: &mut [usize]) {
         debug_assert_eq!(order.len(), self.completion.len());
         order.sort_by(|&a, &b| {
-            self.completion[a]
-                .partial_cmp(&self.completion[b])
+            self.load_rank(a)
+                .partial_cmp(&self.load_rank(b))
                 .expect("completion times are finite")
-                .then(a.cmp(&b))
         });
     }
 
@@ -152,7 +220,33 @@ impl Schedule {
         self.completion[old] -= etc.etc_on(old, task);
         self.completion[new_machine] += etc.etc_on(new_machine, task);
         self.assignment[task] = new_machine as u32;
+        self.index_remove(task, old);
+        self.index_insert(task, new_machine);
         old
+    }
+
+    /// Overwrites the whole assignment (`assignment[t] = f(t)`), then
+    /// recomputes `CT` and the task index from scratch in O(T + M) — the
+    /// bulk path for operators that rewrite many genes at once (crossover),
+    /// where per-gene incremental index maintenance would cost more than a
+    /// single rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `f` returns an out-of-range machine.
+    pub fn rewrite_assignment(
+        &mut self,
+        instance: &EtcInstance,
+        mut f: impl FnMut(usize) -> u32,
+    ) {
+        let n_machines = self.completion.len();
+        for t in 0..self.assignment.len() {
+            let m = f(t);
+            debug_assert!((m as usize) < n_machines, "task {t} assigned to machine {m}");
+            self.assignment[t] = m;
+        }
+        self.renormalize(instance);
+        self.rebuild_index();
     }
 
     /// Swaps the machines of two tasks, incrementally.
@@ -166,19 +260,69 @@ impl Schedule {
         self.move_task(instance, b, ma);
     }
 
-    /// Tasks currently assigned to `machine` (O(#tasks) scan).
-    pub fn tasks_on(&self, machine: usize) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m as usize == machine)
-            .map(|(t, _)| t)
-            .collect()
+    /// Tasks currently assigned to `machine`, in ascending task order —
+    /// an O(1) borrow from the task index (no allocation, no scan).
+    #[inline]
+    pub fn tasks_on(&self, machine: usize) -> &[u32] {
+        &self.buckets[machine]
     }
 
-    /// Number of tasks on `machine` (O(#tasks) scan).
+    /// Number of tasks on `machine` (O(1), from the task index).
+    #[inline]
     pub fn count_on(&self, machine: usize) -> usize {
-        self.assignment.iter().filter(|&&m| m as usize == machine).count()
+        self.buckets[machine].len()
+    }
+
+    /// A uniformly random task among those on `machine`, or `None` if the
+    /// machine holds no tasks. O(1) via the task index. Consumes exactly
+    /// one `gen_range(0..count)` draw, matching the retired scan-based
+    /// `nth`-filter pick (buckets are sorted, so the `k`-th bucket entry
+    /// *is* the `k`-th assigned task in ascending order).
+    #[inline]
+    pub fn random_task_on(&self, machine: usize, rng: &mut impl Rng) -> Option<usize> {
+        let bucket = &self.buckets[machine];
+        if bucket.is_empty() {
+            return None;
+        }
+        Some(bucket[rng.gen_range(0..bucket.len())] as usize)
+    }
+
+    /// Validates the task index against the assignment: every bucket
+    /// sorted, back-pointers exact, and bucket membership equal to a
+    /// from-scratch recount. O(T + M); used by the invariant checker.
+    pub fn validate_index(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for (m, bucket) in self.buckets.iter().enumerate() {
+            counted += bucket.len();
+            for (p, &t) in bucket.iter().enumerate() {
+                let t = t as usize;
+                if t >= self.assignment.len() {
+                    return Err(format!("bucket[{m}][{p}] holds unknown task {t}"));
+                }
+                if self.assignment[t] as usize != m {
+                    return Err(format!(
+                        "bucket[{m}][{p}] holds task {t}, but assignment says machine {}",
+                        self.assignment[t]
+                    ));
+                }
+                if self.pos[t] as usize != p {
+                    return Err(format!(
+                        "pos[{t}] = {} but task sits at bucket[{m}][{p}]",
+                        self.pos[t]
+                    ));
+                }
+                if p > 0 && bucket[p - 1] >= t as u32 {
+                    return Err(format!("bucket[{m}] not strictly ascending at offset {p}"));
+                }
+            }
+        }
+        if counted != self.assignment.len() {
+            return Err(format!(
+                "buckets hold {counted} tasks, assignment has {}",
+                self.assignment.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Recomputes `CT` from scratch, discarding accumulated floating-point
@@ -193,10 +337,16 @@ impl Schedule {
     }
 
     /// Copies another schedule's contents into this one without
-    /// reallocating — the hot path for replacement under a write lock.
+    /// reallocating (bucket capacities are reused once warm) — the hot
+    /// path for replacement under a write lock.
     pub fn copy_from(&mut self, other: &Schedule) {
         self.assignment.copy_from_slice(&other.assignment);
         self.completion.copy_from_slice(&other.completion);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            mine.clear();
+            mine.extend_from_slice(theirs);
+        }
+        self.pos.copy_from_slice(&other.pos);
     }
 }
 
@@ -314,9 +464,63 @@ mod tests {
     fn tasks_on_and_count() {
         let inst = toy();
         let s = Schedule::from_assignment(&inst, vec![1, 1, 0, 1]);
-        assert_eq!(s.tasks_on(1), vec![0, 1, 3]);
+        assert_eq!(s.tasks_on(1), [0, 1, 3]);
         assert_eq!(s.count_on(1), 3);
         assert_eq!(s.count_on(2), 0);
+        assert!(s.validate_index().is_ok());
+    }
+
+    #[test]
+    fn index_follows_moves_and_swaps() {
+        let inst = toy();
+        let mut s = Schedule::from_assignment(&inst, vec![1, 1, 0, 1]);
+        s.move_task(&inst, 1, 2);
+        assert_eq!(s.tasks_on(1), [0, 3]);
+        assert_eq!(s.tasks_on(2), [1]);
+        s.swap_tasks(&inst, 0, 2);
+        assert_eq!(s.tasks_on(0), [0]);
+        assert_eq!(s.tasks_on(1), [2, 3]);
+        assert!(s.validate_index().is_ok());
+    }
+
+    #[test]
+    fn index_is_canonical_regardless_of_history() {
+        // Reaching the same assignment through different move orders must
+        // produce bit-identical indices (sorted buckets).
+        let inst = toy();
+        let mut a = Schedule::from_assignment(&inst, vec![0, 0, 0, 0]);
+        a.move_task(&inst, 3, 1);
+        a.move_task(&inst, 1, 1);
+        let mut b = Schedule::from_assignment(&inst, vec![0, 0, 0, 0]);
+        b.move_task(&inst, 1, 1);
+        b.move_task(&inst, 3, 1);
+        assert_eq!(a.tasks_on(1), b.tasks_on(1));
+        assert_eq!(a.tasks_on(1), [1, 3]);
+    }
+
+    #[test]
+    fn random_task_on_picks_uniformly_from_bucket() {
+        let inst = toy();
+        let s = Schedule::from_assignment(&inst, vec![1, 1, 0, 1]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(s.random_task_on(2, &mut rng), None);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let t = s.random_task_on(1, &mut rng).unwrap();
+            assert_ne!(t, 2, "task 2 is on machine 0");
+            seen[t] = true;
+        }
+        assert!(seen[0] && seen[1] && seen[3]);
+    }
+
+    #[test]
+    fn rewrite_assignment_matches_from_assignment() {
+        let inst = toy();
+        let mut s = Schedule::from_assignment(&inst, vec![0, 0, 0, 0]);
+        let target = [2u32, 1, 0, 1];
+        s.rewrite_assignment(&inst, |t| target[t]);
+        assert_eq!(s, Schedule::from_assignment(&inst, target.to_vec()));
+        assert!(s.validate_index().is_ok());
     }
 
     #[test]

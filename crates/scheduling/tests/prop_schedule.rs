@@ -22,13 +22,41 @@ fn small_instance(seed: u64) -> EtcInstance {
 enum Op {
     Move { task: usize, machine: usize },
     Swap { a: usize, b: usize },
+    Renormalize,
+    /// Overwrite the schedule from a donor built on the same instance.
+    CopyFrom { assignment: Vec<u32> },
+    /// Bulk-rewrite every gene (the crossover path).
+    Rewrite { assignment: Vec<u32> },
 }
 
 fn op_strategy(n_tasks: usize, n_machines: usize) -> impl Strategy<Value = Op> {
+    let m = n_machines as u32;
     prop_oneof![
-        (0..n_tasks, 0..n_machines).prop_map(|(task, machine)| Op::Move { task, machine }),
-        (0..n_tasks, 0..n_tasks).prop_map(|(a, b)| Op::Swap { a, b }),
+        4 => (0..n_tasks, 0..n_machines).prop_map(|(task, machine)| Op::Move { task, machine }),
+        4 => (0..n_tasks, 0..n_tasks).prop_map(|(a, b)| Op::Swap { a, b }),
+        1 => Just(Op::Renormalize),
+        1 => proptest::collection::vec(0..m, n_tasks)
+            .prop_map(|assignment| Op::CopyFrom { assignment }),
+        1 => proptest::collection::vec(0..m, n_tasks)
+            .prop_map(|assignment| Op::Rewrite { assignment }),
     ]
+}
+
+fn apply(inst: &EtcInstance, s: &mut Schedule, op: Op) {
+    match op {
+        Op::Move { task, machine } => {
+            s.move_task(inst, task, machine);
+        }
+        Op::Swap { a, b } => s.swap_tasks(inst, a, b),
+        Op::Renormalize => s.renormalize(inst),
+        Op::CopyFrom { assignment } => {
+            let donor = Schedule::from_assignment(inst, assignment);
+            s.copy_from(&donor);
+        }
+        Op::Rewrite { assignment } => {
+            s.rewrite_assignment(inst, |t| assignment[t]);
+        }
+    }
 }
 
 proptest! {
@@ -51,12 +79,36 @@ proptest! {
         let inst = small_instance(seed);
         let mut s = Schedule::round_robin(&inst);
         for op in ops {
-            match op {
-                Op::Move { task, machine } => { s.move_task(&inst, task, machine); }
-                Op::Swap { a, b } => s.swap_tasks(&inst, a, b),
-            }
+            apply(&inst, &mut s, op);
         }
         prop_assert!(check_schedule(&inst, &s).is_ok());
+    }
+
+    #[test]
+    fn task_index_matches_recount_after_op_sequences(
+        seed in 0u64..20,
+        ops in proptest::collection::vec(op_strategy(24, 5), 1..200)
+    ) {
+        // The incrementally maintained index must agree with a
+        // from-scratch recount of the assignment after ANY sequence of
+        // mutators, and its buckets must stay sorted (canonical form).
+        let inst = small_instance(seed);
+        let mut s = Schedule::round_robin(&inst);
+        for op in ops {
+            apply(&inst, &mut s, op);
+            prop_assert!(s.validate_index().is_ok(), "{:?}", s.validate_index());
+            for m in 0..inst.n_machines() {
+                let recount: Vec<u32> = s
+                    .assignment()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &mac)| mac as usize == m)
+                    .map(|(t, _)| t as u32)
+                    .collect();
+                prop_assert_eq!(s.tasks_on(m), &recount[..], "machine {}", m);
+                prop_assert_eq!(s.count_on(m), recount.len());
+            }
+        }
     }
 
     #[test]

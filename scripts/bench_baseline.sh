@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Records the repo's perf baseline: runs the operator, heuristic, and
+# engine-throughput criterion benches and writes a machine-readable
+# BENCH_<n>.json (median ns/op per bench, engine evaluations/second at
+# 1-4 threads, and the indexed-vs-scan speedups) so every later perf
+# claim can be checked against a committed trajectory.
+#
+#   scripts/bench_baseline.sh            # full run, writes BENCH_<next>.json
+#   scripts/bench_baseline.sh -o F.json  # full run, explicit output file
+#   scripts/bench_baseline.sh --smoke    # 1 iteration per bench, no JSON —
+#                                        # the CI harness check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    -o) OUT="$2"; shift ;;
+    *) echo "usage: $0 [--smoke] [-o OUT.json]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$OUT" ]]; then
+  # Default: the next free slot in the BENCH_<n>.json trajectory.
+  n=2
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+  OUT="BENCH_${n}.json"
+fi
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+if [[ "$SMOKE" == 1 ]]; then
+  export CRITERION_STUB_SMOKE=1
+fi
+
+cargo bench -p pa_cga_bench \
+  --bench operators --bench heuristics --bench engine_throughput \
+  2>&1 | tee "$LOG"
+
+if [[ "$SMOKE" == 1 ]]; then
+  grep -q "smoke-ok" "$LOG" || { echo "bench smoke run produced no benchmarks" >&2; exit 1; }
+  echo "==> bench smoke OK (no JSON written)"
+  exit 0
+fi
+
+RUSTC_VERSION="$(rustc --version)" DATE_UTC="$(date -u +%F)" \
+awk -v out="$OUT" '
+  # Stub criterion lines: bench <label> <median> ns/iter (<iters> iters, ...)
+  $1 == "bench" && $4 == "ns/iter" { ns[$2] = $3; order[n++] = $2 }
+  END {
+    printf "{\n"
+    printf "  \"schema\": \"pa-cga-bench-baseline/v1\",\n"
+    printf "  \"date_utc\": \"%s\",\n", ENVIRON["DATE_UTC"]
+    printf "  \"rustc\": \"%s\",\n", ENVIRON["RUSTC_VERSION"]
+    printf "  \"benches_median_ns\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n - 1 ? "," : "")
+    printf "  },\n"
+    # 4096-evaluation engine runs -> evaluations per second.
+    printf "  \"engine_evals_per_sec\": {\n"
+    first = 1
+    for (i = 0; i < n; i++) {
+      label = order[i]
+      if (label !~ /_4096_evals\//) continue
+      key = label; sub(/.*\//, "", key)
+      if (label ~ /^sync_/) key = "sync_" key
+      if (!first) printf ",\n"
+      printf "    \"%s\": %.0f", key, 4096e9 / ns[label]
+      first = 0
+    }
+    printf "\n  },\n"
+    printf "  \"speedup_vs_scan\": {\n"
+    printf "    \"h2ll/10\": %.2f,\n", ns["h2ll_scan/10"] / ns["h2ll/10"]
+    printf "    \"h2ll/5\": %.2f,\n", ns["h2ll_scan/5"] / ns["h2ll/5"]
+    printf "    \"h2ll/1\": %.2f,\n", ns["h2ll_scan/1"] / ns["h2ll/1"]
+    printf "    \"min_min\": %.2f\n", ns["min_min/scan"] / ns["min_min/indexed"]
+    printf "  }\n"
+    printf "}\n"
+  }
+' "$LOG" > "$OUT"
+
+echo "==> wrote $OUT"

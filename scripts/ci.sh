@@ -3,22 +3,27 @@
 #
 #   scripts/ci.sh
 #
-# Three stages, each fatal on failure:
+# Four stages, each fatal on failure:
 #   1. cargo build --release (every crate, every target — benches and
 #      experiment binaries must at least compile)
 #   2. cargo test -q (unit + property + integration + doc tests)
 #   3. cargo doc --no-deps with warnings denied, so doc rot (broken
 #      intra-doc links and other rustdoc warnings) fails fast.
+#   4. bench smoke: every criterion bench body runs exactly once, so the
+#      perf-baseline harness (scripts/bench_baseline.sh) cannot rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/3] cargo build --release (all targets)"
+echo "==> [1/4] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [2/3] cargo test -q"
+echo "==> [2/4] cargo test -q"
 cargo test -q --workspace
 
-echo "==> [3/3] cargo doc --no-deps (warnings denied)"
+echo "==> [3/4] cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> [4/4] bench smoke (1 iteration per bench)"
+scripts/bench_baseline.sh --smoke
 
 echo "==> CI green"

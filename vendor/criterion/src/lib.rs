@@ -3,10 +3,12 @@
 //! Presents the same authoring API (`Criterion`, `benchmark_group`,
 //! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`,
 //! `criterion_group!`, `criterion_main!`) but measures with a simple
-//! adaptive wall-clock loop and prints one line per benchmark instead
-//! of doing statistical analysis. Good enough to rank alternatives and
-//! catch order-of-magnitude regressions; swap in the real crate for
-//! publication-grade numbers.
+//! adaptive wall-clock loop and prints one line per benchmark — the
+//! **median** ns/iter over its timed batches — instead of doing full
+//! statistical analysis. Good enough to rank alternatives and catch
+//! order-of-magnitude regressions; swap in the real crate for
+//! publication-grade numbers. `scripts/bench_baseline.sh` parses these
+//! lines into the repo's `BENCH_*.json` perf trajectory.
 //!
 //! Passing `--test` (as `cargo test` does for bench targets) or setting
 //! `CRITERION_STUB_SMOKE=1` runs every benchmark body exactly once as a
@@ -47,37 +49,55 @@ impl Display for BenchmarkId {
 /// Times closures, mirroring `criterion::Bencher`.
 pub struct Bencher {
     smoke: bool,
-    /// (iterations, total elapsed) of the measurement loop.
-    result: Option<(u64, Duration)>,
+    /// Per-batch mean ns/iteration samples plus the total iteration
+    /// count; the reported figure is the **median** sample, which
+    /// shrugs off one-off scheduling hiccups that skew a plain mean.
+    result: Option<(u64, Vec<f64>)>,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.smoke {
             black_box(f());
-            self.result = Some((1, Duration::ZERO));
+            self.result = Some((1, Vec::new()));
             return;
         }
-        // One warmup, then batches until enough signal: ≥10 iterations
-        // or ≥20 ms of accumulated runtime, whichever comes first at a
-        // batch boundary.
+        // One warmup, then timed batches until enough signal: ≥10
+        // iterations and ≥5 samples, or ≥50 ms of accumulated runtime,
+        // whichever comes first at a batch boundary. Batch sizes grow
+        // until a single batch is long enough to time reliably.
         black_box(f());
-        let budget = Duration::from_millis(20);
+        let budget = Duration::from_millis(50);
         let mut iters = 0u64;
         let mut elapsed = Duration::ZERO;
         let mut batch = 1u64;
-        while iters < 10 && elapsed < budget {
+        let mut samples: Vec<f64> = Vec::new();
+        while (iters < 10 || samples.len() < 5) && elapsed < budget {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            elapsed += start.elapsed();
+            let batch_elapsed = start.elapsed();
+            samples.push(batch_elapsed.as_nanos() as f64 / batch as f64);
+            elapsed += batch_elapsed;
             iters += batch;
-            if elapsed < Duration::from_micros(100) {
+            if batch_elapsed < Duration::from_micros(100) {
                 batch = batch.saturating_mul(4);
             }
         }
-        self.result = Some((iters, elapsed));
+        self.result = Some((iters, samples));
+    }
+}
+
+/// Median of the recorded samples (the samples are a scratch buffer; the
+/// caller no longer needs their order).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
     }
 }
 
@@ -93,10 +113,15 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     };
     f(&mut b);
     match b.result {
-        Some((1, d)) if d == Duration::ZERO => println!("bench {label:<50} smoke-ok"),
-        Some((iters, elapsed)) => {
-            let per = elapsed.as_nanos() as f64 / iters as f64;
-            println!("bench {label:<50} {per:>14.1} ns/iter ({iters} iters)");
+        Some((_, samples)) if samples.is_empty() => {
+            println!("bench {label:<50} smoke-ok")
+        }
+        Some((iters, mut samples)) => {
+            let per = median(&mut samples);
+            println!(
+                "bench {label:<50} {per:>14.1} ns/iter ({iters} iters, {} samples)",
+                samples.len()
+            );
         }
         None => println!("bench {label:<50} (no measurement)"),
     }

@@ -143,9 +143,16 @@ macro_rules! prop_assert_ne {
     };
 }
 
-/// Uniform choice between strategies of one value type.
+/// Choice between strategies of one value type: uniform (`strat, ...`)
+/// or weighted (`weight => strat, ...`), mirroring real proptest.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32,
+               Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>)),+
+        ])
+    };
     ($($strat:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+

@@ -153,12 +153,20 @@ where
 
 /// Uniform choice between boxed strategies — built by `prop_oneof!`.
 pub struct Union<T> {
-    arms: Vec<Box<dyn Strategy<Value = T>>>,
+    /// (weight, strategy) pairs; uniform unions use weight 1 everywhere,
+    /// which keeps their randomness consumption identical to the original
+    /// unweighted implementation.
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
 }
 
 impl<T> Union<T> {
     pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|&(w, _)| w > 0), "prop_oneof! needs a positive weight");
         Union { arms }
     }
 }
@@ -166,7 +174,14 @@ impl<T> Union<T> {
 impl<T> Strategy for Union<T> {
     type Value = T;
     fn sample_value(&self, rng: &mut SmallRng) -> T {
-        let i = rng.gen_range(0..self.arms.len());
-        self.arms[i].sample_value(rng)
+        let total: u32 = self.arms.iter().map(|&(w, _)| w).sum();
+        let mut x = rng.gen_range(0..total as usize) as u32;
+        for (w, arm) in &self.arms {
+            if x < *w {
+                return arm.sample_value(rng);
+            }
+            x -= w;
+        }
+        unreachable!("weights sum to total")
     }
 }
