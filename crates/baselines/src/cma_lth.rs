@@ -83,6 +83,13 @@ pub struct CmaLth<'a> {
     config: CmaLthConfig,
 }
 
+/// Sequential engine: one weight-1 portfolio slot per run.
+impl pa_cga_core::runner::Runnable for CmaLth<'_> {
+    fn run_once(&self) -> RunOutcome {
+        self.run()
+    }
+}
+
 impl<'a> CmaLth<'a> {
     /// Binds a configuration to an instance.
     pub fn new(instance: &'a EtcInstance, config: CmaLthConfig) -> Self {

@@ -81,6 +81,13 @@ pub struct StruggleGa<'a> {
     config: StruggleConfig,
 }
 
+/// Sequential engine: one weight-1 portfolio slot per run.
+impl pa_cga_core::runner::Runnable for StruggleGa<'_> {
+    fn run_once(&self) -> RunOutcome {
+        self.run()
+    }
+}
+
 impl<'a> StruggleGa<'a> {
     /// Binds a configuration to an instance.
     pub fn new(instance: &'a EtcInstance, config: StruggleConfig) -> Self {

@@ -1,0 +1,54 @@
+//! Portfolio-runner throughput: wall time to drain a fixed portfolio of
+//! independent replications at 1, 2, and 4 workers. On a multi-core host
+//! the ns/iter figure should fall roughly linearly with the worker count
+//! until it hits the core count (each run is a weight-1 single-thread
+//! engine); the runs-per-second trajectory is this repo's scaling story
+//! for replication sweeps, the way `engine_throughput` is for one run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use etc_model::EtcInstance;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::PaCga;
+use pa_cga_core::runner::{Portfolio, RunSpec};
+
+/// Portfolio size per measurement.
+const RUNS: u64 = 8;
+/// Evaluation budget per run — small, so worker scaling (not engine
+/// speed) dominates the measurement.
+const BUDGET: u64 = 2_000;
+
+fn config(seed: u64) -> PaCgaConfig {
+    PaCgaConfig::builder()
+        .grid(8, 8)
+        .threads(1)
+        .local_search_iterations(5)
+        .termination(Termination::Evaluations(BUDGET))
+        .seed(seed)
+        .build()
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let inst = EtcInstance::toy(128, 8);
+    let mut group = c.benchmark_group("runner_portfolio_8x2000_evals");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut portfolio = Portfolio::new().with_workers(workers);
+                    for seed in 0..RUNS {
+                        portfolio
+                            .push(RunSpec::new(format!("s{seed}"), PaCga::new(&inst, config(seed))));
+                    }
+                    black_box(portfolio.execute().expect_outcomes())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers);
+criterion_main!(benches);

@@ -11,11 +11,10 @@
 
 use crate::{mean_best_makespan, mean_evaluations, repeat_runs, Budget};
 use etc_model::braun_instance;
-use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::config::PaCgaConfig;
 use pa_cga_core::neighborhood::NeighborhoodShape;
 use pa_cga_core::sweep::SweepPolicy;
 use pa_cga_stats::Table;
-use std::time::Duration;
 
 /// Sweep-policy ablation.
 pub fn run_sweep(budget: &Budget) -> String {
@@ -28,7 +27,7 @@ pub fn run_sweep(budget: &Budget) -> String {
     out.push_str(&budget.banner());
     out.push('\n');
 
-    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let termination = budget.long_termination();
     let mut table = Table::new(&["sweep", "mean evaluations", "mean best makespan"]);
     for sweep in [SweepPolicy::LineSweep, SweepPolicy::ReverseLineSweep, SweepPolicy::RandomSweep]
     {
@@ -62,7 +61,7 @@ pub fn run_neighborhood(budget: &Budget) -> String {
     out.push_str(&budget.banner());
     out.push('\n');
 
-    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let termination = budget.long_termination();
     let mut table =
         Table::new(&["neighborhood", "locks/step", "mean evaluations", "mean best makespan"]);
     for shape in [

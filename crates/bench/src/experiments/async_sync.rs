@@ -13,6 +13,7 @@ use etc_model::braun_instance;
 use pa_cga_core::config::Termination;
 use pa_cga_core::crossover::CrossoverOp;
 use pa_cga_core::engine::{PaCga, SyncCga};
+use pa_cga_core::runner::Portfolio;
 use pa_cga_stats::{mann_whitney_u, Descriptive, Table};
 
 /// Evaluation budgets swept by the default harness (in units of the 256
@@ -50,20 +51,28 @@ pub fn run_with_evals_ls(budget: &Budget, evaluations: u64, ls: usize) -> String
     let instance = braun_instance("u_c_hihi.0");
     let mut out = format!("\n--- {evaluations} evaluations ---\n");
 
-    let mut async_best = Vec::new();
-    let mut sync_best = Vec::new();
-    for seed in 0..budget.runs {
-        let cfg = harness_config(
+    // One portfolio holds both models' repetitions: async runs first,
+    // sync runs second, so the result slice splits at `runs`.
+    let mut portfolio = Portfolio::new();
+    let cfg = |seed| {
+        harness_config(
             1,
             ls,
             CrossoverOp::TwoPoint,
             Termination::Evaluations(evaluations),
             seed,
             false,
-        );
-        async_best.push(PaCga::new(&instance, cfg.clone()).run().best.makespan());
-        sync_best.push(SyncCga::new(&instance, cfg).run().best.makespan());
+        )
+    };
+    for seed in 0..budget.runs {
+        portfolio.submit(format!("async/s{seed}"), PaCga::new(&instance, cfg(seed)));
     }
+    for seed in 0..budget.runs {
+        portfolio.submit(format!("sync/s{seed}"), SyncCga::new(&instance, cfg(seed)));
+    }
+    let outcomes = portfolio.execute().expect_outcomes();
+    let best: Vec<f64> = outcomes.iter().map(|o| o.best.makespan()).collect();
+    let (async_best, sync_best) = best.split_at(budget.runs as usize);
 
     let da = Descriptive::from_sample(&async_best);
     let ds = Descriptive::from_sample(&sync_best);

@@ -15,6 +15,7 @@ use pa_cga_core::config::{PaCgaConfig, Termination};
 use pa_cga_core::diversity::{assignment_entropy, fitness_spread, mean_pairwise_distance};
 use pa_cga_core::engine::{PaCga, SyncCga};
 use pa_cga_core::individual::Individual;
+use pa_cga_core::runner::run_jobs;
 use pa_cga_stats::Table;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -47,46 +48,63 @@ pub fn run(budget: &Budget) -> String {
     ]);
 
     let seeds: Vec<u64> = (0..budget.runs.min(4)).collect();
+    let engines = ["async", "sync", "panmictic"];
     for &gens in &CHECKPOINTS {
-        // Mean entropy over a few seeds per engine.
+        // All engine × seed snapshots of this checkpoint go through the
+        // portfolio pool in one submission; results come back in
+        // submission order, so chunks of `seeds.len()` realign per engine.
+        let jobs: Vec<_> = engines
+            .iter()
+            .flat_map(|&engine| {
+                let instance = &instance;
+                seeds.iter().map(move |&seed| {
+                    move || {
+                        let pop: Vec<Individual> = match engine {
+                            "async" => {
+                                let cfg = PaCgaConfig::builder()
+                                    .threads(1)
+                                    .local_search_iterations(5)
+                                    .termination(Termination::Generations(gens))
+                                    .seed(seed)
+                                    .build();
+                                PaCga::new(instance, cfg).run_with_population().1
+                            }
+                            "sync" => {
+                                let cfg = PaCgaConfig::builder()
+                                    .threads(1)
+                                    .local_search_iterations(5)
+                                    .termination(Termination::Generations(gens))
+                                    .seed(seed)
+                                    .build();
+                                SyncCga::new(instance, cfg).run_with_population().1
+                            }
+                            _ => {
+                                // Equal breeding effort: one struggle
+                                // "generation" also produces pop_size
+                                // offspring.
+                                let cfg = StruggleConfig {
+                                    pop_size: 256,
+                                    termination: Termination::Generations(gens),
+                                    seed,
+                                    ..StruggleConfig::default()
+                                };
+                                StruggleGa::new(instance, cfg).run_with_population().1
+                            }
+                        };
+                        metrics(&pop, n_machines, seed)
+                    }
+                })
+            })
+            .collect();
+        let results = run_jobs(jobs);
+
         let mut cells = Vec::new();
-        for engine in ["async", "sync", "panmictic"] {
+        for per_engine in results.chunks(seeds.len()) {
             let mut h_sum = 0.0;
             let mut d_sum = 0.0;
             let mut cv_sum = 0.0;
-            for &seed in &seeds {
-                let pop: Vec<Individual> = match engine {
-                    "async" => {
-                        let cfg = PaCgaConfig::builder()
-                            .threads(1)
-                            .local_search_iterations(5)
-                            .termination(Termination::Generations(gens))
-                            .seed(seed)
-                            .build();
-                        PaCga::new(&instance, cfg).run_with_population().1
-                    }
-                    "sync" => {
-                        let cfg = PaCgaConfig::builder()
-                            .threads(1)
-                            .local_search_iterations(5)
-                            .termination(Termination::Generations(gens))
-                            .seed(seed)
-                            .build();
-                        SyncCga::new(&instance, cfg).run_with_population().1
-                    }
-                    _ => {
-                        // Equal breeding effort: one struggle "generation"
-                        // also produces pop_size offspring.
-                        let cfg = StruggleConfig {
-                            pop_size: 256,
-                            termination: Termination::Generations(gens),
-                            seed,
-                            ..StruggleConfig::default()
-                        };
-                        StruggleGa::new(&instance, cfg).run_with_population().1
-                    }
-                };
-                let (h, d, cv) = metrics(&pop, n_machines, seed);
+            for result in per_engine {
+                let (h, d, cv) = *result.as_ref().expect("diversity snapshot failed");
                 h_sum += h;
                 d_sum += d;
                 cv_sum += cv;

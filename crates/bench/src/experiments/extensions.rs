@@ -13,6 +13,7 @@ use etc_model::braun_instance;
 use grid_sim::{run_under_noise, MctRescheduler, NoiseModel};
 use pa_cga_core::config::{PaCgaConfig, Termination};
 use pa_cga_core::engine::{IslandConfig, IslandModel, PaCga};
+use pa_cga_core::runner::{resolve_workers, run_jobs, run_weighted_jobs};
 use pa_cga_stats::{Descriptive, Table};
 
 /// Island counts swept.
@@ -35,26 +36,40 @@ pub fn run_islands(budget: &Budget) -> String {
     // Flat single-population reference at matched evaluations: 8 islands ×
     // (256 init + 15 epochs × 10 gens × 256) — computed below per row.
     for &k in &ISLAND_COUNTS {
+        // Replications run through the portfolio pool; each island model
+        // spawns `k` internal threads per epoch, declared as its weight.
+        let jobs: Vec<(usize, _)> = seeds
+            .iter()
+            .map(|&seed| {
+                let instance = &instance;
+                let job = move || {
+                    let island = PaCgaConfig::builder()
+                        .threads(1)
+                        .termination(Termination::Generations(1))
+                        .build();
+                    let cfg = IslandConfig {
+                        n_islands: k,
+                        epoch_generations: 10,
+                        epochs: 15,
+                        migrants: 2,
+                        seed,
+                        ..IslandConfig::new(island, k)
+                    };
+                    let outcome = IslandModel::new(instance, cfg).run();
+                    (outcome.best.makespan(), outcome.evaluations, outcome.elapsed.as_secs_f64())
+                };
+                (k, job)
+            })
+            .collect();
+        let workers = resolve_workers(None, jobs.len());
         let mut bests = Vec::new();
         let mut evals = 0u64;
         let mut secs = 0.0;
-        for &seed in &seeds {
-            let island = PaCgaConfig::builder()
-                .threads(1)
-                .termination(Termination::Generations(1))
-                .build();
-            let cfg = IslandConfig {
-                n_islands: k,
-                epoch_generations: 10,
-                epochs: 15,
-                migrants: 2,
-                seed,
-                ..IslandConfig::new(island, k)
-            };
-            let outcome = IslandModel::new(&instance, cfg).run();
-            bests.push(outcome.best.makespan());
-            evals = outcome.evaluations;
-            secs += outcome.elapsed.as_secs_f64();
+        for result in run_weighted_jobs(jobs, workers, None) {
+            let (best, e, s) = result.expect("island run failed");
+            bests.push(best);
+            evals = e;
+            secs += s;
         }
         let d = Descriptive::from_sample(&bests);
         table.row(&[
@@ -92,13 +107,23 @@ pub fn run_noise(budget: &Budget) -> String {
 
     let mut table = Table::new(&["epsilon", "mean realized", "mean gap", "worst gap"]);
     for &eps in &EPSILONS {
+        // Independent noisy worlds: perfect portfolio fodder.
+        let jobs: Vec<_> = (0..budget.runs)
+            .map(|seed| {
+                let (instance, schedule) = (&instance, &schedule);
+                move || {
+                    let noise = NoiseModel::new(eps, seed);
+                    let (report, gap) =
+                        run_under_noise(instance, schedule, &noise, &MctRescheduler);
+                    (report.makespan, gap)
+                }
+            })
+            .collect();
         let mut realized = Vec::new();
         let mut gaps = Vec::new();
-        for seed in 0..budget.runs {
-            let noise = NoiseModel::new(eps, seed);
-            let (report, gap) =
-                run_under_noise(&instance, &schedule, &noise, &MctRescheduler);
-            realized.push(report.makespan);
+        for result in run_jobs(jobs) {
+            let (makespan, gap) = result.expect("noise world failed");
+            realized.push(makespan);
             gaps.push(gap);
         }
         let d = Descriptive::from_sample(&realized);

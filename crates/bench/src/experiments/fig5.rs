@@ -8,11 +8,9 @@
 //! and opx ≈ tpx on consistent instances.
 
 use crate::{benchmark_suite, harness_config, repeat_runs, Budget};
-use pa_cga_core::config::Termination;
 use pa_cga_core::crossover::CrossoverOp;
 use pa_cga_stats::render::render_boxplots;
 use pa_cga_stats::{mann_whitney_u, BoxplotStats, Descriptive};
-use std::time::Duration;
 
 /// The four configurations of Figure 5, in the paper's x-axis order.
 pub const CONFIGS: [(CrossoverOp, usize); 4] = [
@@ -36,7 +34,7 @@ pub fn run(budget: &Budget) -> String {
     out.push_str(&budget.banner());
     out.push('\n');
 
-    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let termination = budget.long_termination();
     let mut tpx10_wins = 0usize;
     let mut instances_done = 0usize;
 

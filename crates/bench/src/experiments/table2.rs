@@ -9,13 +9,13 @@
 //! heterogeneous instances; the margins shrink (and may flip) on the
 //! near-homogeneous `*lolo` instances.
 
-use crate::{benchmark_suite, harness_config, mean_best_makespan, repeat_runs, Budget};
+use crate::{benchmark_suite, harness_config, Budget};
 use baselines::{CmaLth, CmaLthConfig, StruggleConfig, StruggleGa};
-use pa_cga_core::config::Termination;
 use pa_cga_core::crossover::CrossoverOp;
+use pa_cga_core::engine::PaCga;
+use pa_cga_core::runner::{Portfolio, RunSpec};
 use pa_cga_stats::table::fmt_makespan;
 use pa_cga_stats::Table;
-use std::time::Duration;
 
 /// One row of Table 2.
 #[derive(Debug, Clone)]
@@ -41,54 +41,70 @@ impl Row {
 }
 
 /// Computes all Table 2 rows.
+///
+/// All `12 instances × 4 algorithms × runs` repetitions go into **one**
+/// portfolio, so the machine stays saturated across instance boundaries
+/// instead of draining between serial per-algorithm loops. Results come
+/// back keyed by submission index; with a deterministic stop condition
+/// (`PA_CGA_GENS`) the rows are byte-identical at any worker count,
+/// including the sequential `PA_CGA_WORKERS=1` path.
 pub fn compute_rows(budget: &Budget) -> Vec<Row> {
-    let long = Termination::WallTime(Duration::from_millis(budget.time_ms));
-    let short = Termination::WallTime(Duration::from_millis(budget.short_time_ms()));
+    let long = budget.long_termination();
+    let short = budget.short_termination();
+    let runs = budget.runs;
+    let suite = benchmark_suite();
 
-    benchmark_suite()
-        .into_iter()
-        .map(|(meta, instance)| {
-            let struggle: Vec<f64> = (0..budget.runs)
-                .map(|seed| {
-                    StruggleGa::new(
-                        &instance,
-                        StruggleConfig { termination: long, seed, ..StruggleConfig::default() },
-                    )
-                    .run()
-                    .best
-                    .makespan()
-                })
-                .collect();
-            let cma: Vec<f64> = (0..budget.runs)
-                .map(|seed| {
-                    CmaLth::new(
-                        &instance,
-                        CmaLthConfig { termination: long, seed, ..CmaLthConfig::default() },
-                    )
-                    .run()
-                    .best
-                    .makespan()
-                })
-                .collect();
-            // PA-CGA gets to use its parallelism — that is the paper's
-            // point; the baselines are sequential by design.
-            let threads = budget.max_threads;
-            let pa_short = repeat_runs(&instance, budget.runs, |seed| {
-                harness_config(threads, 10, CrossoverOp::TwoPoint, short, seed, false)
-            });
-            let pa_long = repeat_runs(&instance, budget.runs, |seed| {
-                harness_config(threads, 10, CrossoverOp::TwoPoint, long, seed, false)
-            });
+    let mut portfolio = Portfolio::new();
+    for (meta, instance) in &suite {
+        for seed in 0..runs {
+            portfolio.submit(
+                format!("struggle/{}/s{seed}", meta.name),
+                StruggleGa::new(
+                    instance,
+                    StruggleConfig { termination: long, seed, ..StruggleConfig::default() },
+                ),
+            );
+        }
+        for seed in 0..runs {
+            portfolio.submit(
+                format!("cma_lth/{}/s{seed}", meta.name),
+                CmaLth::new(
+                    instance,
+                    CmaLthConfig { termination: long, seed, ..CmaLthConfig::default() },
+                ),
+            );
+        }
+        // PA-CGA gets to use its parallelism — that is the paper's
+        // point; the baselines are sequential by design. The engine
+        // thread count rides along as the spec weight, so the pool never
+        // oversubscribes the host with multi-thread runs.
+        let threads = budget.max_threads;
+        for (column, termination) in [("pa_short", short), ("pa_long", long)] {
+            for seed in 0..runs {
+                portfolio.push(RunSpec::new(
+                    format!("{column}/{}/s{seed}", meta.name),
+                    PaCga::new(
+                        instance,
+                        harness_config(threads, 10, CrossoverOp::TwoPoint, termination, seed, false),
+                    ),
+                ));
+            }
+        }
+    }
 
-            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let outcomes = portfolio.execute().expect_outcomes();
+    let mean_chunk = |chunk: &[pa_cga_core::engine::RunOutcome]| {
+        chunk.iter().map(|o| o.best.makespan()).sum::<f64>() / chunk.len() as f64
+    };
+    suite
+        .iter()
+        .zip(outcomes.chunks(4 * runs as usize))
+        .map(|((meta, _), per_instance)| {
+            let columns: Vec<f64> =
+                per_instance.chunks(runs as usize).map(mean_chunk).collect();
             Row {
                 instance: meta.name.to_string(),
-                means: [
-                    mean(&struggle),
-                    mean(&cma),
-                    mean_best_makespan(&pa_short),
-                    mean_best_makespan(&pa_long),
-                ],
+                means: [columns[0], columns[1], columns[2], columns[3]],
             }
         })
         .collect()

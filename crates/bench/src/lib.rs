@@ -23,22 +23,49 @@
 //!   paper used 100).
 //! * `PA_CGA_MAX_THREADS` — top of the thread sweep (default 4, like the
 //!   paper).
+//! * `PA_CGA_GENS` — when set, wall-time-terminated harnesses switch to a
+//!   generation budget of this many generations per run. Runs are then
+//!   deterministic per seed, so the portfolio-parallel harnesses emit
+//!   byte-identical tables at any worker count.
+//! * `PA_CGA_WORKERS` — portfolio worker count override (default:
+//!   available parallelism; 1 forces sequential execution). Replication
+//!   loops run through [`pa_cga_core::runner`], not serial per-seed
+//!   `for` loops.
 //!
-//! The short-budget Table 2 row uses `PA_CGA_TIME_MS / 9`, mirroring the
-//! paper's TSCP-calibrated 90 s → 10 s reduction.
+//! The short-budget Table 2 row uses `PA_CGA_TIME_MS / 9` (or
+//! `PA_CGA_GENS / 9`), mirroring the paper's TSCP-calibrated
+//! 90 s → 10 s reduction.
 
 use etc_model::{braun_registry, BraunInstance, EtcInstance};
 use pa_cga_core::config::{PaCgaConfig, Termination};
 use pa_cga_core::crossover::CrossoverOp;
 use pa_cga_core::engine::{PaCga, RunOutcome};
+use pa_cga_core::runner::Portfolio;
 
-/// Reads a positive integer environment variable with a default.
+/// Reads a positive integer environment variable with a default. A set
+/// but unparsable (or zero) value warns on stderr instead of silently
+/// falling back — a typo'd `PA_CGA_RUNS=1OO` must not quietly run the
+/// default budget.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+    match env_opt_u64(name) {
+        Some(v) => v,
+        None => default,
+    }
+}
+
+/// [`env_u64`] without a default: `None` when the variable is unset or
+/// rejected (with the same stderr warning on rejection).
+pub fn env_opt_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse::<u64>() {
+        Ok(v) if v > 0 => Some(v),
+        _ => {
+            eprintln!(
+                "warning: {name}={raw:?} is not a positive integer; ignoring it"
+            );
+            None
+        }
+    }
 }
 
 /// Harness-wide budgets, resolved once from the environment.
@@ -50,6 +77,11 @@ pub struct Budget {
     pub runs: u64,
     /// Maximum thread count in sweeps.
     pub max_threads: usize,
+    /// When set (`PA_CGA_GENS`), harnesses that default to wall-time
+    /// budgets terminate on a generation budget instead — runs become
+    /// deterministic per seed, so portfolio-parallel and sequential
+    /// execution produce byte-identical tables.
+    pub gens: Option<u64>,
 }
 
 impl Budget {
@@ -59,6 +91,7 @@ impl Budget {
             time_ms: env_u64("PA_CGA_TIME_MS", 1000),
             runs: env_u64("PA_CGA_RUNS", 8),
             max_threads: env_u64("PA_CGA_MAX_THREADS", 4) as usize,
+            gens: env_opt_u64("PA_CGA_GENS"),
         }
     }
 
@@ -67,11 +100,34 @@ impl Budget {
         (self.time_ms / 9).max(1)
     }
 
+    /// The full-budget stop condition: `PA_CGA_GENS` generations when
+    /// set, otherwise `time_ms` of wall time.
+    pub fn long_termination(&self) -> Termination {
+        match self.gens {
+            Some(g) => Termination::Generations(g),
+            None => Termination::wall_time_ms(self.time_ms),
+        }
+    }
+
+    /// The TSCP-calibrated short stop condition (÷ 9, like
+    /// [`Budget::short_time_ms`]), in the same currency as
+    /// [`Budget::long_termination`].
+    pub fn short_termination(&self) -> Termination {
+        match self.gens {
+            Some(g) => Termination::Generations((g / 9).max(1)),
+            None => Termination::wall_time_ms(self.short_time_ms()),
+        }
+    }
+
     /// Banner for harness output.
     pub fn banner(&self) -> String {
+        let stop = match self.gens {
+            Some(g) => format!("{g} generations/run"),
+            None => format!("{} ms/run", self.time_ms),
+        };
         format!(
-            "budget: {} ms/run ({} runs/config, ≤{} threads); paper used 90 000 ms × 100 runs",
-            self.time_ms, self.runs, self.max_threads
+            "budget: {stop} ({} runs/config, ≤{} threads); paper used 90 000 ms × 100 runs",
+            self.runs, self.max_threads
         )
     }
 }
@@ -107,16 +163,25 @@ pub fn harness_config(
         .build()
 }
 
-/// Runs `runs` independent PA-CGA repetitions (distinct seeds) and returns
-/// the outcomes.
+/// Runs `runs` independent PA-CGA repetitions (distinct seeds) through
+/// the portfolio runner and returns the outcomes in seed order.
+///
+/// Each run declares its configured engine thread count as its pool
+/// weight, so a sweep of 4-thread runs never oversubscribes the host.
+/// `PA_CGA_WORKERS` overrides the worker count (1 = sequential).
 pub fn repeat_runs(
     instance: &EtcInstance,
     runs: u64,
     mut config_for_seed: impl FnMut(u64) -> PaCgaConfig,
 ) -> Vec<RunOutcome> {
-    (0..runs)
-        .map(|seed| PaCga::new(instance, config_for_seed(seed)).run())
-        .collect()
+    let mut portfolio = Portfolio::new();
+    for seed in 0..runs {
+        portfolio.submit(
+            format!("{}/s{seed}", instance.name()),
+            PaCga::new(instance, config_for_seed(seed)),
+        );
+    }
+    portfolio.execute().expect_outcomes()
 }
 
 /// Mean best makespan over a set of outcomes.
@@ -144,15 +209,24 @@ mod tests {
         assert_eq!(env_u64("PA_CGA_TEST_VAR", 7), 7);
         std::env::set_var("PA_CGA_TEST_VAR", "0");
         assert_eq!(env_u64("PA_CGA_TEST_VAR", 7), 7, "zero rejected");
+        std::env::set_var("PA_CGA_TEST_VAR", "9");
+        assert_eq!(env_opt_u64("PA_CGA_TEST_VAR"), Some(9));
         std::env::remove_var("PA_CGA_TEST_VAR");
+        assert_eq!(env_opt_u64("PA_CGA_TEST_VAR"), None);
     }
 
     #[test]
     fn short_budget_is_ninth() {
-        let b = Budget { time_ms: 900, runs: 1, max_threads: 1 };
+        let b = Budget { time_ms: 900, runs: 1, max_threads: 1, gens: None };
         assert_eq!(b.short_time_ms(), 100);
-        let tiny = Budget { time_ms: 5, runs: 1, max_threads: 1 };
+        assert_eq!(b.long_termination(), Termination::wall_time_ms(900));
+        assert_eq!(b.short_termination(), Termination::wall_time_ms(100));
+        let tiny = Budget { time_ms: 5, runs: 1, max_threads: 1, gens: None };
         assert_eq!(tiny.short_time_ms(), 1, "clamped to ≥ 1 ms");
+        let det = Budget { time_ms: 900, runs: 1, max_threads: 1, gens: Some(18) };
+        assert_eq!(det.long_termination(), Termination::Generations(18));
+        assert_eq!(det.short_termination(), Termination::Generations(2));
+        assert!(det.banner().contains("18 generations"));
     }
 
     #[test]

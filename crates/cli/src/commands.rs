@@ -65,7 +65,16 @@ USAGE:
   pacga simulate (--braun NAME | --instance FILE)
                  [--p-fail P] [--seed S] [--evals E]
                  [--policy mct|pa-cga]
+  pacga sweep    (--braun NAME[,NAME...] | --all) [--runs N]
+                 [--time-ms T | --evals E | --gens G] [--threads N]
+                 [--ls N] [--crossover opx|tpx|ux] [--seed S]
+                 [--workers W]
   pacga list
+
+`sweep` runs the full replication protocol (N independent seeds per
+instance) through the portfolio worker pool and prints per-instance
+makespan statistics. --braun accepts prefixes: `u_c_hihi` expands to
+every registry instance starting with it.
 ";
 
 /// Loads an instance from `--braun NAME` or `--instance FILE`.
@@ -280,6 +289,170 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Resolves the `sweep` instance list: `--all`, or comma-separated
+/// names/prefixes from `--braun` (a prefix expands to every registry
+/// instance starting with it).
+fn sweep_instances(args: &Args) -> Result<Vec<&'static str>, CliError> {
+    if args.get_bool("all")? {
+        return Ok(braun_instance_names());
+    }
+    let Some(spec) = args.get("braun") else {
+        return Err(CliError::Other("need --braun NAME[,NAME...] or --all".into()));
+    };
+    let registry = braun_instance_names();
+    // Order-preserving dedup: tokens may overlap non-adjacently
+    // (`u_c_lolo.0,u_c` expands to u_c_lolo.0 twice).
+    let mut names: Vec<&'static str> = Vec::new();
+    let push_unique = |names: &mut Vec<&'static str>, name| {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    };
+    for token in spec.split(',').filter(|t| !t.is_empty()) {
+        if let Some(&exact) = registry.iter().find(|&&n| n == token) {
+            push_unique(&mut names, exact);
+            continue;
+        }
+        let matches: Vec<&'static str> =
+            registry.iter().copied().filter(|n| n.starts_with(token)).collect();
+        if matches.is_empty() {
+            return Err(CliError::Other(format!(
+                "no Braun instance matches {token:?}; try `pacga list`"
+            )));
+        }
+        for name in matches {
+            push_unique(&mut names, name);
+        }
+    }
+    Ok(names)
+}
+
+/// `pacga sweep` — replication sweep over instances × seeds through the
+/// portfolio runner, reporting per-instance makespan statistics.
+pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
+    use pa_cga_core::runner::{resolve_workers, Portfolio, RunSpec};
+    use pa_cga_stats::table::{fmt_makespan, fmt_mean_std};
+    use pa_cga_stats::Descriptive;
+
+    let names = sweep_instances(args)?;
+    let runs = args.get_parse("runs", 8u64, "u64")?;
+    if runs == 0 {
+        return Err(CliError::Other("--runs must be positive".into()));
+    }
+    let seed0 = args.get_parse("seed", 0u64, "u64")?;
+    let threads = args.get_parse("threads", 1usize, "usize")?;
+    let ls = args.get_parse("ls", 10usize, "usize")?;
+    let crossover = match args.get("crossover").unwrap_or("tpx") {
+        "opx" => CrossoverOp::OnePoint,
+        "tpx" => CrossoverOp::TwoPoint,
+        "ux" => CrossoverOp::Uniform,
+        other => return Err(CliError::Other(format!("bad crossover {other:?}"))),
+    };
+    let termination = match (args.get("evals"), args.get("gens"), args.get("time-ms")) {
+        (Some(e), None, None) => Termination::Evaluations(
+            e.parse().map_err(|_| CliError::Other(format!("--evals: cannot parse {e:?}")))?,
+        ),
+        (None, Some(g), None) => Termination::Generations(
+            g.parse().map_err(|_| CliError::Other(format!("--gens: cannot parse {g:?}")))?,
+        ),
+        (None, None, maybe_t) => {
+            let default = 1_000u64;
+            let t = match maybe_t {
+                Some(t) => t
+                    .parse()
+                    .map_err(|_| CliError::Other(format!("--time-ms: cannot parse {t:?}")))?,
+                None => default,
+            };
+            Termination::wall_time_ms(t)
+        }
+        _ => {
+            return Err(CliError::Other(
+                "give at most one of --evals, --gens, --time-ms".into(),
+            ))
+        }
+    };
+    let workers = match args.get("workers") {
+        Some(w) => Some(
+            w.parse::<usize>()
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or_else(|| CliError::Other(format!("--workers: bad count {w:?}")))?,
+        ),
+        None => None,
+    };
+
+    let instances: Vec<EtcInstance> = names.iter().map(|n| braun_instance(n)).collect();
+    let mut portfolio = Portfolio::new();
+    for instance in &instances {
+        for i in 0..runs {
+            let config = PaCgaConfig::builder()
+                .threads(threads)
+                .local_search_iterations(ls)
+                .crossover(crossover)
+                .termination(termination)
+                .seed(seed0 + i)
+                .build();
+            portfolio.push(RunSpec::new(
+                format!("{}/s{}", instance.name(), seed0 + i),
+                PaCga::new(instance, config),
+            ));
+        }
+    }
+    if let Some(w) = workers {
+        portfolio = portfolio.with_workers(w);
+    }
+    let resolved = resolve_workers(workers, portfolio.len());
+    let total = portfolio.len();
+    let mut out = format!(
+        "sweep: {} instance(s) × {runs} run(s) = {total} jobs on {resolved} worker(s)\n\
+         stop: {termination}; {threads} engine thread(s)/run, H2LL×{ls}, seeds {seed0}..{}\n\n",
+        names.len(),
+        seed0 + runs
+    );
+
+    let report = portfolio.execute();
+    if let Some((_, label, panic)) = report.failures().first() {
+        return Err(CliError::Other(format!("sweep run {label} failed: {panic}")));
+    }
+
+    let mut table = Table::new(&[
+        "instance",
+        "runs",
+        "best",
+        "mean ± std",
+        "worst",
+        "mean evals",
+    ]);
+    for (instance, chunk) in instances.iter().zip(report.results.chunks(runs as usize)) {
+        let best: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.as_ref().expect("failures handled above").best.makespan())
+            .collect();
+        let evals: f64 = chunk
+            .iter()
+            .map(|r| r.as_ref().expect("failures handled above").evaluations as f64)
+            .sum::<f64>()
+            / chunk.len() as f64;
+        let d = Descriptive::from_sample(&best);
+        table.row(&[
+            instance.name().to_string(),
+            chunk.len().to_string(),
+            fmt_makespan(d.min),
+            fmt_mean_std(d.mean, d.std_dev),
+            fmt_makespan(d.max),
+            format!("{evals:.0}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nportfolio: {total} runs in {:.2}s ({:.2} runs/s, {} workers)\n",
+        report.elapsed.as_secs_f64(),
+        report.runs_per_sec(),
+        report.workers,
+    ));
+    Ok(out)
+}
+
 /// Dispatches a full command line (tokens exclude the program name).
 pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
     let command = tokens.first().cloned().unwrap_or_default();
@@ -316,6 +489,13 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
                 &["braun", "instance", "p-fail", "seed", "evals", "policy"],
             )?;
             cmd_simulate(&args)
+        }
+        "sweep" => {
+            let args = Args::parse(
+                tokens,
+                &["braun", "all", "runs", "time-ms", "evals", "gens", "threads", "ls", "crossover", "seed", "workers"],
+            )?;
+            cmd_sweep(&args)
         }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -400,6 +580,82 @@ mod tests {
     fn unknown_braun_instance_is_error() {
         let err = dispatch(toks("info --braun u_z_zzzz.9")).unwrap_err();
         assert!(err.to_string().contains("unknown Braun instance"));
+    }
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn sweep_prints_stats_table() {
+        let out = dispatch(toks(
+            "sweep --braun u_c_lolo.0 --runs 2 --evals 1500 --threads 1 --ls 5",
+        ))
+        .unwrap();
+        assert!(out.contains("u_c_lolo.0"), "{out}");
+        assert!(out.contains("mean ± std"), "{out}");
+        assert!(out.contains("runs/s"), "{out}");
+        assert!(out.contains("1 instance(s) × 2 run(s)"), "{out}");
+    }
+
+    #[test]
+    fn sweep_prefix_expands_and_results_are_seed_deterministic() {
+        // A prefix must resolve to the matching registry instances, and
+        // eval-budget single-thread sweeps must reproduce per seed at any
+        // worker count.
+        let a = dispatch(toks(
+            "sweep --braun u_c_lolo --runs 2 --evals 1200 --ls 2 --workers 1",
+        ))
+        .unwrap();
+        let b = dispatch(toks(
+            "sweep --braun u_c_lolo.0 --runs 2 --evals 1200 --ls 2 --workers 3",
+        ))
+        .unwrap();
+        assert!(a.contains("u_c_lolo.0"));
+        // Compare the stats row only (banner differs: worker counts).
+        let row = |out: &str| {
+            out.lines().find(|l| l.starts_with("u_c_lolo.0")).map(String::from).unwrap()
+        };
+        assert_eq!(row(&a), row(&b));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_prefix_and_missing_source() {
+        let err = dispatch(toks("sweep --braun u_z --runs 1 --evals 100")).unwrap_err();
+        assert!(err.to_string().contains("no Braun instance matches"));
+        let err = dispatch(toks("sweep --runs 1")).unwrap_err();
+        assert!(err.to_string().contains("--braun NAME[,NAME...] or --all"));
+    }
+
+    #[test]
+    fn sweep_rejects_conflicting_budgets() {
+        let err = dispatch(toks(
+            "sweep --braun u_c_lolo.0 --evals 100 --gens 5",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("at most one of"));
+    }
+
+    #[test]
+    fn sweep_instances_dedups_overlapping_tokens() {
+        let args = Args::parse(toks("sweep --braun u_c_lolo.0,u_c_lolo"), &["braun", "all"])
+            .unwrap();
+        let names = sweep_instances(&args).unwrap();
+        assert_eq!(names, vec!["u_c_lolo.0"]);
+
+        // Non-adjacent duplicates too: the exact name re-surfaces in the
+        // middle of a later prefix expansion.
+        let args = Args::parse(toks("sweep --braun u_c_lolo.0,u_c"), &["braun", "all"])
+            .unwrap();
+        let names = sweep_instances(&args).unwrap();
+        assert_eq!(names.iter().filter(|&&n| n == "u_c_lolo.0").count(), 1);
+        assert_eq!(names[0], "u_c_lolo.0", "first-seen order preserved");
+        assert_eq!(names.len(), 4, "all four u_c_* instances, once each");
     }
 }
 

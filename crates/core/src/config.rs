@@ -119,7 +119,7 @@ impl PaCgaConfig {
     /// One-line human-readable summary (harness headers).
     pub fn summary(&self) -> String {
         format!(
-            "{}x{} pop, {} thread(s), {} nbhd, {} sel, {} p={}, {} p={}, {}, {} p={}, {}, stop: {}",
+            "{}x{} pop, {} thread(s), {} nbhd, {} sel, {} p={}, {} p={}, {} p_ser={}, {}, stop: {}",
             self.grid_width,
             self.grid_height,
             self.threads,
@@ -132,7 +132,6 @@ impl PaCgaConfig {
             self.local_search
                 .map(|ls| ls.to_string())
                 .unwrap_or_else(|| "no-LS".into()),
-            "p_ser",
             self.p_local_search,
             self.replacement,
             self.termination
@@ -315,6 +314,19 @@ mod tests {
         assert!(s.contains("16x16"));
         assert!(s.contains("tpx"));
         assert!(s.contains("H2LL"));
+    }
+
+    #[test]
+    fn summary_renders_the_full_line() {
+        // Full-line assertion: guards every slot against label/argument
+        // drift (a literal `"p_ser"` once rendered as `p_ser p=1`).
+        let s = PaCgaConfig::paper().summary();
+        assert_eq!(
+            s,
+            "16x16 pop, 3 thread(s), L5 nbhd, best-2 sel, tpx p=1, move p=1, \
+             H2LL(iter=10) p_ser=1, replace-if-better, stop: wall-time 90.0s"
+        );
+        assert!(!s.contains("p_ser p="), "p_ser must label its own value");
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   budget, or an evaluation budget ([`termination`]); evaluation budgets
 //!   make single-threaded runs fully deterministic for testing.
 //! * Per-generation traces ([`trace`]) feed the Figure 4/6 harnesses.
+//! * Replication sweeps (N independent runs per configuration) execute
+//!   through the [`runner`] portfolio worker pool — results keyed by
+//!   submission index, engine thread counts respected as job weights —
+//!   instead of serial per-seed loops.
 //!
 //! ## Minimal example
 //!
@@ -56,6 +60,7 @@ pub mod neighborhood;
 pub mod partition;
 pub mod replacement;
 pub mod rng;
+pub mod runner;
 pub mod seeding;
 pub mod selection;
 pub mod sweep;
@@ -66,3 +71,4 @@ pub use config::{PaCgaConfig, Termination};
 pub use engine::{PaCga, RunOutcome, SyncCga};
 pub use individual::Individual;
 pub use local_search::H2ll;
+pub use runner::{Portfolio, PortfolioReport, RunSpec, Runnable};

@@ -1,0 +1,126 @@
+//! Property tests on the portfolio runner: parallel execution must be an
+//! *observational no-op* — for deterministic stop conditions
+//! (`Generations` / `Evaluations` budgets) the collected outcomes are
+//! bit-identical to running the same specs in a plain sequential loop —
+//! and one panicking spec must never take the rest of the portfolio down.
+
+use etc_model::EtcInstance;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::{PaCga, RunOutcome, SyncCga};
+use pa_cga_core::runner::{Portfolio, RunSpec};
+use proptest::prelude::*;
+
+fn termination_strategy() -> impl Strategy<Value = Termination> {
+    prop_oneof![
+        (2u64..6).prop_map(Termination::Generations),
+        (200u64..800).prop_map(Termination::Evaluations),
+    ]
+}
+
+fn config(termination: Termination, ls: usize, seed: u64) -> PaCgaConfig {
+    PaCgaConfig::builder()
+        .grid(5, 5)
+        .threads(1)
+        .local_search_iterations(ls)
+        .termination(termination)
+        .seed(seed)
+        .build()
+}
+
+/// Everything a deterministic run reports except wall-clock time.
+fn fingerprint(o: &RunOutcome) -> (Vec<u32>, u64, u64, Vec<u64>, Vec<u64>) {
+    (
+        o.best.schedule.assignment().to_vec(),
+        o.best.fitness.to_bits(),
+        o.evaluations,
+        o.generations.clone(),
+        o.replacements.clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn portfolio_bit_identical_to_sequential(
+        inst_seed in 0u64..50,
+        termination in termination_strategy(),
+        ls in 0usize..6,
+        runs in 2u64..6,
+        workers in 1usize..5,
+    ) {
+        let inst = EtcInstance::toy(30 + (inst_seed % 7) as usize, 5);
+
+        // Reference: the serial replication loop the harnesses retired.
+        let sequential: Vec<RunOutcome> = (0..runs)
+            .map(|seed| PaCga::new(&inst, config(termination, ls, seed)).run())
+            .collect();
+
+        let mut portfolio = Portfolio::new().with_workers(workers);
+        for seed in 0..runs {
+            portfolio.submit(
+                format!("s{seed}"),
+                PaCga::new(&inst, config(termination, ls, seed)),
+            );
+        }
+        let parallel = portfolio.execute().expect_outcomes();
+
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            prop_assert_eq!(fingerprint(s), fingerprint(p));
+        }
+    }
+
+    #[test]
+    fn mixed_engine_portfolio_keyed_by_index(
+        termination in termination_strategy(),
+        seed in 0u64..100,
+    ) {
+        // Async and sync engines interleaved in one portfolio: each slot
+        // must hold exactly its own engine's deterministic outcome.
+        let inst = EtcInstance::toy(24, 4);
+        let mut portfolio = Portfolio::new().with_workers(3);
+        portfolio.submit("async", PaCga::new(&inst, config(termination, 2, seed)));
+        portfolio.submit("sync", SyncCga::new(&inst, config(termination, 2, seed)));
+        let outcomes = portfolio.execute().expect_outcomes();
+
+        let solo_async = PaCga::new(&inst, config(termination, 2, seed)).run();
+        let solo_sync = SyncCga::new(&inst, config(termination, 2, seed)).run();
+        prop_assert_eq!(fingerprint(&outcomes[0]), fingerprint(&solo_async));
+        prop_assert_eq!(fingerprint(&outcomes[1]), fingerprint(&solo_sync));
+    }
+}
+
+#[test]
+fn panicking_run_does_not_poison_the_pool() {
+    let inst = EtcInstance::toy(24, 4);
+    let healthy = |seed: u64| {
+        let inst = inst.clone();
+        move || PaCga::new(&inst, config(Termination::Evaluations(300), 2, seed)).run()
+    };
+
+    let mut portfolio = Portfolio::new().with_workers(2);
+    for seed in 0..3u64 {
+        portfolio.submit(format!("ok{seed}"), healthy(seed));
+    }
+    portfolio.push(RunSpec::new("poison", || -> RunOutcome {
+        panic!("injected failure")
+    }));
+    for seed in 3..6u64 {
+        portfolio.submit(format!("ok{seed}"), healthy(seed));
+    }
+    let report = portfolio.execute();
+
+    // Exactly the poisoned slot failed; every other spec — including the
+    // ones queued *behind* the panic — completed with its own outcome.
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].1, "poison");
+    assert!(failures[0].2.message.contains("injected failure"));
+    for (i, label) in report.labels.iter().enumerate() {
+        if label != "poison" {
+            let outcome = report.outcome(i).expect("healthy spec completed");
+            assert!(outcome.best.makespan() > 0.0);
+        }
+    }
+}

@@ -23,6 +23,11 @@ pub enum IoError {
     Parse(String),
     /// Wrong number of values for the declared dimensions.
     Shape(String),
+    /// A value parsed but lies outside the model's domain (NaN, ±∞,
+    /// negative; zero for ETC entries). Rejected at the boundary: a NaN
+    /// ETC otherwise survives until the engine's fitness comparison
+    /// panics deep inside a run.
+    Value(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -31,6 +36,7 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse(t) => write!(f, "cannot parse {t:?} as a number"),
             IoError::Shape(m) => write!(f, "shape error: {m}"),
+            IoError::Value(m) => write!(f, "invalid value: {m}"),
         }
     }
 }
@@ -47,6 +53,27 @@ fn parse_f64(tok: &str) -> Result<f64, IoError> {
     tok.parse::<f64>().map_err(|_| IoError::Parse(tok.to_string()))
 }
 
+/// Parses one time value and enforces the model's domain at the
+/// boundary, mirroring the [`EtcMatrix`] / [`EtcInstance`] constructor
+/// invariants: ETC entries strictly positive and finite, ready times
+/// non-negative and finite. `min_exclusive` is the ETC case.
+fn parse_time(
+    kind: &str,
+    index: usize,
+    tok: &str,
+    min_exclusive: bool,
+) -> Result<f64, IoError> {
+    let v = parse_f64(tok)?;
+    let ok = v.is_finite() && if min_exclusive { v > 0.0 } else { v >= 0.0 };
+    if !ok {
+        let bound = if min_exclusive { "> 0" } else { "≥ 0" };
+        return Err(IoError::Value(format!(
+            "{kind} #{index} is {v}; every {kind} must be finite and {bound}"
+        )));
+    }
+    Ok(v)
+}
+
 /// Reads a classic Braun-format stream: `n_tasks · n_machines` numbers in
 /// task-major order.
 pub fn read_braun_format<R: BufRead>(
@@ -59,7 +86,7 @@ pub fn read_braun_format<R: BufRead>(
     for line in reader.lines() {
         let line = line?;
         for tok in line.split_whitespace() {
-            values.push(parse_f64(tok)?);
+            values.push(parse_time("ETC value", values.len(), tok, true)?);
         }
     }
     if values.len() != n_tasks * n_machines {
@@ -117,7 +144,11 @@ pub fn read_instance<R: BufRead>(mut reader: R) -> Result<EtcInstance, IoError> 
 
     let mut ready_line = String::new();
     reader.read_line(&mut ready_line)?;
-    let ready: Result<Vec<f64>, IoError> = ready_line.split_whitespace().map(parse_f64).collect();
+    let ready: Result<Vec<f64>, IoError> = ready_line
+        .split_whitespace()
+        .enumerate()
+        .map(|(i, tok)| parse_time("ready time", i, tok, false))
+        .collect();
     let ready = ready?;
     if ready.len() != n_machines {
         return Err(IoError::Shape(format!(
@@ -174,6 +205,39 @@ mod tests {
         let data = "1 2\n3 4\n";
         let inst = read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap();
         assert_eq!(inst.etc().etc(1, 1), 4.0);
+    }
+
+    #[test]
+    fn non_finite_and_negative_etc_rejected() {
+        // Zero included: the ETC domain is strictly positive (an
+        // estimated compute time of 0 breaks the matrix invariant).
+        for bad in ["NaN", "inf", "-inf", "-1.0", "0"] {
+            let data = format!("1.0 {bad} 3.0 4.0");
+            let err =
+                read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap_err();
+            assert!(matches!(err, IoError::Value(_)), "{bad}: {err}");
+            assert!(err.to_string().contains("ETC value #1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_and_negative_ready_times_rejected() {
+        for bad in ["NaN", "-2"] {
+            let data = format!("named 2 2\n0.0 {bad}\n1 2 3 4\n");
+            let err = read_instance(BufReader::new(data.as_bytes())).unwrap_err();
+            assert!(matches!(err, IoError::Value(_)), "{bad}: {err}");
+            assert!(err.to_string().contains("ready time #1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_ready_times_still_accepted() {
+        // Zero is a legal boundary value for ready times (idle machine),
+        // unlike for ETC entries.
+        let data = "zeroed 2 2\n0 0\n0.5 1 2 3\n";
+        let inst = read_instance(BufReader::new(data.as_bytes())).unwrap();
+        assert_eq!(inst.etc().etc(0, 0), 0.5);
+        assert_eq!(inst.ready_times(), &[0.0, 0.0]);
     }
 
     #[test]

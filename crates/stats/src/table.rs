@@ -82,6 +82,12 @@ pub fn fmt_makespan(v: f64) -> String {
     }
 }
 
+/// Formats a `mean ± std` cell in [`fmt_makespan`]'s scaling — the sweep
+/// harness' per-instance summary currency.
+pub fn fmt_mean_std(mean: f64, std_dev: f64) -> String {
+    format!("{} ± {}", fmt_makespan(mean), fmt_makespan(std_dev))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +112,11 @@ mod tests {
     fn fmt_makespan_scales() {
         assert_eq!(fmt_makespan(7_518_600.71), "7518600.7");
         assert_eq!(fmt_makespan(5261.4), "5261.40");
+    }
+
+    #[test]
+    fn fmt_mean_std_pairs() {
+        assert_eq!(fmt_mean_std(7_518_600.71, 1234.56), "7518600.7 ± 1234.56");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 #
 #   scripts/ci.sh
 #
-# Four stages, each fatal on failure:
+# Five stages, each fatal on failure:
 #   1. cargo build --release (every crate, every target — benches and
 #      experiment binaries must at least compile)
 #   2. cargo test -q (unit + property + integration + doc tests)
@@ -11,19 +11,26 @@
 #      intra-doc links and other rustdoc warnings) fails fast.
 #   4. bench smoke: every criterion bench body runs exactly once, so the
 #      perf-baseline harness (scripts/bench_baseline.sh) cannot rot.
+#   5. sweep smoke: `pacga sweep` end-to-end through the portfolio
+#      runner at a tiny deterministic budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/4] cargo build --release (all targets)"
+echo "==> [1/5] cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> [2/4] cargo test -q"
+echo "==> [2/5] cargo test -q (includes runner property + identity tests)"
 cargo test -q --workspace
 
-echo "==> [3/4] cargo doc --no-deps (warnings denied)"
+echo "==> [3/5] cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [4/4] bench smoke (1 iteration per bench)"
+echo "==> [4/5] bench smoke (1 iteration per bench)"
 scripts/bench_baseline.sh --smoke
+
+echo "==> [5/5] pacga sweep smoke (portfolio runner end-to-end)"
+SWEEP_OUT="$(cargo run --release -q -p pa-cga-cli -- sweep --braun u_c_hihi --runs 2 --evals 2000 --ls 2)"
+echo "$SWEEP_OUT"
+grep -q "runs/s" <<<"$SWEEP_OUT" || { echo "sweep smoke produced no throughput line" >&2; exit 1; }
 
 echo "==> CI green"

@@ -5,7 +5,7 @@ use pa_cga_bench::experiments;
 use pa_cga_bench::Budget;
 
 fn tiny() -> Budget {
-    Budget { time_ms: 40, runs: 2, max_threads: 2 }
+    Budget { time_ms: 40, runs: 2, max_threads: 2, gens: None }
 }
 
 #[test]
@@ -41,7 +41,7 @@ fn table2_smoke() {
 
 #[test]
 fn fig5_smoke() {
-    let b = Budget { time_ms: 15, runs: 2, max_threads: 2 };
+    let b = Budget { time_ms: 15, runs: 2, max_threads: 2, gens: None };
     let out = experiments::fig5::run(&b);
     assert!(out.contains("Figure 5"));
     assert!(out.contains("u_c_hihi.0"));
@@ -52,7 +52,7 @@ fn fig5_smoke() {
 #[test]
 fn async_sync_smoke() {
     // Shrink the per-run evaluation budget so this runs in CI time.
-    let b = Budget { time_ms: 10, runs: 2, max_threads: 1 };
+    let b = Budget { time_ms: 10, runs: 2, max_threads: 1, gens: None };
     let out = experiments::async_sync::run_with_evals(&b, 2_000);
     assert!(out.contains("asynchronous"));
     assert!(out.contains("synchronous"));

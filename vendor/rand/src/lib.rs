@@ -8,7 +8,9 @@
 //! (`gen`/`gen_range`/`gen_bool`), and `seq::SliceRandom::shuffle`
 //! (Fisher–Yates). Streams are deterministic per seed, which is all the
 //! engine's reproducibility story requires; statistical quality matches
-//! the upstream generator because the core algorithm is identical.
+//! the upstream generator because the core algorithm is identical, and
+//! integer `gen_range` uses the same widening-multiply + rejection
+//! scheme as rand 0.8's `UniformInt::sample_single` — no modulo bias.
 
 pub mod rngs;
 pub mod seq;
@@ -107,13 +109,40 @@ pub trait SampleRange<T> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
+/// Samples `[0, span)` uniformly with the widening-multiply + rejection
+/// scheme of rand 0.8's `UniformInt::sample_single` (Lemire's method):
+/// `v * span` splits into a 128-bit product whose high word is the
+/// candidate and whose low word decides acceptance. Accepting only
+/// `lo <= zone`, where `zone` is the largest multiple of `span` minus 1
+/// that fits in 64 bits, makes every candidate hit an equal number of
+/// accepted `v` values — unlike `v % span`, which over-weights the first
+/// `2^64 mod span` candidates.
+///
+/// A `span` of 0 encodes the full 2^64 domain (every `u64` accepted).
+#[inline]
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let product = (v as u128) * (span as u128);
+        let lo = product as u64;
+        if lo <= zone {
+            return (product >> 64) as u64;
+        }
+    }
+}
+
 macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                let v = ((rng.next_u64() as u128) % span) as i128;
+                // Half-open spans over a ≤64-bit type always fit in u64.
+                let v = sample_u64_below(rng, span as u64) as i128;
                 (self.start as i128 + v) as $t
             }
         }
@@ -122,7 +151,10 @@ macro_rules! int_sample_range {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = ((rng.next_u64() as u128) % span) as i128;
+                // `span > u64::MAX` means the full 64-bit domain, which
+                // `sample_u64_below` spells 0.
+                let span = if span > u64::MAX as u128 { 0 } else { span as u64 };
+                let v = sample_u64_below(rng, span) as i128;
                 (lo as i128 + v) as $t
             }
         }
@@ -238,6 +270,84 @@ mod tests {
         for _ in 0..100 {
             assert!(!r.gen_bool(0.0));
             assert!(r.gen_bool(1.0));
+        }
+    }
+
+    /// Replays a fixed `next_u64` sequence (cycling), for directed tests
+    /// of the rejection sampler.
+    struct SeqRng {
+        vals: Vec<u64>,
+        i: usize,
+    }
+
+    impl super::RngCore for SeqRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.vals[self.i % self.vals.len()];
+            self.i += 1;
+            v
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_uses_widening_multiply_not_modulo() {
+        // Candidate = high 64 bits of v × span: v = 2^63 over span 6 maps
+        // to (2^63 · 6) >> 64 = 3, with low word 0 (accepted).
+        let mut r = SeqRng { vals: vec![1u64 << 63], i: 0 };
+        assert_eq!(r.gen_range(0u32..6), 3);
+
+        // v = u64::MAX over span 6 lands in the biased tail (low word
+        // 0xFFFF…FFFA above the zone 6·2^61 − 1): the modulo scheme would
+        // return 3, the rejection scheme must skip it and consume the
+        // next draw.
+        let mut r = SeqRng { vals: vec![u64::MAX, 0], i: 0 };
+        assert_eq!(r.gen_range(0u32..6), 0);
+        assert_eq!(r.i, 2, "rejected draw consumed exactly one extra value");
+    }
+
+    #[test]
+    fn gen_range_offsets_and_full_domain() {
+        // Offsets apply after sampling the span.
+        let mut r = SeqRng { vals: vec![1u64 << 63], i: 0 };
+        assert_eq!(r.gen_range(10i64..16), 13);
+        // Full-domain inclusive ranges pass the raw draw through.
+        let mut r = SeqRng { vals: vec![u64::MAX], i: 0 };
+        assert_eq!(r.gen_range(0u64..=u64::MAX), u64::MAX);
+        // i64::MIN + 2^63 = 0: the signed full domain also passes through.
+        let mut r = SeqRng { vals: vec![0x8000_0000_0000_0000], i: 0 };
+        assert_eq!(r.gen_range(i64::MIN..=i64::MAX), 0);
+    }
+
+    #[test]
+    fn gen_range_uniform_over_non_power_of_two_span() {
+        // 6 does not divide 2^64, so the retired `% span` sampler was
+        // (infinitesimally) biased; the rejection sampler is exact. Check
+        // empirical uniformity at ±5σ per bucket — loose enough to never
+        // flake, tight enough to catch a gross bias (e.g. a span-sized
+        // off-by-one).
+        let mut r = SmallRng::seed_from_u64(12345);
+        const DRAWS: usize = 60_000;
+        const SPAN: usize = 6;
+        let mut counts = [0usize; SPAN];
+        for _ in 0..DRAWS {
+            counts[r.gen_range(0..SPAN)] += 1;
+        }
+        let expected = (DRAWS / SPAN) as f64;
+        let tolerance = 5.0 * expected.sqrt();
+        for (value, &count) in counts.iter().enumerate() {
+            assert!(
+                (count as f64 - expected).abs() < tolerance,
+                "value {value} drawn {count} times, expected {expected} ± {tolerance}"
+            );
         }
     }
 }
