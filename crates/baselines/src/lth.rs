@@ -63,7 +63,11 @@ impl TabuHillClimb {
             // Sample source tasks (without replacement when possible).
             let mut best: Option<(usize, usize, f64)> = None; // (task, machine, new CT)
             for _ in 0..self.sample_tasks.min(n_candidates) {
-                let task = schedule.tasks_on(loaded)[rng.gen_range(0..n_candidates)] as usize;
+                // Same single gen_range draw as the retired slice-index
+                // pick, so sampling stays bit-identical.
+                let task = schedule
+                    .random_task_on(loaded, rng)
+                    .expect("source machine is non-empty");
                 if tabu.contains(&task) {
                     continue;
                 }

@@ -1,12 +1,15 @@
 //! Synchronization cost micro-benchmarks behind the paper's Figure 4
 //! discussion: per-individual rwlock reads/writes (uncontended and
 //! contended) versus raw access — the overhead that makes the
-//! no-local-search configuration scale *negatively*.
+//! no-local-search configuration scale *negatively* — plus the
+//! atomic-fitness-mirror reads that replaced the snapshot's read locks
+//! (DESIGN.md §7), so the before/after of the lock-free publication
+//! protocol is directly measurable here.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use crossbeam::utils::CachePadded;
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn bench_uncontended(c: &mut Criterion) {
@@ -79,5 +82,77 @@ fn bench_write_vs_readers(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_uncontended, bench_contended_reads, bench_write_vs_readers);
+fn bench_contended_writes(c: &mut Criterion) {
+    // 3 background writer threads hammer the same lock while the measured
+    // thread writes — replacement colliding with replacement, the worst
+    // case for the per-cell write path.
+    let cell: Arc<CachePadded<RwLock<f64>>> = Arc::new(CachePadded::new(RwLock::new(1.0)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let cell = Arc::clone(&cell);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                *cell.write() += 1.0;
+            }
+        }));
+    }
+
+    c.bench_function("rwlock_write_contended_3_writers", |b| {
+        b.iter(|| {
+            *cell.write() += 1.0;
+        })
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn bench_atomic_fitness_reads(c: &mut Criterion) {
+    // The snapshot path after the lock-free publication change: a relaxed
+    // load of the padded fitness mirror, uncontended...
+    let mirror: Arc<CachePadded<AtomicU64>> =
+        Arc::new(CachePadded::new(AtomicU64::new(1.0f64.to_bits())));
+    c.bench_function("atomic_fitness_read_uncontended", |b| {
+        b.iter(|| black_box(f64::from_bits(mirror.load(Ordering::Relaxed))))
+    });
+
+    // ...and while 3 background threads continuously publish new fitness
+    // bits into the same mirror — the cross-block neighbor-read worst
+    // case the RwLock snapshot used to serialize.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..3u64 {
+        let mirror = Arc::clone(&mirror);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut x = w as f64;
+            while !stop.load(Ordering::Relaxed) {
+                x += 1.0;
+                mirror.store(x.to_bits(), Ordering::Relaxed);
+            }
+        }));
+    }
+
+    c.bench_function("atomic_fitness_read_contended_3_writers", |b| {
+        b.iter(|| black_box(f64::from_bits(mirror.load(Ordering::Relaxed))))
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_contended_reads,
+    bench_write_vs_readers,
+    bench_contended_writes,
+    bench_atomic_fitness_reads
+);
 criterion_main!(benches);

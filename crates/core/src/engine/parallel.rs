@@ -3,11 +3,22 @@
 //! One thread per contiguous population block; threads never barrier
 //! between generations. Every individual sits behind its own
 //! `parking_lot::RwLock` (padded to a cache line to avoid false sharing
-//! between neighboring locks): selection and recombination take brief
-//! read locks on neighbors — which may live in *other* blocks —
-//! and replacement takes a write lock on the evolved cell only. At most
-//! one lock is ever held at a time, so the engine is deadlock-free by
-//! construction.
+//! between neighboring locks), and every cell's **fitness** is
+//! additionally mirrored in a padded `AtomicU64` holding the `f64` bit
+//! pattern (DESIGN.md §7). The neighborhood snapshot — five fitness
+//! reads per cell evolution, the hottest cross-thread traffic — is plain
+//! relaxed atomic loads; the `RwLock` is down to the two parent genome
+//! copies and the single replacement write, 3 lock operations per cell
+//! evolution instead of 8. At most one lock is ever held at a time, so
+//! the engine stays deadlock-free by construction.
+//!
+//! Evaluation accounting is **sharded**: each thread counts locally and
+//! flushes into the shared counter every [`EVAL_FLUSH_EVERY`]
+//! evaluations (and at every sweep boundary), instead of a per-eval
+//! `fetch_add` bouncing one cache line between all threads. The flush
+//! points double as mid-sweep [`crate::config::Termination::Evaluations`] checks, so
+//! the budget overshoot is bounded by `threads × EVAL_FLUSH_EVERY`
+//! independent of the block size.
 
 use crate::config::PaCgaConfig;
 use crate::grid::GridTopology;
@@ -26,6 +37,19 @@ use std::time::Instant;
 
 /// A padded, lockable population cell.
 type Cell = CachePadded<RwLock<Individual>>;
+
+/// A cell's lock-free fitness mirror: the `f64` bit pattern of the last
+/// fitness committed under the cell's write lock, padded so neighboring
+/// mirrors never share a cache line.
+type FitnessCell = CachePadded<AtomicU64>;
+
+/// Evaluations a thread accumulates locally before flushing them into
+/// the shared counter and re-checking an evaluation budget. 32 keeps the
+/// shared-counter traffic ~32× lower than per-eval `fetch_add` while
+/// bounding the [`crate::config::Termination::Evaluations`] overshoot at
+/// `threads × EVAL_FLUSH_EVERY` evaluations (each thread runs at most
+/// one flush interval past the point where the budget is reached).
+pub const EVAL_FLUSH_EVERY: u64 = 32;
 
 /// The parallel asynchronous cellular GA.
 ///
@@ -100,6 +124,10 @@ impl<'a> PaCga<'a> {
         // warm-started population was already evaluated by its producer.
         let evaluations =
             AtomicU64::new(if warm { 0 } else { individuals.len() as u64 });
+        let fitness: Vec<FitnessCell> = individuals
+            .iter()
+            .map(|ind| CachePadded::new(AtomicU64::new(ind.fitness_bits())))
+            .collect();
         let population: Vec<Cell> = individuals
             .into_iter()
             .map(|ind| CachePadded::new(RwLock::new(ind)))
@@ -110,6 +138,7 @@ impl<'a> PaCga<'a> {
         let mut per_thread: Vec<(u64, u64, ThreadTrace)> = Vec::with_capacity(cfg.threads);
         std::thread::scope(|scope| {
             let pop = &population;
+            let fit = &fitness;
             let table = &table;
             let evals = &evaluations;
             let handles: Vec<_> = blocks
@@ -118,7 +147,9 @@ impl<'a> PaCga<'a> {
                 .map(|(tid, block)| {
                     let block = block.clone();
                     scope.spawn(move || {
-                        evolve_block(instance, cfg, pop, table, block, tid as u64, start, evals)
+                        evolve_block(
+                            instance, cfg, pop, fit, table, block, tid as u64, start, evals,
+                        )
                     })
                 })
                 .collect();
@@ -165,6 +196,7 @@ fn evolve_block(
     instance: &EtcInstance,
     cfg: &PaCgaConfig,
     pop: &[Cell],
+    fit: &[FitnessCell],
     table: &NeighborhoodTable,
     block: Range<usize>,
     thread_id: u64,
@@ -173,6 +205,7 @@ fn evolve_block(
 ) -> (u64, u64, ThreadTrace) {
     let mut rng = stream_rng(cfg.seed, thread_id);
     let mut trace = ThreadTrace::default();
+    let budget = cfg.termination.evaluation_budget();
 
     // Reusable scratch: parents, offspring, neighborhood snapshot, H2LL
     // machine ordering, sweep order. No allocation inside the hot loop.
@@ -186,18 +219,22 @@ fn evolve_block(
 
     let mut generations = 0u64;
     let mut replacements = 0u64;
-    loop {
+    // Evaluations counted locally since the last flush into `evals`.
+    let mut pending = 0u64;
+    'run: loop {
         cfg.sweep.order_into(block.clone(), &mut order, &mut rng);
-        for &i in &order {
-            // get_neighborhood + select: brief read locks, one at a time.
+        for (k, &i) in order.iter().enumerate() {
+            // get_neighborhood + select: lock-free relaxed loads from the
+            // fitness mirrors — no reader/writer traffic on the cell locks.
             snapshot.clear();
             for &nb in table.neighbors(i) {
-                let fitness = pop[nb as usize].read().fitness;
+                let fitness = f64::from_bits(fit[nb as usize].load(Ordering::Relaxed));
                 snapshot.push((nb, fitness));
             }
             let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
             let g0 = snapshot[s0].0 as usize;
             let g1 = snapshot[s1].0 as usize;
+            // Parent genome copies: the two remaining read locks.
             p1.copy_from(&pop[g0].read());
             if g1 == g0 {
                 p2.copy_from(&p1);
@@ -229,13 +266,33 @@ fn evolve_block(
             }
             // evaluate(offspring)
             offspring.evaluate();
-            evals.fetch_add(1, Ordering::Relaxed);
+            pending += 1;
 
-            // replace(ind, offspring): the only write lock.
-            let mut current = pop[i].write();
-            if cfg.replacement.accepts(current.fitness, offspring.fitness) {
-                current.copy_from(&offspring);
-                replacements += 1;
+            // replace(ind, offspring): the only write lock. The fitness
+            // mirror is published while the lock is held, so it always
+            // equals the last committed fitness.
+            {
+                let mut current = pop[i].write();
+                if cfg.replacement.accepts(current.fitness, offspring.fitness) {
+                    current.copy_from(&offspring);
+                    fit[i].store(offspring.fitness_bits(), Ordering::Relaxed);
+                    replacements += 1;
+                }
+            }
+
+            // Sharded accounting: flush the local count every
+            // EVAL_FLUSH_EVERY evaluations; the flush doubles as the
+            // mid-sweep evaluation-budget check. A partial sweep counts
+            // no generation and records no trace point — but a check
+            // firing on the sweep's LAST cell is a completed sweep, so
+            // it falls through to the normal per-sweep bookkeeping and
+            // lets the boundary stop check end the run.
+            if pending >= EVAL_FLUSH_EVERY {
+                let total = evals.fetch_add(pending, Ordering::Relaxed) + pending;
+                pending = 0;
+                if budget.is_some_and(|b| total >= b) && k + 1 < order.len() {
+                    break 'run;
+                }
             }
         }
         generations += 1;
@@ -244,26 +301,36 @@ fn evolve_block(
         // vectors from scratch every `renormalize_every` sweeps, so
         // incremental f64 updates cannot drift over long asynchronous
         // runs. Consumes no randomness; each thread renormalizes only its
-        // own block, one brief write lock at a time.
+        // own block, one brief write lock at a time, republishing the
+        // (possibly sharpened) fitness bits.
         if cfg.renormalize_every > 0 && generations % cfg.renormalize_every == 0 {
             for i in block.clone() {
                 let mut ind = pop[i].write();
                 ind.schedule.renormalize(instance);
                 ind.evaluate();
+                fit[i].store(ind.fitness_bits(), Ordering::Relaxed);
             }
         }
 
         if cfg.record_traces {
+            // Block statistics from the published mirrors: zero lock
+            // traffic (the retired version took block.len() read locks
+            // per sweep).
             let mut sum = 0.0;
             let mut best = f64::INFINITY;
             for i in block.clone() {
-                let f = pop[i].read().fitness;
+                let f = f64::from_bits(fit[i].load(Ordering::Relaxed));
                 sum += f;
                 best = best.min(f);
             }
             trace.push(sum / block.len() as f64, best);
         }
 
+        // Flush before the per-sweep stop check so it sees our own work.
+        if pending > 0 {
+            evals.fetch_add(pending, Ordering::Relaxed);
+            pending = 0;
+        }
         // Algorithm 3 line 1: the stop check runs once per block sweep.
         if cfg
             .termination
@@ -272,6 +339,7 @@ fn evolve_block(
             break;
         }
     }
+    debug_assert_eq!(pending, 0, "all evaluations flushed on exit");
     (generations, replacements, trace)
 }
 
@@ -397,9 +465,70 @@ mod tests {
             .seed(1)
             .build();
         let out = PaCga::new(&inst, cfg).run();
-        // Threads overshoot by at most one block sweep each.
+        // Blocks (18 cells) are smaller than EVAL_FLUSH_EVERY, so checks
+        // land at sweep boundaries: each thread overshoots at most one
+        // block sweep (tightened from the 500 + 2*36 + 36 the per-sweep
+        // check used to allow).
         assert!(out.evaluations >= 500);
-        assert!(out.evaluations < 500 + 2 * 36 + 36);
+        assert!(out.evaluations < 500 + 2 * 18);
+    }
+
+    #[test]
+    fn evaluation_budget_checked_mid_sweep() {
+        // One thread, one 256-cell block: without the mid-sweep check the
+        // overshoot would be a whole block sweep (up to 255 evals past
+        // budget). With it, the overshoot is bounded by EVAL_FLUSH_EVERY.
+        let inst = instance();
+        let cfg = PaCgaConfig::builder()
+            .grid(16, 16)
+            .threads(1)
+            .termination(Termination::Evaluations(300))
+            .seed(1)
+            .build();
+        let out = PaCga::new(&inst, cfg).run();
+        assert!(out.evaluations >= 300);
+        assert!(
+            out.evaluations <= 300 + EVAL_FLUSH_EVERY,
+            "overshoot {} exceeds the flush interval",
+            out.evaluations - 300
+        );
+    }
+
+    #[test]
+    fn budget_landing_on_sweep_boundary_counts_the_completed_sweep() {
+        // 256 init + one full 256-cell sweep hits the 512 budget exactly
+        // at the sweep's last cell: that sweep completed, so it must be
+        // counted (generation + trace point), not discarded as partial.
+        let inst = instance();
+        let cfg = PaCgaConfig::builder()
+            .grid(16, 16)
+            .threads(1)
+            .termination(Termination::Evaluations(512))
+            .seed(5)
+            .record_traces(true)
+            .build();
+        let out = PaCga::new(&inst, cfg).run();
+        assert_eq!(out.evaluations, 512);
+        assert_eq!(out.generations, vec![1]);
+        assert_eq!(out.traces[0].len(), 1);
+    }
+
+    #[test]
+    fn mid_sweep_stop_leaves_population_valid() {
+        let inst = instance();
+        let cfg = PaCgaConfig::builder()
+            .grid(16, 16)
+            .threads(4)
+            .termination(Termination::Evaluations(1_000))
+            .seed(3)
+            .build();
+        let (out, pop) = PaCga::new(&inst, cfg).run_with_population();
+        assert!(out.evaluations >= 1_000);
+        assert!(out.evaluations <= 1_000 + 4 * EVAL_FLUSH_EVERY);
+        for ind in &pop {
+            assert!(check_schedule(&inst, &ind.schedule).is_ok());
+            assert_eq!(ind.fitness, ind.schedule.makespan());
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! comparison against [`super::PaCga`] with one thread.
 
 use crate::config::PaCgaConfig;
+use crate::engine::parallel::EVAL_FLUSH_EVERY;
 use crate::grid::GridTopology;
 use crate::neighborhood::NeighborhoodTable;
 use crate::rng::stream_rng;
@@ -55,8 +56,12 @@ impl<'a> SyncCga<'a> {
         let start = Instant::now();
         let mut generations = 0u64;
         let mut replacements = 0u64;
+        let budget = cfg.termination.evaluation_budget();
+        // Cells evolved since the last mid-sweep budget check (same
+        // cadence as the parallel engine's sharded flush).
+        let mut since_check = 0u64;
 
-        loop {
+        'run: loop {
             for i in 0..pop.len() {
                 snapshot.clear();
                 for &nb in table.neighbors(i) {
@@ -100,6 +105,24 @@ impl<'a> SyncCga<'a> {
                     replacements += 1;
                 } else {
                     aux[i].copy_from(&pop[i]);
+                }
+
+                // Mid-sweep evaluation-budget check, every
+                // EVAL_FLUSH_EVERY cells: cells not yet evolved this
+                // sweep carry over unchanged, the partial sweep counts no
+                // generation and records no trace point. A check firing
+                // on the sweep's last cell is a completed sweep — skip
+                // the early exit and let the boundary stop check see it.
+                since_check += 1;
+                if since_check >= EVAL_FLUSH_EVERY {
+                    since_check = 0;
+                    if budget.is_some_and(|b| evaluations >= b) && i + 1 < pop.len() {
+                        for j in i + 1..pop.len() {
+                            aux[j].copy_from(&pop[j]);
+                        }
+                        std::mem::swap(&mut pop, &mut aux);
+                        break 'run;
+                    }
                 }
             }
             std::mem::swap(&mut pop, &mut aux);
@@ -205,6 +228,41 @@ mod tests {
             assert!(check_schedule(&inst, &ind.schedule).is_ok());
             assert_eq!(ind.fitness, ind.schedule.makespan());
         }
+    }
+
+    #[test]
+    fn evaluation_budget_overshoot_bounded_by_flush_interval() {
+        let inst = EtcInstance::toy(48, 6);
+        let cfg = PaCgaConfig::builder()
+            .grid(16, 16)
+            .threads(1)
+            .termination(crate::config::Termination::Evaluations(400))
+            .seed(2)
+            .build();
+        let out = SyncCga::new(&inst, cfg).run();
+        assert!(out.evaluations >= 400);
+        assert!(
+            out.evaluations <= 400 + EVAL_FLUSH_EVERY,
+            "overshoot {} exceeds the flush interval",
+            out.evaluations - 400
+        );
+        assert!(check_schedule(&inst, &out.best.schedule).is_ok());
+    }
+
+    #[test]
+    fn budget_landing_on_sweep_boundary_counts_the_completed_sweep() {
+        let inst = EtcInstance::toy(48, 6);
+        let cfg = PaCgaConfig::builder()
+            .grid(16, 16)
+            .threads(1)
+            .termination(crate::config::Termination::Evaluations(512))
+            .seed(5)
+            .record_traces(true)
+            .build();
+        let out = SyncCga::new(&inst, cfg).run();
+        assert_eq!(out.evaluations, 512);
+        assert_eq!(out.generations, vec![1]);
+        assert_eq!(out.traces[0].len(), 1);
     }
 
     #[test]

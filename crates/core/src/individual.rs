@@ -37,6 +37,16 @@ impl Individual {
         self.fitness
     }
 
+    /// The cached fitness as its raw `u64` bit pattern — what the parallel
+    /// engine publishes through each cell's `AtomicU64` mirror (DESIGN.md
+    /// §7). Publishing all 64 bits in one atomic store is what makes
+    /// lock-free neighborhood fitness reads tear-free: a concurrent reader
+    /// observes either the old or the new fitness, never a hybrid.
+    #[inline]
+    pub fn fitness_bits(&self) -> u64 {
+        self.fitness.to_bits()
+    }
+
     /// `true` if this individual strictly improves on `other`.
     #[inline]
     pub fn better_than(&self, other: &Individual) -> bool {
@@ -89,6 +99,13 @@ mod tests {
         c.fitness += 1.0;
         assert!(a.better_than(&c));
         assert!(!c.better_than(&a));
+    }
+
+    #[test]
+    fn fitness_bits_round_trip() {
+        let inst = EtcInstance::toy(6, 2);
+        let ind = Individual::new(Schedule::round_robin(&inst));
+        assert_eq!(f64::from_bits(ind.fitness_bits()), ind.fitness);
     }
 
     #[test]

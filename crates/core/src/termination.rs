@@ -37,6 +37,19 @@ impl Termination {
             Termination::Evaluations(e) => evaluations >= e,
         }
     }
+
+    /// The evaluation budget when this is an evaluation-bounded stop,
+    /// `None` otherwise. The engines use it for the *mid-sweep* budget
+    /// check: wall-time and generation stops are only meaningful at sweep
+    /// boundaries, but an evaluation budget can (and should) halt a sweep
+    /// partway to keep the overshoot bound independent of the block size.
+    #[inline]
+    pub fn evaluation_budget(&self) -> Option<u64> {
+        match *self {
+            Termination::Evaluations(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Termination {
@@ -67,6 +80,13 @@ mod tests {
         let start = Instant::now();
         assert!(!t.should_stop(start, 0, 999));
         assert!(t.should_stop(start, 0, 1000));
+    }
+
+    #[test]
+    fn evaluation_budget_accessor() {
+        assert_eq!(Termination::Evaluations(7).evaluation_budget(), Some(7));
+        assert_eq!(Termination::Generations(7).evaluation_budget(), None);
+        assert_eq!(Termination::wall_time_ms(7).evaluation_budget(), None);
     }
 
     #[test]

@@ -11,26 +11,59 @@ use serde::{Deserialize, Serialize};
 /// not own it), update `CT` incrementally in O(1) per moved task, and keep
 /// the representation valid. Makespan evaluation is O(#machines).
 ///
-/// The task index (`buckets` + `pos`) mirrors the assignment: `buckets[m]`
-/// holds the tasks on machine `m` in ascending task order, and
-/// `pos[t]` is `t`'s offset inside its machine's bucket. It makes
+/// The task index mirrors the assignment in **CSR form** (DESIGN.md §7):
+/// one flat `bucket_tasks` array holding every task grouped by machine
+/// (ascending task order within each machine's slice), a per-machine
+/// offset array `bucket_start` bounding each slice, and a backmap
+/// `pos[t]` giving `t`'s offset inside its machine's slice. It makes
 /// [`Schedule::count_on`] O(1), [`Schedule::tasks_on`] an allocation-free
 /// slice borrow, and [`Schedule::random_task_on`] an O(1) pick — the
 /// operator hot paths that previously re-scanned the whole assignment.
-/// Keeping buckets sorted costs a short `memmove` inside one bucket
-/// (expected `T/M` elements) per move, and buys a canonical layout:
-/// two schedules with equal assignments have bit-identical indices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The flat layout means a `Schedule` is five flat buffers and nothing
+/// else: [`Schedule::copy_from`] — which runs three times per cell
+/// evolution in the engines, twice under a read lock — is five
+/// `copy_from_slice` calls with zero nested allocation or pointer
+/// chasing, and index rebuilds are an allocation-free counting
+/// sort. Keeping slices sorted costs one contiguous `memmove`
+/// over the gap between the two touched machines per move, and buys a
+/// canonical layout: two schedules with equal assignments have
+/// bit-identical indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Schedule {
     /// `assignment[t] = m`: task `t` runs on machine `m`.
     assignment: Vec<u32>,
     /// `completion[m]`: ready time of `m` plus the ETC of every task
     /// assigned to it.
     completion: Vec<f64>,
-    /// `buckets[m]`: the tasks assigned to machine `m`, ascending.
-    buckets: Vec<Vec<u32>>,
-    /// `pos[t]`: index of task `t` within `buckets[assignment[t]]`.
+    /// CSR payload: all tasks grouped by machine, ascending within each
+    /// machine's slice. Always exactly `n_tasks` long.
+    bucket_tasks: Vec<u32>,
+    /// CSR offsets: machine `m`'s tasks occupy
+    /// `bucket_tasks[bucket_start[m]..bucket_start[m + 1]]`.
+    /// `n_machines + 1` entries; first is 0, last is `n_tasks`.
+    bucket_start: Vec<u32>,
+    /// `pos[t]`: offset of task `t` within its machine's slice.
     pos: Vec<u32>,
+    /// Per-machine write cursors for the counting-sort rebuild — pure
+    /// scratch, excluded from `PartialEq` and serialization (its
+    /// leftover contents depend on rebuild history, not the schedule's
+    /// value).
+    #[serde(skip)]
+    cursors: Vec<u32>,
+}
+
+/// Value equality: the five semantic buffers. `cursors` is rebuild
+/// scratch and deliberately ignored — two schedules reaching the same
+/// assignment through different histories must compare equal.
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.assignment == other.assignment
+            && self.completion == other.completion
+            && self.bucket_tasks == other.bucket_tasks
+            && self.bucket_start == other.bucket_start
+            && self.pos == other.pos
+    }
 }
 
 impl Schedule {
@@ -53,50 +86,109 @@ impl Schedule {
         let mut s = Self {
             assignment,
             completion,
-            buckets: vec![Vec::new(); n_machines],
+            bucket_tasks: Vec::new(),
+            bucket_start: Vec::new(),
             pos: Vec::new(),
+            cursors: Vec::new(),
         };
         s.rebuild_index();
         s
     }
 
-    /// Rebuilds the task index from the assignment in O(T + M). Iterating
-    /// tasks in ascending order leaves every bucket sorted.
+    /// Rebuilds the task index from the assignment: an allocation-free
+    /// counting sort in O(T + M). Placing tasks in ascending order leaves
+    /// every machine's slice sorted.
     fn rebuild_index(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
+        let n_machines = self.completion.len();
+        self.bucket_start.resize(n_machines + 1, 0);
+        self.bucket_start.fill(0);
+        for &m in &self.assignment {
+            self.bucket_start[m as usize] += 1;
         }
-        self.pos.clear();
-        self.pos.resize(self.assignment.len(), 0);
-        for (t, &m) in self.assignment.iter().enumerate() {
-            let bucket = &mut self.buckets[m as usize];
-            self.pos[t] = bucket.len() as u32;
-            bucket.push(t as u32);
+        self.place_counted();
+    }
+
+    /// The counting sort's prefix-sum + placement half: expects
+    /// `bucket_start[m]` to hold machine `m`'s task *count* (the callers'
+    /// fused first pass computes it), leaves the full CSR index built.
+    fn place_counted(&mut self) {
+        let n_tasks = self.assignment.len();
+        let n_machines = self.completion.len();
+        self.bucket_tasks.resize(n_tasks, 0);
+        self.pos.resize(n_tasks, 0);
+        self.cursors.resize(n_machines, 0);
+        // Counts -> exclusive starts, with a cursor copy so local offsets
+        // fall out of the placement pass itself (pos = cursor - start).
+        let mut start = 0u32;
+        for m in 0..n_machines {
+            let count = self.bucket_start[m];
+            self.bucket_start[m] = start;
+            self.cursors[m] = start;
+            start += count;
+        }
+        self.bucket_start[n_machines] = start;
+        for t in 0..n_tasks {
+            let m = self.assignment[t] as usize;
+            let slot = self.cursors[m];
+            self.bucket_tasks[slot as usize] = t as u32;
+            self.pos[t] = slot - self.bucket_start[m];
+            self.cursors[m] = slot + 1;
         }
     }
 
-    /// Removes `task` from its machine's bucket, shifting the sorted tail
-    /// down one slot and fixing the shifted tasks' back-pointers.
-    fn index_remove(&mut self, task: usize, machine: usize) {
-        let p = self.pos[task] as usize;
-        let bucket = &mut self.buckets[machine];
-        debug_assert_eq!(bucket[p] as usize, task);
-        bucket.remove(p);
-        for &t in &bucket[p..] {
-            self.pos[t as usize] -= 1;
+    /// Relocates `task` from `old`'s slice to its sorted position inside
+    /// `new`'s slice. The tasks *between* the two slices shift by one slot
+    /// wholesale (a single contiguous `copy_within`) but keep their local
+    /// offsets — only their machines' start offsets move — so back-pointer
+    /// fix-ups touch just the two affected slices, fused into the same
+    /// pass as their shifts.
+    fn index_move(&mut self, task: usize, old: usize, new: usize) {
+        debug_assert_ne!(old, new);
+        let gp = self.bucket_start[old] as usize + self.pos[task] as usize;
+        debug_assert_eq!(self.bucket_tasks[gp] as usize, task);
+        let s_new = self.bucket_start[new] as usize;
+        let e_new = self.bucket_start[new + 1] as usize;
+        let lp = self.bucket_tasks[s_new..e_new].partition_point(|&t| (t as usize) < task);
+        if old < new {
+            // Old slice's tail shifts left one slot; fix its back-pointers
+            // in the same pass.
+            let e_old = self.bucket_start[old + 1] as usize;
+            for i in gp..e_old - 1 {
+                let t = self.bucket_tasks[i + 1];
+                self.bucket_tasks[i] = t;
+                self.pos[t as usize] -= 1;
+            }
+            // Slices strictly between (plus `new`'s prefix) shift left
+            // wholesale; local offsets unchanged.
+            let gi = s_new + lp - 1;
+            self.bucket_tasks.copy_within(e_old..gi + 1, e_old - 1);
+            // `new`'s tail stays put but gains a predecessor.
+            for i in gi + 1..e_new {
+                self.pos[self.bucket_tasks[i] as usize] += 1;
+            }
+            self.bucket_tasks[gi] = task as u32;
+            for m in old + 1..=new {
+                self.bucket_start[m] -= 1;
+            }
+        } else {
+            // Mirror image: everything between shifts right one slot.
+            let e_old = self.bucket_start[old + 1] as usize;
+            for i in gp + 1..e_old {
+                self.pos[self.bucket_tasks[i] as usize] -= 1;
+            }
+            self.bucket_tasks.copy_within(e_new..gp, e_new + 1);
+            let gi = s_new + lp;
+            for i in (gi..e_new).rev() {
+                let t = self.bucket_tasks[i];
+                self.bucket_tasks[i + 1] = t;
+                self.pos[t as usize] += 1;
+            }
+            self.bucket_tasks[gi] = task as u32;
+            for m in new + 1..=old {
+                self.bucket_start[m] += 1;
+            }
         }
-    }
-
-    /// Inserts `task` into `machine`'s bucket at its sorted position,
-    /// shifting the tail up one slot and fixing back-pointers.
-    fn index_insert(&mut self, task: usize, machine: usize) {
-        let bucket = &mut self.buckets[machine];
-        let p = bucket.partition_point(|&t| (t as usize) < task);
-        bucket.insert(p, task as u32);
-        self.pos[task] = p as u32;
-        for &t in &bucket[p + 1..] {
-            self.pos[t as usize] += 1;
-        }
+        self.pos[task] = lp as u32;
     }
 
     /// A uniformly random schedule.
@@ -220,8 +312,7 @@ impl Schedule {
         self.completion[old] -= etc.etc_on(old, task);
         self.completion[new_machine] += etc.etc_on(new_machine, task);
         self.assignment[task] = new_machine as u32;
-        self.index_remove(task, old);
-        self.index_insert(task, new_machine);
+        self.index_move(task, old, new_machine);
         old
     }
 
@@ -240,13 +331,21 @@ impl Schedule {
         mut f: impl FnMut(usize) -> u32,
     ) {
         let n_machines = self.completion.len();
+        let etc = instance.etc();
+        // One fused pass: write the gene, accumulate its ETC into the
+        // fresh CT vector, and count it for the index's counting sort.
+        self.completion.copy_from_slice(instance.ready_times());
+        self.bucket_start.resize(n_machines + 1, 0);
+        self.bucket_start.fill(0);
         for t in 0..self.assignment.len() {
             let m = f(t);
             debug_assert!((m as usize) < n_machines, "task {t} assigned to machine {m}");
             self.assignment[t] = m;
+            let m = m as usize;
+            self.completion[m] += etc.etc_on(m, t);
+            self.bucket_start[m] += 1;
         }
-        self.renormalize(instance);
-        self.rebuild_index();
+        self.place_counted();
     }
 
     /// Swaps the machines of two tasks, incrementally.
@@ -261,42 +360,70 @@ impl Schedule {
     }
 
     /// Tasks currently assigned to `machine`, in ascending task order —
-    /// an O(1) borrow from the task index (no allocation, no scan).
+    /// an O(1) slice borrow from the CSR index (no allocation, no scan).
     #[inline]
     pub fn tasks_on(&self, machine: usize) -> &[u32] {
-        &self.buckets[machine]
+        &self.bucket_tasks
+            [self.bucket_start[machine] as usize..self.bucket_start[machine + 1] as usize]
     }
 
     /// Number of tasks on `machine` (O(1), from the task index).
     #[inline]
     pub fn count_on(&self, machine: usize) -> usize {
-        self.buckets[machine].len()
+        (self.bucket_start[machine + 1] - self.bucket_start[machine]) as usize
     }
 
     /// A uniformly random task among those on `machine`, or `None` if the
     /// machine holds no tasks. O(1) via the task index. Consumes exactly
     /// one `gen_range(0..count)` draw, matching the retired scan-based
-    /// `nth`-filter pick (buckets are sorted, so the `k`-th bucket entry
+    /// `nth`-filter pick (slices are sorted, so the `k`-th slice entry
     /// *is* the `k`-th assigned task in ascending order).
     #[inline]
     pub fn random_task_on(&self, machine: usize, rng: &mut impl Rng) -> Option<usize> {
-        let bucket = &self.buckets[machine];
+        let bucket = self.tasks_on(machine);
         if bucket.is_empty() {
             return None;
         }
         Some(bucket[rng.gen_range(0..bucket.len())] as usize)
     }
 
-    /// Validates the task index against the assignment: every bucket
-    /// sorted, back-pointers exact, and bucket membership equal to a
-    /// from-scratch recount. O(T + M); used by the invariant checker.
+    /// Validates the task index against the assignment: offsets monotone
+    /// and spanning exactly `0..n_tasks`, every machine's slice sorted,
+    /// back-pointers exact, and slice membership agreeing with the
+    /// assignment. O(T + M); used by the invariant checker.
     pub fn validate_index(&self) -> Result<(), String> {
-        let mut counted = 0usize;
-        for (m, bucket) in self.buckets.iter().enumerate() {
-            counted += bucket.len();
-            for (p, &t) in bucket.iter().enumerate() {
+        let n_tasks = self.assignment.len();
+        let n_machines = self.completion.len();
+        if self.bucket_start.len() != n_machines + 1 {
+            return Err(format!(
+                "offset array has {} entries, want {}",
+                self.bucket_start.len(),
+                n_machines + 1
+            ));
+        }
+        if self.bucket_tasks.len() != n_tasks || self.pos.len() != n_tasks {
+            return Err(format!(
+                "index holds {} tasks / {} back-pointers, assignment has {n_tasks}",
+                self.bucket_tasks.len(),
+                self.pos.len()
+            ));
+        }
+        if self.bucket_start[0] != 0 || self.bucket_start[n_machines] as usize != n_tasks {
+            return Err(format!(
+                "offsets span {}..{}, want 0..{n_tasks}",
+                self.bucket_start[0], self.bucket_start[n_machines]
+            ));
+        }
+        for m in 0..n_machines {
+            let (s, e) = (self.bucket_start[m] as usize, self.bucket_start[m + 1] as usize);
+            if s > e || e > n_tasks {
+                // Checked before slicing so a corrupt offset array is
+                // reported as Err, not an out-of-bounds panic.
+                return Err(format!("offsets corrupt at machine {m}: {s}..{e} of {n_tasks}"));
+            }
+            for (p, &t) in self.bucket_tasks[s..e].iter().enumerate() {
                 let t = t as usize;
-                if t >= self.assignment.len() {
+                if t >= n_tasks {
                     return Err(format!("bucket[{m}][{p}] holds unknown task {t}"));
                 }
                 if self.assignment[t] as usize != m {
@@ -311,16 +438,10 @@ impl Schedule {
                         self.pos[t]
                     ));
                 }
-                if p > 0 && bucket[p - 1] >= t as u32 {
+                if p > 0 && self.bucket_tasks[s + p - 1] >= t as u32 {
                     return Err(format!("bucket[{m}] not strictly ascending at offset {p}"));
                 }
             }
-        }
-        if counted != self.assignment.len() {
-            return Err(format!(
-                "buckets hold {counted} tasks, assignment has {}",
-                self.assignment.len()
-            ));
         }
         Ok(())
     }
@@ -337,15 +458,15 @@ impl Schedule {
     }
 
     /// Copies another schedule's contents into this one without
-    /// reallocating (bucket capacities are reused once warm) — the hot
-    /// path for replacement under a write lock.
+    /// allocating: five flat `copy_from_slice` calls (the CSR layout has
+    /// no nested buffers) — the hot path for parent snapshots and
+    /// replacement, which the engines run three times per cell evolution,
+    /// twice of them under a read lock.
     pub fn copy_from(&mut self, other: &Schedule) {
         self.assignment.copy_from_slice(&other.assignment);
         self.completion.copy_from_slice(&other.completion);
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            mine.clear();
-            mine.extend_from_slice(theirs);
-        }
+        self.bucket_tasks.copy_from_slice(&other.bucket_tasks);
+        self.bucket_start.copy_from_slice(&other.bucket_start);
         self.pos.copy_from_slice(&other.pos);
     }
 }
@@ -521,6 +642,17 @@ mod tests {
         s.rewrite_assignment(&inst, |t| target[t]);
         assert_eq!(s, Schedule::from_assignment(&inst, target.to_vec()));
         assert!(s.validate_index().is_ok());
+    }
+
+    #[test]
+    fn validate_index_reports_corrupt_offsets_without_panicking() {
+        let inst = toy();
+        let mut s = Schedule::from_assignment(&inst, vec![0, 1, 2, 0]);
+        // Forge an interior offset past the payload length: the checker
+        // must return Err, not slice out of bounds.
+        s.bucket_start[1] = 99;
+        let err = s.validate_index().unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
     }
 
     #[test]

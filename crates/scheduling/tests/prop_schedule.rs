@@ -59,7 +59,84 @@ fn apply(inst: &EtcInstance, s: &mut Schedule, op: Op) {
     }
 }
 
+/// Reference model of the retired nested-bucket index (`Vec<Vec<u32>>`,
+/// sorted buckets, incremental remove/insert): the CSR layout must
+/// reproduce its semantics slice-for-slice after any operation sequence.
+struct NestedBuckets {
+    buckets: Vec<Vec<u32>>,
+}
+
+impl NestedBuckets {
+    fn new(assignment: &[u32], n_machines: usize) -> Self {
+        let mut buckets = vec![Vec::new(); n_machines];
+        for (t, &m) in assignment.iter().enumerate() {
+            buckets[m as usize].push(t as u32);
+        }
+        Self { buckets }
+    }
+
+    fn apply(&mut self, n_machines: usize, op: &Op) {
+        match op {
+            Op::Move { task, machine } => self.move_task(*task, *machine),
+            Op::Swap { a, b } => {
+                if a != b {
+                    let ma = self.machine_of(*a);
+                    let mb = self.machine_of(*b);
+                    self.move_task(*a, mb);
+                    self.move_task(*b, ma);
+                }
+            }
+            Op::Renormalize => {}
+            Op::CopyFrom { assignment } | Op::Rewrite { assignment } => {
+                *self = Self::new(assignment, n_machines);
+            }
+        }
+    }
+
+    fn machine_of(&self, task: usize) -> usize {
+        self.buckets
+            .iter()
+            .position(|b| b.contains(&(task as u32)))
+            .expect("task present in exactly one bucket")
+    }
+
+    fn move_task(&mut self, task: usize, machine: usize) {
+        let old = self.machine_of(task);
+        if old == machine {
+            return;
+        }
+        let p = self.buckets[old]
+            .iter()
+            .position(|&t| t as usize == task)
+            .expect("task in its bucket");
+        self.buckets[old].remove(p);
+        let q = self.buckets[machine].partition_point(|&t| (t as usize) < task);
+        self.buckets[machine].insert(q, task as u32);
+    }
+}
+
 proptest! {
+    #[test]
+    fn csr_index_matches_nested_bucket_model(
+        seed in 0u64..20,
+        ops in proptest::collection::vec(op_strategy(24, 5), 1..150)
+    ) {
+        // The flat CSR index and the nested-bucket reference must expose
+        // identical per-machine task slices after every operation.
+        let inst = small_instance(seed);
+        let mut s = Schedule::round_robin(&inst);
+        let mut model = NestedBuckets::new(s.assignment(), inst.n_machines());
+        for op in ops {
+            model.apply(inst.n_machines(), &op);
+            apply(&inst, &mut s, op);
+            for m in 0..inst.n_machines() {
+                prop_assert_eq!(s.tasks_on(m), &model.buckets[m][..], "machine {}", m);
+                prop_assert_eq!(s.count_on(m), model.buckets[m].len());
+            }
+            prop_assert!(s.validate_index().is_ok(), "{:?}", s.validate_index());
+        }
+    }
+
     #[test]
     fn arbitrary_assignment_builds_valid_schedule(
         seed in 0u64..50,

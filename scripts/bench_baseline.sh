@@ -73,6 +73,18 @@ awk -v out="$OUT" '
       first = 0
     }
     printf "\n  },\n"
+    # Single-run parallel scaling: wall time at 1 thread over wall time
+    # at N threads for the same 4096-evaluation budget (the Figure 4
+    # axis of the source paper; >1 means the run got faster with threads).
+    printf "  \"speedup_vs_t1\": {\n"
+    for (j = 2; j <= 4; j++) {
+      printf "    \"t%d_ls0\": %.2f,\n", j, \
+        ns["pa_cga_4096_evals/t1_ls0"] / ns[sprintf("pa_cga_4096_evals/t%d_ls0", j)]
+      printf "    \"t%d_ls10\": %.2f%s\n", j, \
+        ns["pa_cga_4096_evals/t1_ls10"] / ns[sprintf("pa_cga_4096_evals/t%d_ls10", j)], \
+        (j < 4 ? "," : "")
+    }
+    printf "  },\n"
     printf "  \"speedup_vs_scan\": {\n"
     printf "    \"h2ll/10\": %.2f,\n", ns["h2ll_scan/10"] / ns["h2ll/10"]
     printf "    \"h2ll/5\": %.2f,\n", ns["h2ll_scan/5"] / ns["h2ll/5"]

@@ -27,6 +27,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> [4/5] bench smoke (1 iteration per bench)"
 scripts/bench_baseline.sh --smoke
+# Surface the committed scaling numbers next to the smoke result so a
+# stale/odd speedup_vs_t1 section is spotted without opening the JSON.
+latest_bench="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -n "$latest_bench" ]] && grep -q '"speedup_vs_t1"' "$latest_bench"; then
+  echo "==> recorded speedup_vs_t1 ($latest_bench):"
+  sed -n '/"speedup_vs_t1"/,/}/p' "$latest_bench"
+fi
 
 echo "==> [5/5] pacga sweep smoke (portfolio runner end-to-end)"
 SWEEP_OUT="$(cargo run --release -q -p pa-cga-cli -- sweep --braun u_c_hihi --runs 2 --evals 2000 --ls 2)"
