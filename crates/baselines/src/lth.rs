@@ -65,9 +65,8 @@ impl TabuHillClimb {
             for _ in 0..self.sample_tasks.min(n_candidates) {
                 // Same single gen_range draw as the retired slice-index
                 // pick, so sampling stays bit-identical.
-                let task = schedule
-                    .random_task_on(loaded, rng)
-                    .expect("source machine is non-empty");
+                let task =
+                    schedule.random_task_on(loaded, rng).expect("source machine is non-empty");
                 if tabu.contains(&task) {
                     continue;
                 }
@@ -145,10 +144,8 @@ mod tests {
     fn tabu_prevents_immediate_repeat_move() {
         // Two machines, one hot task: after moving it, it is tabu; the
         // climb must stop rather than bounce it back.
-        let inst = EtcInstance::new(
-            "hot",
-            EtcMatrix::from_task_major(2, 2, vec![10.0, 10.0, 1.0, 1.0]),
-        );
+        let inst =
+            EtcInstance::new("hot", EtcMatrix::from_task_major(2, 2, vec![10.0, 10.0, 1.0, 1.0]));
         let mut s = Schedule::from_assignment(&inst, vec![0, 0]);
         let mut rng = SmallRng::seed_from_u64(3);
         let op = TabuHillClimb { iterations: 10, sample_tasks: 2, tabu_tenure: 10 };

@@ -65,12 +65,7 @@ impl Default for StruggleConfig {
 /// (1.0 = identical assignment).
 pub fn similarity(a: &Schedule, b: &Schedule) -> f64 {
     debug_assert_eq!(a.n_tasks(), b.n_tasks());
-    let same = a
-        .assignment()
-        .iter()
-        .zip(b.assignment())
-        .filter(|(x, y)| x == y)
-        .count();
+    let same = a.assignment().iter().zip(b.assignment()).filter(|(x, y)| x == y).count();
     same as f64 / a.n_tasks() as f64
 }
 

@@ -13,9 +13,7 @@ fn bench_evaluate(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
     let s = Schedule::random(&inst, &mut rng);
 
-    c.bench_function("evaluate_cached_max_ct", |b| {
-        b.iter(|| black_box(s.makespan()))
-    });
+    c.bench_function("evaluate_cached_max_ct", |b| b.iter(|| black_box(s.makespan())));
 
     c.bench_function("evaluate_full_rebuild", |b| {
         let mut t = s.clone();

@@ -24,9 +24,8 @@ fn bench_heuristics(c: &mut Criterion) {
 fn bench_min_min_ab(c: &mut Criterion) {
     let inst = braun_instance("u_c_hihi.0");
     let mut group = c.benchmark_group("min_min");
-    group.bench_function("indexed", |b| {
-        b.iter(|| black_box(heuristics::min_min(&inst).makespan()))
-    });
+    group
+        .bench_function("indexed", |b| b.iter(|| black_box(heuristics::min_min(&inst).makespan())));
     group.bench_function("scan", |b| {
         b.iter(|| black_box(heuristics::min_min_scan(&inst).makespan()))
     });

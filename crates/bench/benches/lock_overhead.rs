@@ -14,9 +14,7 @@ use std::sync::Arc;
 
 fn bench_uncontended(c: &mut Criterion) {
     let cell = RwLock::new(1.0f64);
-    c.bench_function("rwlock_read_uncontended", |b| {
-        b.iter(|| black_box(*cell.read()))
-    });
+    c.bench_function("rwlock_read_uncontended", |b| b.iter(|| black_box(*cell.read())));
     c.bench_function("rwlock_write_uncontended", |b| {
         b.iter(|| {
             *cell.write() += 1.0;
@@ -44,9 +42,7 @@ fn bench_contended_reads(c: &mut Criterion) {
         }));
     }
 
-    c.bench_function("rwlock_read_contended_3_readers", |b| {
-        b.iter(|| black_box(*cell.read()))
-    });
+    c.bench_function("rwlock_read_contended_3_readers", |b| b.iter(|| black_box(*cell.read())));
 
     stop.store(true, Ordering::Relaxed);
     for h in handles {

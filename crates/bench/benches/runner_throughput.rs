@@ -39,8 +39,10 @@ fn bench_workers(c: &mut Criterion) {
                 b.iter(|| {
                     let mut portfolio = Portfolio::new().with_workers(workers);
                     for seed in 0..RUNS {
-                        portfolio
-                            .push(RunSpec::new(format!("s{seed}"), PaCga::new(&inst, config(seed))));
+                        portfolio.push(RunSpec::new(
+                            format!("s{seed}"),
+                            PaCga::new(&inst, config(seed)),
+                        ));
                     }
                     black_box(portfolio.execute().expect_outcomes())
                 })

@@ -29,8 +29,7 @@ pub fn run_sweep(budget: &Budget) -> String {
 
     let termination = budget.long_termination();
     let mut table = Table::new(&["sweep", "mean evaluations", "mean best makespan"]);
-    for sweep in [SweepPolicy::LineSweep, SweepPolicy::ReverseLineSweep, SweepPolicy::RandomSweep]
-    {
+    for sweep in [SweepPolicy::LineSweep, SweepPolicy::ReverseLineSweep, SweepPolicy::RandomSweep] {
         let outcomes = repeat_runs(&instance, budget.runs, |seed| {
             PaCgaConfig::builder()
                 .threads(budget.max_threads)

@@ -40,12 +40,7 @@ pub fn run(budget: &Budget) -> String {
     out.push_str("Diversity over generations (entropy / pairwise distance / fitness CV)\n");
     out.push_str("16x16 populations, tpx, move, H2LL x5; panmictic = Struggle GA\n\n");
 
-    let mut table = Table::new(&[
-        "generations",
-        "async cGA",
-        "sync cGA",
-        "panmictic",
-    ]);
+    let mut table = Table::new(&["generations", "async cGA", "sync cGA", "panmictic"]);
 
     let seeds: Vec<u64> = (0..budget.runs.min(4)).collect();
     let engines = ["async", "sync", "panmictic"];
@@ -110,12 +105,7 @@ pub fn run(budget: &Budget) -> String {
                 cv_sum += cv;
             }
             let n = seeds.len() as f64;
-            cells.push(format!(
-                "{:.3}/{:.3}/{:.3}",
-                h_sum / n,
-                d_sum / n,
-                cv_sum / n
-            ));
+            cells.push(format!("{:.3}/{:.3}/{:.3}", h_sum / n, d_sum / n, cv_sum / n));
         }
         let mut row = vec![gens.to_string()];
         row.extend(cells);

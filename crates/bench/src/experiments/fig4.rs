@@ -27,8 +27,7 @@ pub fn run(budget: &Budget) -> String {
     out.push_str(&budget.banner());
     out.push('\n');
 
-    let termination =
-        Termination::WallTime(Duration::from_millis(budget.time_ms));
+    let termination = Termination::WallTime(Duration::from_millis(budget.time_ms));
 
     let mut header = vec!["threads".to_string()];
     header.extend(LS_ITERATIONS.iter().map(|i| format!("{i} iter")));
@@ -48,8 +47,7 @@ pub fn run(budget: &Budget) -> String {
         evals.push(per_thread);
     }
 
-    let speedups: Vec<Vec<f64>> =
-        evals.iter().map(|e| speedup_percentages(e)).collect();
+    let speedups: Vec<Vec<f64>> = evals.iter().map(|e| speedup_percentages(e)).collect();
     for t in 0..budget.max_threads {
         let mut row = vec![format!("{}", t + 1)];
         for s in &speedups {

@@ -49,10 +49,8 @@ pub fn run(budget: &Budget) -> String {
             samples.push((label(op, iters), best));
         }
 
-        let stats: Vec<(String, BoxplotStats)> = samples
-            .iter()
-            .map(|(l, s)| (l.clone(), BoxplotStats::from_sample(s)))
-            .collect();
+        let stats: Vec<(String, BoxplotStats)> =
+            samples.iter().map(|(l, s)| (l.clone(), BoxplotStats::from_sample(s))).collect();
         let labelled: Vec<(&str, &BoxplotStats)> =
             stats.iter().map(|(l, b)| (l.as_str(), b)).collect();
         out.push_str(&render_boxplots(&labelled, 64));

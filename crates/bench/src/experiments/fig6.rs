@@ -38,27 +38,18 @@ pub fn run(budget: &Budget) -> String {
         // Only keep the generation range every run reached, like the
         // paper's common-domain plot.
         let supported = agg.series_with_support(outcomes.len());
-        let series = pa_cga_stats::series::downsample(
-            &supported,
-            POINTS.min(supported.len().max(2)),
-        );
+        let series =
+            pa_cga_stats::series::downsample(&supported, POINTS.min(supported.len().max(2)));
 
         out.push_str(&format!("\n-- {threads} thread(s) --\n"));
         let mut table = Table::new(&["generation", "mean makespan", "runs"]);
         for p in &series {
-            table.row(&[
-                p.generation.to_string(),
-                format!("{:.1}", p.mean),
-                p.count.to_string(),
-            ]);
+            table.row(&[p.generation.to_string(), format!("{:.1}", p.mean), p.count.to_string()]);
         }
         out.push_str(&table.render());
         if let Some(last) = supported.last() {
-            let gens: f64 = outcomes
-                .iter()
-                .map(|o| o.mean_generations())
-                .sum::<f64>()
-                / outcomes.len() as f64;
+            let gens: f64 =
+                outcomes.iter().map(|o| o.mean_generations()).sum::<f64>() / outcomes.len() as f64;
             final_means.push((threads, gens, last.mean));
         }
     }

@@ -85,7 +85,14 @@ pub fn compute_rows(budget: &Budget) -> Vec<Row> {
                     format!("{column}/{}/s{seed}", meta.name),
                     PaCga::new(
                         instance,
-                        harness_config(threads, 10, CrossoverOp::TwoPoint, termination, seed, false),
+                        harness_config(
+                            threads,
+                            10,
+                            CrossoverOp::TwoPoint,
+                            termination,
+                            seed,
+                            false,
+                        ),
                     ),
                 ));
             }
@@ -100,8 +107,7 @@ pub fn compute_rows(budget: &Budget) -> Vec<Row> {
         .iter()
         .zip(outcomes.chunks(4 * runs as usize))
         .map(|((meta, _), per_instance)| {
-            let columns: Vec<f64> =
-                per_instance.chunks(runs as usize).map(mean_chunk).collect();
+            let columns: Vec<f64> = per_instance.chunks(runs as usize).map(mean_chunk).collect();
             Row {
                 instance: meta.name.to_string(),
                 means: [columns[0], columns[1], columns[2], columns[3]],
@@ -118,13 +124,7 @@ pub fn run(budget: &Budget) -> String {
     out.push_str("\n(* marks the row winner; PA-CGA short runs at budget/9)\n\n");
 
     let rows = compute_rows(budget);
-    let mut table = Table::new(&[
-        "instance",
-        "Struggle GA",
-        "cMA+LTH",
-        "PA-CGA short",
-        "PA-CGA",
-    ]);
+    let mut table = Table::new(&["instance", "Struggle GA", "cMA+LTH", "PA-CGA short", "PA-CGA"]);
     let mut pa_wins = 0usize;
     for row in &rows {
         let w = row.winner();

@@ -60,9 +60,7 @@ pub fn env_opt_u64(name: &str) -> Option<u64> {
     match raw.parse::<u64>() {
         Ok(v) if v > 0 => Some(v),
         _ => {
-            eprintln!(
-                "warning: {name}={raw:?} is not a positive integer; ignoring it"
-            );
+            eprintln!("warning: {name}={raw:?} is not a positive integer; ignoring it");
             None
         }
     }
@@ -242,14 +240,7 @@ mod tests {
     fn repeat_runs_uses_distinct_seeds() {
         let inst = EtcInstance::toy(24, 4);
         let outcomes = repeat_runs(&inst, 3, |seed| {
-            harness_config(
-                1,
-                5,
-                CrossoverOp::TwoPoint,
-                Termination::Evaluations(300),
-                seed,
-                false,
-            )
+            harness_config(1, 5, CrossoverOp::TwoPoint, Termination::Evaluations(300), seed, false)
         });
         assert_eq!(outcomes.len(), 3);
         let m = mean_best_makespan(&outcomes);

@@ -33,8 +33,15 @@ pub enum ArgError {
     },
     /// A required flag was absent.
     Missing(String),
-    /// A flag not in `allowed` appeared.
-    Unknown(String),
+    /// A flag not in `allowed` appeared. Named with the subcommand so
+    /// `pacga sweep --evalz 10` says exactly which command rejected what
+    /// (instead of a bare "unknown flag" — or, worse, silence).
+    Unknown {
+        /// The subcommand that rejected the flag.
+        command: String,
+        /// The rejected flag (without the `--`).
+        flag: String,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -46,7 +53,9 @@ impl std::fmt::Display for ArgError {
                 write!(f, "--{flag}: cannot parse {value:?} as {expected}")
             }
             ArgError::Missing(flag) => write!(f, "required flag --{flag} missing"),
-            ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::Unknown { command, flag } => {
+                write!(f, "unknown flag --{flag} for `pacga {command}`")
+            }
         }
     }
 }
@@ -74,7 +83,7 @@ impl Args {
                 (name.to_string(), "true".to_string())
             };
             if !allowed.contains(&key.as_str()) {
-                return Err(ArgError::Unknown(key));
+                return Err(ArgError::Unknown { command, flag: key });
             }
             flags.insert(key, value);
         }
@@ -155,9 +164,10 @@ mod tests {
     }
 
     #[test]
-    fn unknown_flag_rejected() {
+    fn unknown_flag_rejected_with_command_name() {
         let err = Args::parse(toks("x --oops 1"), &["n"]).unwrap_err();
-        assert_eq!(err, ArgError::Unknown("oops".into()));
+        assert_eq!(err, ArgError::Unknown { command: "x".into(), flag: "oops".into() });
+        assert_eq!(err.to_string(), "unknown flag --oops for `pacga x`");
     }
 
     #[test]

@@ -69,12 +69,23 @@ USAGE:
                  [--time-ms T | --evals E | --gens G] [--threads N]
                  [--ls N] [--crossover opx|tpx|ux] [--seed S]
                  [--workers W]
+  pacga serve    [--addr HOST:PORT] [--workers W] [--queue-cap Q]
+                 [--cache-cap C] [--batch-max B]
+  pacga bench-serve [--addr HOST:PORT] [--clients N] [--requests M]
+                 [--evals E] [--seed S] [--distinct D] [--shutdown]
   pacga list
 
 `sweep` runs the full replication protocol (N independent seeds per
 instance) through the portfolio worker pool and prints per-instance
 makespan statistics. --braun accepts prefixes: `u_c_hihi` expands to
 every registry instance starting with it.
+
+`serve` runs the batching scheduler daemon: a TCP JSON-lines protocol
+(one request object per line — see README \"The scheduling daemon\")
+with request batching, an instance-digest result cache, bounded-queue
+backpressure and graceful drain on a `shutdown` request. `bench-serve`
+is the matching load generator; with --shutdown it drains the daemon
+when done.
 ";
 
 /// Loads an instance from `--braun NAME` or `--instance FILE`.
@@ -112,18 +123,10 @@ pub fn cmd_list() -> String {
 pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let n_tasks = args.get_parse("tasks", 512usize, "usize")?;
     let n_machines = args.get_parse("machines", 16usize, "usize")?;
-    let consistency = match args.get("consistency").unwrap_or("i") {
-        "c" => Consistency::Consistent,
-        "s" => Consistency::SemiConsistent,
-        "i" => Consistency::Inconsistent,
-        other => return Err(CliError::Other(format!("bad consistency {other:?} (c|s|i)"))),
-    };
+    let consistency: Consistency =
+        args.get("consistency").unwrap_or("i").parse().map_err(CliError::Other)?;
     let parse_het = |v: Option<&str>| -> Result<Heterogeneity, CliError> {
-        match v.unwrap_or("hi") {
-            "hi" => Ok(Heterogeneity::High),
-            "lo" => Ok(Heterogeneity::Low),
-            other => Err(CliError::Other(format!("bad heterogeneity {other:?} (hi|lo)"))),
-        }
+        v.unwrap_or("hi").parse().map_err(CliError::Other)
     };
     let params = GeneratorParams {
         n_tasks,
@@ -136,11 +139,7 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let name = args.get("name").map(String::from).unwrap_or_else(|| params.braun_name(0));
     let instance = EtcGenerator::new(params).generate_named(name);
 
-    let mut out = format!(
-        "generated {}: {}\n",
-        instance.name(),
-        blazewicz_notation(&instance)
-    );
+    let mut out = format!("generated {}: {}\n", instance.name(), blazewicz_notation(&instance));
     if let Some(path) = args.get("out") {
         let file = File::create(path)?;
         write_instance(&mut BufWriter::new(file), &instance)?;
@@ -188,9 +187,10 @@ pub fn cmd_schedule(args: &Args) -> Result<String, CliError> {
         (h.schedule(&instance), format!("heuristic {hname}"))
     } else {
         let termination = if let Some(e) = args.get("evals") {
-            Termination::Evaluations(e.parse().map_err(|_| {
-                CliError::Other(format!("--evals: cannot parse {e:?} as u64"))
-            })?)
+            Termination::Evaluations(
+                e.parse()
+                    .map_err(|_| CliError::Other(format!("--evals: cannot parse {e:?} as u64")))?,
+            )
         } else {
             Termination::wall_time_ms(args.get_parse("time-ms", 2_000u64, "u64")?)
         };
@@ -260,8 +260,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
 
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x51_D0_0D);
     let horizon = schedule.makespan() * 0.7;
-    let failures =
-        FailureTrace::sample(instance.n_machines(), p_fail, horizon, &mut rng);
+    let failures = FailureTrace::sample(instance.n_machines(), p_fail, horizon, &mut rng);
 
     let policy_name = args.get("policy").unwrap_or("mct");
     let mct = MctRescheduler;
@@ -365,11 +364,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
             };
             Termination::wall_time_ms(t)
         }
-        _ => {
-            return Err(CliError::Other(
-                "give at most one of --evals, --gens, --time-ms".into(),
-            ))
-        }
+        _ => return Err(CliError::Other("give at most one of --evals, --gens, --time-ms".into())),
     };
     let workers = match args.get("workers") {
         Some(w) => Some(
@@ -415,14 +410,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Other(format!("sweep run {label} failed: {panic}")));
     }
 
-    let mut table = Table::new(&[
-        "instance",
-        "runs",
-        "best",
-        "mean ± std",
-        "worst",
-        "mean evals",
-    ]);
+    let mut table = Table::new(&["instance", "runs", "best", "mean ± std", "worst", "mean evals"]);
     for (instance, chunk) in instances.iter().zip(report.results.chunks(runs as usize)) {
         let best: Vec<f64> = chunk
             .iter()
@@ -453,6 +441,71 @@ pub fn cmd_sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `pacga serve` — the batching scheduler daemon. Blocks until a client
+/// sends `{"type":"shutdown"}`, then drains and reports.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use pa_cga_service::{serve, ServeConfig};
+
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7413").to_string(),
+        workers: args.get_parse("workers", 0usize, "usize")?,
+        queue_cap: args.get_parse("queue-cap", 64usize, "usize")?,
+        cache_cap: args.get_parse("cache-cap", 128usize, "usize")?,
+        batch_max: args.get_parse("batch-max", 16usize, "usize")?,
+    };
+    if config.batch_max == 0 {
+        return Err(CliError::Other("--batch-max must be positive".into()));
+    }
+    let queue_cap = config.queue_cap;
+    let cache_cap = config.cache_cap;
+    let batch_max = config.batch_max;
+    let workers = config.workers;
+    let handle = serve(config)?;
+    // Announce readiness eagerly — `dispatch`'s return value only prints
+    // after the daemon exits.
+    println!(
+        "pacga serve: listening on {} (workers={}, queue-cap={queue_cap}, \
+         cache-cap={cache_cap}, batch-max={batch_max})",
+        handle.addr(),
+        if workers == 0 { "auto".to_string() } else { workers.to_string() },
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let summary = handle.join();
+    Ok(format!("pacga serve: {summary}\n"))
+}
+
+/// `pacga bench-serve` — loopback load generator against a running
+/// daemon; prints req/s and latency percentiles.
+pub fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
+    use pa_cga_service::{run_load, LoadConfig};
+
+    let config = LoadConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7413").to_string(),
+        clients: args.get_parse("clients", 4usize, "usize")?,
+        requests: args.get_parse("requests", 25usize, "usize")?,
+        evals: args.get_parse("evals", 1_000u64, "u64")?,
+        seed: args.get_parse("seed", 0u64, "u64")?,
+        distinct: args.get_parse("distinct", 4usize, "usize")?,
+        shutdown_after: args.get_bool("shutdown")?,
+    };
+    if config.clients == 0 || config.requests == 0 {
+        return Err(CliError::Other("--clients and --requests must be positive".into()));
+    }
+    if config.evals == 0 {
+        return Err(CliError::Other("--evals must be positive".into()));
+    }
+    let report = run_load(&config)
+        .map_err(|e| CliError::Other(format!("bench-serve against {}: {e}", config.addr)))?;
+    Ok(format!(
+        "bench-serve: {} client(s) × {} request(s) → {}\n{report}{}",
+        config.clients,
+        config.requests,
+        config.addr,
+        if config.shutdown_after { "daemon shutdown requested (drained)\n" } else { "" },
+    ))
+}
+
 /// Dispatches a full command line (tokens exclude the program name).
 pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
     let command = tokens.first().cloned().unwrap_or_default();
@@ -464,7 +517,16 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
         "generate" => {
             let args = Args::parse(
                 tokens,
-                &["tasks", "machines", "consistency", "task-het", "machine-het", "seed", "name", "out"],
+                &[
+                    "tasks",
+                    "machines",
+                    "consistency",
+                    "task-het",
+                    "machine-het",
+                    "seed",
+                    "name",
+                    "out",
+                ],
             )?;
             cmd_generate(&args)
         }
@@ -479,23 +541,56 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
         "schedule" => {
             let args = Args::parse(
                 tokens,
-                &["braun", "instance", "heuristic", "threads", "time-ms", "evals", "seed", "crossover", "ls", "out"],
+                &[
+                    "braun",
+                    "instance",
+                    "heuristic",
+                    "threads",
+                    "time-ms",
+                    "evals",
+                    "seed",
+                    "crossover",
+                    "ls",
+                    "out",
+                ],
             )?;
             cmd_schedule(&args)
         }
         "simulate" => {
-            let args = Args::parse(
-                tokens,
-                &["braun", "instance", "p-fail", "seed", "evals", "policy"],
-            )?;
+            let args =
+                Args::parse(tokens, &["braun", "instance", "p-fail", "seed", "evals", "policy"])?;
             cmd_simulate(&args)
         }
         "sweep" => {
             let args = Args::parse(
                 tokens,
-                &["braun", "all", "runs", "time-ms", "evals", "gens", "threads", "ls", "crossover", "seed", "workers"],
+                &[
+                    "braun",
+                    "all",
+                    "runs",
+                    "time-ms",
+                    "evals",
+                    "gens",
+                    "threads",
+                    "ls",
+                    "crossover",
+                    "seed",
+                    "workers",
+                ],
             )?;
             cmd_sweep(&args)
+        }
+        "serve" => {
+            let args =
+                Args::parse(tokens, &["addr", "workers", "queue-cap", "cache-cap", "batch-max"])?;
+            cmd_serve(&args)
+        }
+        "bench-serve" => {
+            let args = Args::parse(
+                tokens,
+                &["addr", "clients", "requests", "evals", "seed", "distinct", "shutdown"],
+            )?;
+            cmd_bench_serve(&args)
         }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -542,8 +637,8 @@ mod tests {
 
     #[test]
     fn schedule_with_pa_cga_evals() {
-        let out =
-            dispatch(toks("schedule --braun u_c_lolo.0 --threads 1 --evals 2000 --seed 3")).unwrap();
+        let out = dispatch(toks("schedule --braun u_c_lolo.0 --threads 1 --evals 2000 --seed 3"))
+            .unwrap();
         assert!(out.contains("PA-CGA"));
         assert!(out.contains("evaluations"));
     }
@@ -571,6 +666,23 @@ mod tests {
     }
 
     #[test]
+    fn usage_covers_every_subcommand() {
+        for cmd in [
+            "generate",
+            "info",
+            "schedule",
+            "heuristics",
+            "simulate",
+            "sweep",
+            "serve",
+            "bench-serve",
+            "list",
+        ] {
+            assert!(USAGE.contains(&format!("pacga {cmd}")), "{cmd} missing from USAGE");
+        }
+    }
+
+    #[test]
     fn missing_instance_source_is_error() {
         let err = dispatch(toks("info")).unwrap_err();
         assert!(err.to_string().contains("--braun or --instance"));
@@ -584,6 +696,156 @@ mod tests {
 }
 
 #[cfg(test)]
+mod unknown_flag_tests {
+    //! One test per subcommand: a flag outside the allow-list must be a
+    //! named error (`unknown flag --X for \`pacga CMD\``), never
+    //! silently ignored.
+
+    use super::*;
+
+    fn assert_rejects_unknown(command_line: &str, command: &str) {
+        let tokens: Vec<String> = command_line.split_whitespace().map(String::from).collect();
+        let err = dispatch(tokens).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("unknown flag --bogus"),
+            "`{command_line}` should name the flag: {text}"
+        );
+        assert!(
+            text.contains(&format!("`pacga {command}`")),
+            "`{command_line}` should name the subcommand: {text}"
+        );
+    }
+
+    #[test]
+    fn list_rejects_unknown_flag() {
+        assert_rejects_unknown("list --bogus", "list");
+    }
+
+    #[test]
+    fn generate_rejects_unknown_flag() {
+        assert_rejects_unknown("generate --tasks 4 --bogus 1", "generate");
+    }
+
+    #[test]
+    fn info_rejects_unknown_flag() {
+        assert_rejects_unknown("info --braun u_c_hihi.0 --bogus", "info");
+    }
+
+    #[test]
+    fn heuristics_rejects_unknown_flag() {
+        assert_rejects_unknown("heuristics --braun u_c_hihi.0 --bogus x", "heuristics");
+    }
+
+    #[test]
+    fn schedule_rejects_unknown_flag() {
+        // A typo'd budget flag must fail loudly, not fall back to the
+        // default 2s wall-clock run.
+        assert_rejects_unknown("schedule --braun u_c_hihi.0 --bogus 500", "schedule");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_flag() {
+        assert_rejects_unknown("simulate --braun u_c_hihi.0 --bogus 0.5", "simulate");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_flag() {
+        assert_rejects_unknown("sweep --braun u_c_hihi.0 --bogus 3", "sweep");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flag() {
+        // Parsed before the daemon binds: no listener leaks.
+        assert_rejects_unknown("serve --bogus 1", "serve");
+    }
+
+    #[test]
+    fn bench_serve_rejects_unknown_flag() {
+        assert_rejects_unknown("bench-serve --bogus 1", "bench-serve");
+    }
+
+    #[test]
+    fn flag_value_is_not_mistaken_for_a_flag() {
+        // Regression guard: `--addr`'s value must not trip the check.
+        let err =
+            dispatch(toks("bench-serve --addr 127.0.0.1:1 --clients 1 --requests 1")).unwrap_err();
+        assert!(err.to_string().contains("bench-serve against"), "{err}");
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+    use pa_cga_service::{Client, Json};
+
+    #[test]
+    fn serve_and_bench_serve_round_trip() {
+        // Boot the daemon on an ephemeral port in a thread (as
+        // `pacga serve` would), aim `bench-serve` at it with
+        // --shutdown, and check both sides' reports.
+        let handle = pa_cga_service::serve(pa_cga_service::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        let args = Args::parse(
+            format!("bench-serve --addr {addr} --clients 2 --requests 4 --evals 300 --distinct 1 --shutdown")
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+            &["addr", "clients", "requests", "evals", "seed", "distinct", "shutdown"],
+        )
+        .unwrap();
+        let out = cmd_bench_serve(&args).unwrap();
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("8 ok"), "{out}");
+        assert!(out.contains("drained"), "{out}");
+
+        let summary = handle.join();
+        assert_eq!(summary.completed, 8);
+        assert!(summary.cache_hits > 0, "identical requests must hit the cache");
+    }
+
+    #[test]
+    fn bench_serve_validates_counts() {
+        let err =
+            dispatch("bench-serve --clients 0".split_whitespace().map(String::from).collect())
+                .unwrap_err();
+        assert!(err.to_string().contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn serve_validates_batch_max() {
+        let err = dispatch("serve --batch-max 0".split_whitespace().map(String::from).collect())
+            .unwrap_err();
+        assert!(err.to_string().contains("--batch-max"), "{err}");
+    }
+
+    #[test]
+    fn shutdown_request_over_raw_client_drains_daemon() {
+        let handle = pa_cga_service::serve(pa_cga_service::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let ack = client.shutdown().unwrap();
+        assert_eq!(ack.get("message").and_then(Json::as_str), Some("draining"));
+        let summary = handle.join();
+        assert!(summary.to_string().contains("drained cleanly"));
+    }
+}
+
+#[cfg(test)]
 mod sweep_tests {
     use super::*;
 
@@ -593,10 +855,9 @@ mod sweep_tests {
 
     #[test]
     fn sweep_prints_stats_table() {
-        let out = dispatch(toks(
-            "sweep --braun u_c_lolo.0 --runs 2 --evals 1500 --threads 1 --ls 5",
-        ))
-        .unwrap();
+        let out =
+            dispatch(toks("sweep --braun u_c_lolo.0 --runs 2 --evals 1500 --threads 1 --ls 5"))
+                .unwrap();
         assert!(out.contains("u_c_lolo.0"), "{out}");
         assert!(out.contains("mean ± std"), "{out}");
         assert!(out.contains("runs/s"), "{out}");
@@ -608,14 +869,10 @@ mod sweep_tests {
         // A prefix must resolve to the matching registry instances, and
         // eval-budget single-thread sweeps must reproduce per seed at any
         // worker count.
-        let a = dispatch(toks(
-            "sweep --braun u_c_lolo --runs 2 --evals 1200 --ls 2 --workers 1",
-        ))
-        .unwrap();
-        let b = dispatch(toks(
-            "sweep --braun u_c_lolo.0 --runs 2 --evals 1200 --ls 2 --workers 3",
-        ))
-        .unwrap();
+        let a = dispatch(toks("sweep --braun u_c_lolo --runs 2 --evals 1200 --ls 2 --workers 1"))
+            .unwrap();
+        let b = dispatch(toks("sweep --braun u_c_lolo.0 --runs 2 --evals 1200 --ls 2 --workers 3"))
+            .unwrap();
         assert!(a.contains("u_c_lolo.0"));
         // Compare the stats row only (banner differs: worker counts).
         let row = |out: &str| {
@@ -634,24 +891,20 @@ mod sweep_tests {
 
     #[test]
     fn sweep_rejects_conflicting_budgets() {
-        let err = dispatch(toks(
-            "sweep --braun u_c_lolo.0 --evals 100 --gens 5",
-        ))
-        .unwrap_err();
+        let err = dispatch(toks("sweep --braun u_c_lolo.0 --evals 100 --gens 5")).unwrap_err();
         assert!(err.to_string().contains("at most one of"));
     }
 
     #[test]
     fn sweep_instances_dedups_overlapping_tokens() {
-        let args = Args::parse(toks("sweep --braun u_c_lolo.0,u_c_lolo"), &["braun", "all"])
-            .unwrap();
+        let args =
+            Args::parse(toks("sweep --braun u_c_lolo.0,u_c_lolo"), &["braun", "all"]).unwrap();
         let names = sweep_instances(&args).unwrap();
         assert_eq!(names, vec!["u_c_lolo.0"]);
 
         // Non-adjacent duplicates too: the exact name re-surfaces in the
         // middle of a later prefix expansion.
-        let args = Args::parse(toks("sweep --braun u_c_lolo.0,u_c"), &["braun", "all"])
-            .unwrap();
+        let args = Args::parse(toks("sweep --braun u_c_lolo.0,u_c"), &["braun", "all"]).unwrap();
         let names = sweep_instances(&args).unwrap();
         assert_eq!(names.iter().filter(|&&n| n == "u_c_lolo.0").count(), 1);
         assert_eq!(names[0], "u_c_lolo.0", "first-seen order preserved");
@@ -679,10 +932,8 @@ mod simulate_tests {
 
     #[test]
     fn simulate_no_failures_matches_static() {
-        let out = dispatch(toks(
-            "simulate --braun u_c_lolo.0 --p-fail 0 --seed 1 --evals 1500",
-        ))
-        .unwrap();
+        let out =
+            dispatch(toks("simulate --braun u_c_lolo.0 --p-fail 0 --seed 1 --evals 1500")).unwrap();
         assert!(out.contains("failures          : []"));
         assert!(out.contains("0.00%"), "{out}");
     }

@@ -51,8 +51,7 @@ pub fn save_population<W: Write>(w: &mut W, population: &[Individual]) -> io::Re
     writeln!(w, "{HEADER} {} {n_tasks}", population.len())?;
     for ind in population {
         debug_assert_eq!(ind.schedule.n_tasks(), n_tasks);
-        let genes: Vec<String> =
-            ind.schedule.assignment().iter().map(|m| m.to_string()).collect();
+        let genes: Vec<String> = ind.schedule.assignment().iter().map(|m| m.to_string()).collect();
         writeln!(w, "{}", genes.join(" "))?;
     }
     Ok(())
@@ -186,16 +185,14 @@ mod tests {
     fn truncated_file_detected() {
         let inst = EtcInstance::toy(4, 2);
         let text = format!("{HEADER} 3 4\n0 1 0 1\n");
-        let err =
-            load_population(&mut BufReader::new(text.as_bytes()), &inst).unwrap_err();
+        let err = load_population(&mut BufReader::new(text.as_bytes()), &inst).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
     }
 
     #[test]
     fn garbage_header_detected() {
         let inst = EtcInstance::toy(4, 2);
-        let err = load_population(&mut BufReader::new("nonsense\n".as_bytes()), &inst)
-            .unwrap_err();
+        let err = load_population(&mut BufReader::new("nonsense\n".as_bytes()), &inst).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
     }
 }

@@ -129,9 +129,7 @@ impl PaCgaConfig {
             self.p_crossover,
             self.mutation,
             self.p_mutation,
-            self.local_search
-                .map(|ls| ls.to_string())
-                .unwrap_or_else(|| "no-LS".into()),
+            self.local_search.map(|ls| ls.to_string()).unwrap_or_else(|| "no-LS".into()),
             self.p_local_search,
             self.replacement,
             self.termination

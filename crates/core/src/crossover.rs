@@ -57,8 +57,7 @@ impl CrossoverOp {
         match self {
             CrossoverOp::OnePoint => {
                 let cut = rng.gen_range(0..=n);
-                offspring
-                    .rewrite_assignment(instance, |t| if t < cut { g1[t] } else { g2[t] });
+                offspring.rewrite_assignment(instance, |t| if t < cut { g1[t] } else { g2[t] });
             }
             CrossoverOp::TwoPoint => {
                 let a = rng.gen_range(0..=n);
@@ -73,8 +72,13 @@ impl CrossoverOp {
                 });
             }
             CrossoverOp::Uniform => {
-                offspring
-                    .rewrite_assignment(instance, |t| if rng.gen_bool(0.5) { g2[t] } else { g1[t] });
+                offspring.rewrite_assignment(instance, |t| {
+                    if rng.gen_bool(0.5) {
+                        g2[t]
+                    } else {
+                        g1[t]
+                    }
+                });
             }
         }
     }

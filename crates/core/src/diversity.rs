@@ -69,12 +69,7 @@ pub fn mean_pairwise_distance(
             b = rng.gen_range(0..population.len());
         }
         let (sa, sb) = (&population[a].schedule, &population[b].schedule);
-        let differing = sa
-            .assignment()
-            .iter()
-            .zip(sb.assignment())
-            .filter(|(x, y)| x != y)
-            .count();
+        let differing = sa.assignment().iter().zip(sb.assignment()).filter(|(x, y)| x != y).count();
         total += differing as f64 / n_tasks as f64;
     }
     total / samples as f64
@@ -133,9 +128,8 @@ mod tests {
     fn random_population_is_diverse() {
         let inst = EtcInstance::toy(32, 8);
         let mut rng = SmallRng::seed_from_u64(2);
-        let pop: Vec<Individual> = (0..64)
-            .map(|_| Individual::new(Schedule::random(&inst, &mut rng)))
-            .collect();
+        let pop: Vec<Individual> =
+            (0..64).map(|_| Individual::new(Schedule::random(&inst, &mut rng))).collect();
         let h = assignment_entropy(&pop, 8);
         assert!(h > 0.8, "random population entropy {h}");
         let d = mean_pairwise_distance(&pop, 200, &mut rng);
@@ -153,8 +147,7 @@ mod tests {
     #[test]
     fn distance_partial() {
         let inst = EtcInstance::toy(4, 2);
-        let pop =
-            population_of(&inst, vec![vec![0, 0, 0, 0], vec![0, 0, 1, 1]]);
+        let pop = population_of(&inst, vec![vec![0, 0, 0, 0], vec![0, 0, 1, 1]]);
         let mut rng = SmallRng::seed_from_u64(3);
         let d = mean_pairwise_distance(&pop, 10, &mut rng);
         assert!((d - 0.5).abs() < 1e-12);

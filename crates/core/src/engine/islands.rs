@@ -43,14 +43,7 @@ pub struct IslandConfig {
 impl IslandConfig {
     /// A reasonable default island setup on top of a base config.
     pub fn new(island: PaCgaConfig, n_islands: usize) -> Self {
-        Self {
-            island,
-            n_islands,
-            epoch_generations: 10,
-            epochs: 10,
-            migrants: 2,
-            seed: 0,
-        }
+        Self { island, n_islands, epoch_generations: 10, epochs: 10, migrants: 2, seed: 0 }
     }
 
     /// Panics on invalid combinations.
@@ -123,8 +116,7 @@ impl<'a> IslandModel<'a> {
 
         for epoch in 0..cfg.epochs {
             // Evolve every island in parallel; islands share nothing.
-            let mut results: Vec<(RunOutcome, Vec<Individual>)> =
-                Vec::with_capacity(cfg.n_islands);
+            let mut results: Vec<(RunOutcome, Vec<Individual>)> = Vec::with_capacity(cfg.n_islands);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = populations
                     .iter_mut()
@@ -161,8 +153,7 @@ impl<'a> IslandModel<'a> {
                 order.sort_by(|&a, &b| {
                     pop[a].fitness.partial_cmp(&pop[b].fitness).expect("finite fitness")
                 });
-                emigrants
-                    .push(order[..cfg.migrants].iter().map(|&i| pop[i].clone()).collect());
+                emigrants.push(order[..cfg.migrants].iter().map(|&i| pop[i].clone()).collect());
             }
             for (i, migrants) in emigrants.into_iter().enumerate() {
                 let dest = &mut new_pops[(i + 1) % k];

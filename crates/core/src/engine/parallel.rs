@@ -122,16 +122,13 @@ impl<'a> PaCga<'a> {
         let individuals = initial.unwrap_or_else(|| super::init_population(instance, cfg));
         // The paper's initial_evaluation() counts toward the totals; a
         // warm-started population was already evaluated by its producer.
-        let evaluations =
-            AtomicU64::new(if warm { 0 } else { individuals.len() as u64 });
+        let evaluations = AtomicU64::new(if warm { 0 } else { individuals.len() as u64 });
         let fitness: Vec<FitnessCell> = individuals
             .iter()
             .map(|ind| CachePadded::new(AtomicU64::new(ind.fitness_bits())))
             .collect();
-        let population: Vec<Cell> = individuals
-            .into_iter()
-            .map(|ind| CachePadded::new(RwLock::new(ind)))
-            .collect();
+        let population: Vec<Cell> =
+            individuals.into_iter().map(|ind| CachePadded::new(RwLock::new(ind))).collect();
         let blocks = partition_blocks(population.len(), cfg.threads);
         let start = Instant::now();
 
@@ -159,10 +156,8 @@ impl<'a> PaCga<'a> {
         });
         let elapsed = start.elapsed();
 
-        let final_pop: Vec<Individual> = population
-            .into_iter()
-            .map(|cell| CachePadded::into_inner(cell).into_inner())
-            .collect();
+        let final_pop: Vec<Individual> =
+            population.into_iter().map(|cell| CachePadded::into_inner(cell).into_inner()).collect();
         let best = final_pop
             .iter()
             .min_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
@@ -261,7 +256,12 @@ fn evolve_block(
             // H2LL(p_ser, iter, offspring)
             if let Some(ls) = cfg.local_search {
                 if rng.gen_bool(cfg.p_local_search) {
-                    ls.apply_with_scratch(instance, &mut offspring.schedule, &mut rng, &mut ls_scratch);
+                    ls.apply_with_scratch(
+                        instance,
+                        &mut offspring.schedule,
+                        &mut rng,
+                        &mut ls_scratch,
+                    );
                 }
             }
             // evaluate(offspring)
@@ -332,10 +332,7 @@ fn evolve_block(
             pending = 0;
         }
         // Algorithm 3 line 1: the stop check runs once per block sweep.
-        if cfg
-            .termination
-            .should_stop(start, generations, evals.load(Ordering::Relaxed))
-        {
+        if cfg.termination.should_stop(start, generations, evals.load(Ordering::Relaxed)) {
             break;
         }
     }
@@ -388,11 +385,7 @@ mod tests {
         let inst = instance();
         let out = PaCga::new(&inst, base_config(2)).run();
         let minmin = heuristics::min_min(&inst).makespan();
-        assert!(
-            out.best.makespan() <= minmin,
-            "best {} vs min-min {minmin}",
-            out.best.makespan()
-        );
+        assert!(out.best.makespan() <= minmin, "best {} vs min-min {minmin}", out.best.makespan());
     }
 
     #[test]

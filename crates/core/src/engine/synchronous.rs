@@ -139,10 +139,7 @@ impl<'a> SyncCga<'a> {
 
             if cfg.record_traces {
                 let sum: f64 = pop.iter().map(|ind| ind.fitness).sum();
-                let best = pop
-                    .iter()
-                    .map(|ind| ind.fitness)
-                    .fold(f64::INFINITY, f64::min);
+                let best = pop.iter().map(|ind| ind.fitness).fold(f64::INFINITY, f64::min);
                 trace.push(sum / pop.len() as f64, best);
             }
             if cfg.termination.should_stop(start, generations, evaluations) {

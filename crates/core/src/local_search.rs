@@ -94,9 +94,8 @@ impl H2ll {
             let threshold = schedule.completion(src);
 
             // Line 3: a random task from the source machine (O(1) pick).
-            let task = schedule
-                .random_task_on(src, rng)
-                .expect("source machine was chosen non-empty");
+            let task =
+                schedule.random_task_on(src, rng).expect("source machine was chosen non-empty");
 
             // Lines 4-11: best candidate among the N least loaded machines.
             let mut best_mac = None;
@@ -165,11 +164,8 @@ impl H2ll {
 
             // Line 3: a random task from the most loaded machine, found by
             // scanning the assignment vector (the retired hot path).
-            let count = schedule
-                .assignment()
-                .iter()
-                .filter(|&&m| m as usize == most_loaded)
-                .count();
+            let count =
+                schedule.assignment().iter().filter(|&&m| m as usize == most_loaded).count();
             if count == 0 {
                 // Only ready time loads this machine; nothing to move.
                 continue;
@@ -221,10 +217,7 @@ fn resift(order: &mut [usize], schedule: &Schedule, machine: usize) {
             .expect("completion times are finite")
             .is_lt()
     };
-    let mut i = order
-        .iter()
-        .position(|&m| m == machine)
-        .expect("machine is in the order buffer");
+    let mut i = order.iter().position(|&m| m == machine).expect("machine is in the order buffer");
     while i > 0 && lt(order[i], order[i - 1]) {
         order.swap(i, i - 1);
         i -= 1;
@@ -337,8 +330,12 @@ mod tests {
         let mut s2 = Schedule::from_assignment(&inst, vec![0; 16]);
         let mut rng2 = SmallRng::seed_from_u64(7);
         let mut scratch = Vec::new();
-        let burned = H2ll::with_iterations(10)
-            .apply_scan_with_scratch(&inst, &mut s2, &mut rng2, &mut scratch);
+        let burned = H2ll::with_iterations(10).apply_scan_with_scratch(
+            &inst,
+            &mut s2,
+            &mut rng2,
+            &mut scratch,
+        );
         assert_eq!(burned, 0);
     }
 

@@ -94,12 +94,7 @@ mod tests {
         let s0 = Schedule::random(&inst, &mut rng);
         let mut s = s0.clone();
         MutationOp::Move.mutate(&inst, &mut s, &mut rng);
-        let diffs = s0
-            .assignment()
-            .iter()
-            .zip(s.assignment())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = s0.assignment().iter().zip(s.assignment()).filter(|(a, b)| a != b).count();
         assert!(diffs <= 1);
     }
 
@@ -110,12 +105,7 @@ mod tests {
         let s0 = Schedule::random(&inst, &mut rng);
         let mut s = s0.clone();
         MutationOp::Swap.mutate(&inst, &mut s, &mut rng);
-        let diffs = s0
-            .assignment()
-            .iter()
-            .zip(s.assignment())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = s0.assignment().iter().zip(s.assignment()).filter(|(a, b)| a != b).count();
         assert!(diffs == 0 || diffs == 2, "diffs = {diffs}");
     }
 

@@ -29,31 +29,13 @@ impl NeighborhoodShape {
     /// Signed `(dc, dr)` offsets, self (0,0) first.
     pub fn offsets(self) -> &'static [(isize, isize)] {
         match self {
-            NeighborhoodShape::L5 => {
-                &[(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)]
+            NeighborhoodShape::L5 => &[(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)],
+            NeighborhoodShape::L9 => {
+                &[(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1), (2, 0), (-2, 0), (0, 2), (0, -2)]
             }
-            NeighborhoodShape::L9 => &[
-                (0, 0),
-                (1, 0),
-                (-1, 0),
-                (0, 1),
-                (0, -1),
-                (2, 0),
-                (-2, 0),
-                (0, 2),
-                (0, -2),
-            ],
-            NeighborhoodShape::C9 => &[
-                (0, 0),
-                (1, 0),
-                (-1, 0),
-                (0, 1),
-                (0, -1),
-                (1, 1),
-                (1, -1),
-                (-1, 1),
-                (-1, -1),
-            ],
+            NeighborhoodShape::C9 => {
+                &[(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)]
+            }
             NeighborhoodShape::C13 => &[
                 (0, 0),
                 (1, 0),
@@ -164,10 +146,7 @@ mod tests {
             let t = NeighborhoodTable::new(g, shape);
             for cell in 0..g.len() {
                 for &n in t.neighbors(cell) {
-                    assert!(
-                        g.manhattan(cell, n as usize) <= radius,
-                        "{shape}: {cell} -> {n}"
-                    );
+                    assert!(g.manhattan(cell, n as usize) <= radius, "{shape}: {cell} -> {n}");
                 }
             }
         }
@@ -180,10 +159,7 @@ mod tests {
         let t = NeighborhoodTable::new(g, NeighborhoodShape::L5);
         for a in 0..g.len() {
             for &b in t.neighbors(a) {
-                assert!(
-                    t.neighbors(b as usize).contains(&(a as u32)),
-                    "asymmetry {a} vs {b}"
-                );
+                assert!(t.neighbors(b as usize).contains(&(a as u32)), "asymmetry {a} vs {b}");
             }
         }
     }

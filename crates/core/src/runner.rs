@@ -218,9 +218,8 @@ impl Semaphore {
 /// [`std::thread::available_parallelism`] — always clamped to
 /// `1..=jobs.max(1)`.
 pub fn resolve_workers(requested: Option<usize>, jobs: usize) -> usize {
-    let hardware = || {
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-    };
+    let hardware =
+        || std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     let env = || {
         std::env::var("PA_CGA_WORKERS")
             .ok()
@@ -258,8 +257,7 @@ where
         weights.push(w.clamp(1, workers));
         slots.push(Mutex::new(Some(job)));
     }
-    let results: Vec<Mutex<Option<JobResult<T>>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<JobResult<T>>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let capacity = Semaphore::new(workers);
@@ -277,8 +275,7 @@ where
                     .take()
                     .expect("each job is claimed exactly once");
                 capacity.acquire(weights[i]);
-                let result =
-                    catch_unwind(AssertUnwindSafe(job)).map_err(JobPanic::from_payload);
+                let result = catch_unwind(AssertUnwindSafe(job)).map_err(JobPanic::from_payload);
                 capacity.release(weights[i]);
                 *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
@@ -414,9 +411,7 @@ impl PortfolioReport {
         self.results
             .iter()
             .enumerate()
-            .filter_map(|(i, r)| {
-                r.as_ref().err().map(|p| (i, self.labels[i].as_str(), p))
-            })
+            .filter_map(|(i, r)| r.as_ref().err().map(|p| (i, self.labels[i].as_str(), p)))
             .collect()
     }
 

@@ -161,11 +161,8 @@ mod tests {
     fn singleton_snapshot() {
         let mut rng = SmallRng::seed_from_u64(0);
         let snap = vec![(7, 1.0)];
-        for op in [
-            SelectionOp::BestTwo,
-            SelectionOp::BinaryTournament,
-            SelectionOp::CenterPlusBest,
-        ] {
+        for op in [SelectionOp::BestTwo, SelectionOp::BinaryTournament, SelectionOp::CenterPlusBest]
+        {
             assert_eq!(op.select(&snap, &mut rng), (0, 0), "{op}");
         }
     }

@@ -1,0 +1,177 @@
+//! Direct coverage for `pa_cga_core::checkpoint`: save/load round trips
+//! across every engine grid shape in use, plus the malformed-input error
+//! paths (truncated files, corrupt headers, bad genes). Before this
+//! suite the module was only exercised through the engine resume path.
+
+use etc_model::EtcInstance;
+use pa_cga_core::checkpoint::{load_population, save_population, CheckpointError};
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::PaCga;
+use pa_cga_core::individual::Individual;
+use scheduling::Schedule;
+use std::io::BufReader;
+
+fn engine_population(
+    instance: &EtcInstance,
+    width: usize,
+    height: usize,
+    seed: u64,
+) -> Vec<Individual> {
+    let config = PaCgaConfig::builder()
+        .grid(width, height)
+        .threads(1)
+        .local_search_iterations(1)
+        .termination(Termination::Generations(2))
+        .seed(seed)
+        .build();
+    let (_, population) = PaCga::new(instance, config).run_with_population();
+    population
+}
+
+fn round_trip(instance: &EtcInstance, population: &[Individual]) -> Vec<Individual> {
+    let mut buf = Vec::new();
+    save_population(&mut buf, population).expect("in-memory save cannot fail");
+    load_population(&mut BufReader::new(buf.as_slice()), instance).expect("round trip")
+}
+
+#[test]
+fn round_trip_across_grid_shapes() {
+    // Square, wide, tall, minimal, and paper-sized grids: the checkpoint
+    // format is shape-agnostic (it stores a flat population), so every
+    // population size an engine can produce must survive a round trip.
+    let shapes: &[(usize, usize)] = &[(1, 1), (2, 2), (8, 2), (2, 8), (4, 4), (16, 16)];
+    let instance = EtcInstance::toy(32, 5);
+    for &(w, h) in shapes {
+        let population = engine_population(&instance, w, h, (w * 100 + h) as u64);
+        assert_eq!(population.len(), w * h, "engine population fills the {w}x{h} grid");
+        let loaded = round_trip(&instance, &population);
+        assert_eq!(loaded.len(), population.len(), "{w}x{h}");
+        for (a, b) in population.iter().zip(&loaded) {
+            assert_eq!(a.schedule.assignment(), b.schedule.assignment(), "{w}x{h}");
+            // Completion times are rebuilt from scratch; fitness must
+            // agree up to incremental-update drift.
+            assert!((a.fitness - b.fitness).abs() <= 1e-8 * a.fitness.max(1.0), "{w}x{h}");
+        }
+    }
+}
+
+#[test]
+fn round_trip_across_instance_shapes() {
+    // Task/machine counts flow through the header and per-line gene
+    // counts; skinny and wide instances both round trip.
+    for (n_tasks, n_machines) in [(3usize, 2usize), (16, 16), (64, 3)] {
+        let instance = EtcInstance::toy(n_tasks, n_machines);
+        let population = engine_population(&instance, 2, 2, 7);
+        let loaded = round_trip(&instance, &population);
+        for (a, b) in population.iter().zip(&loaded) {
+            assert_eq!(a.schedule.assignment(), b.schedule.assignment());
+        }
+    }
+}
+
+#[test]
+fn loaded_population_resumes_evolution() {
+    let instance = EtcInstance::toy(24, 4);
+    let config = PaCgaConfig::builder()
+        .grid(4, 4)
+        .threads(1)
+        .termination(Termination::Generations(3))
+        .seed(11)
+        .build();
+    let (first, population) = PaCga::new(&instance, config.clone()).run_with_population();
+    let loaded = round_trip(&instance, &population);
+    let (resumed, _) = PaCga::new(&instance, config).run_seeded(loaded);
+    // Replace-if-better never regresses the population best.
+    assert!(resumed.best.makespan() <= first.best.makespan() + 1e-9);
+}
+
+// --- error paths ---------------------------------------------------------
+
+fn load_text(text: &str, instance: &EtcInstance) -> Result<Vec<Individual>, CheckpointError> {
+    load_population(&mut BufReader::new(text.as_bytes()), instance)
+}
+
+#[test]
+fn corrupt_headers_are_format_errors() {
+    let instance = EtcInstance::toy(4, 2);
+    let cases: &[&str] = &[
+        "",                           // empty file
+        "\n",                         // blank header
+        "not-a-checkpoint 2 4\n",     // wrong magic
+        "pacga-checkpoint v2 2 4\n",  // wrong version
+        "pacga-checkpoint v1\n",      // missing counts
+        "pacga-checkpoint v1 2\n",    // missing task count
+        "pacga-checkpoint v1 x 4\n",  // non-numeric population size
+        "pacga-checkpoint v1 2 y\n",  // non-numeric task count
+        "pacga-checkpoint v1 -1 4\n", // negative population size
+    ];
+    for case in cases {
+        let err = load_text(case, &instance).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{case:?}: {err}");
+    }
+}
+
+#[test]
+fn truncated_population_is_a_format_error() {
+    let instance = EtcInstance::toy(4, 2);
+    // Header promises 3 individuals, body delivers 1.
+    let err = load_text("pacga-checkpoint v1 3 4\n0 1 0 1\n", &instance).unwrap_err();
+    match err {
+        CheckpointError::Format(m) => {
+            assert!(m.contains("expected 3"), "{m}");
+            assert!(m.contains("found 1"), "{m}");
+        }
+        other => panic!("expected Format, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_gene_line_is_a_format_error() {
+    let instance = EtcInstance::toy(4, 2);
+    // Individual 1 has 2 genes instead of 4.
+    let err = load_text("pacga-checkpoint v1 2 4\n0 1 0 1\n1 0\n", &instance).unwrap_err();
+    match err {
+        CheckpointError::Format(m) => assert!(m.contains("individual 1"), "{m}"),
+        other => panic!("expected Format, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_numeric_gene_is_a_format_error() {
+    let instance = EtcInstance::toy(4, 2);
+    let err = load_text("pacga-checkpoint v1 1 4\n0 huh 0 1\n", &instance).unwrap_err();
+    assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+    assert!(err.to_string().contains("bad gene"), "{err}");
+}
+
+#[test]
+fn task_count_mismatch_is_a_mismatch_error() {
+    let instance = EtcInstance::toy(5, 2);
+    let err = load_text("pacga-checkpoint v1 1 4\n0 1 0 1\n", &instance).unwrap_err();
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+}
+
+#[test]
+fn machine_out_of_range_is_a_mismatch_error() {
+    let instance = EtcInstance::toy(4, 2);
+    let err = load_text("pacga-checkpoint v1 1 4\n0 1 2 1\n", &instance).unwrap_err();
+    match err {
+        CheckpointError::Mismatch(m) => assert!(m.contains("machine 2"), "{m}"),
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn save_then_corrupt_one_byte_still_detected() {
+    // Flip a gene into a machine index beyond the instance: the loader
+    // must reject it rather than rebuild a nonsense schedule.
+    let instance = EtcInstance::toy(6, 3);
+    let population =
+        vec![Individual::new(Schedule::from_assignment(&instance, vec![0, 1, 2, 0, 1, 2]))];
+    let mut buf = Vec::new();
+    save_population(&mut buf, &population).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let corrupted = text.replacen("2", "9", 1);
+    let err = load_text(&corrupted, &instance).unwrap_err();
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+}

@@ -103,9 +103,7 @@ fn panicking_run_does_not_poison_the_pool() {
     for seed in 0..3u64 {
         portfolio.submit(format!("ok{seed}"), healthy(seed));
     }
-    portfolio.push(RunSpec::new("poison", || -> RunOutcome {
-        panic!("injected failure")
-    }));
+    portfolio.push(RunSpec::new("poison", || -> RunOutcome { panic!("injected failure") }));
     for seed in 3..6u64 {
         portfolio.submit(format!("ok{seed}"), healthy(seed));
     }

@@ -22,12 +22,7 @@ pub fn machine_environment(consistency: Consistency) -> char {
 pub fn blazewicz_notation(instance: &EtcInstance) -> String {
     let class = classify(instance.etc());
     let range = instance.etc_range();
-    format!(
-        "{}{}|{}|Cmax",
-        machine_environment(class),
-        instance.n_machines(),
-        range
-    )
+    format!("{}{}|{}|Cmax", machine_environment(class), instance.n_machines(), range)
 }
 
 #[cfg(test)]

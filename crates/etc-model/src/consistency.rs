@@ -62,6 +62,22 @@ impl std::fmt::Display for Consistency {
     }
 }
 
+impl std::str::FromStr for Consistency {
+    type Err = String;
+
+    /// Accepts the one-letter Braun code (`c`/`s`/`i`) and the full class
+    /// name (`consistent`, `semi-consistent`, `inconsistent`) — the shared
+    /// spelling for CLI flags and service requests.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "c" | "consistent" => Ok(Consistency::Consistent),
+            "s" | "semi-consistent" | "semi" => Ok(Consistency::SemiConsistent),
+            "i" | "inconsistent" => Ok(Consistency::Inconsistent),
+            other => Err(format!("bad consistency {other:?} (c|s|i)")),
+        }
+    }
+}
+
 /// Returns `true` if machine `a` is never slower than machine `b` on any
 /// task (ties allowed).
 fn dominates(etc: &EtcMatrix, a: usize, b: usize) -> bool {
@@ -136,19 +152,27 @@ mod tests {
 
     fn consistent_matrix() -> EtcMatrix {
         // Machine 0 fastest everywhere, then 1, then 2.
-        EtcMatrix::from_task_major(3, 3, vec![
-            1.0, 2.0, 3.0, //
-            4.0, 5.0, 6.0, //
-            7.0, 8.0, 9.0,
-        ])
+        EtcMatrix::from_task_major(
+            3,
+            3,
+            vec![
+                1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, //
+                7.0, 8.0, 9.0,
+            ],
+        )
     }
 
     fn inconsistent_matrix() -> EtcMatrix {
         // Machine 0 faster on task 0, machine 1 faster on task 1.
-        EtcMatrix::from_task_major(2, 2, vec![
-            1.0, 2.0, //
-            5.0, 3.0,
-        ])
+        EtcMatrix::from_task_major(
+            2,
+            2,
+            vec![
+                1.0, 2.0, //
+                5.0, 3.0,
+            ],
+        )
     }
 
     #[test]
@@ -168,11 +192,15 @@ mod tests {
     fn semi_consistent_detected() {
         // 3 tasks × 4 machines. Even rows (0,2) × even cols (0,2) consistent,
         // full matrix inconsistent via odd entries.
-        let etc = EtcMatrix::from_task_major(3, 4, vec![
-            1.0, 9.0, 2.0, 1.0, //
-            5.0, 1.0, 1.0, 9.0, //
-            3.0, 2.0, 4.0, 1.5,
-        ]);
+        let etc = EtcMatrix::from_task_major(
+            3,
+            4,
+            vec![
+                1.0, 9.0, 2.0, 1.0, //
+                5.0, 1.0, 1.0, 9.0, //
+                3.0, 2.0, 4.0, 1.5,
+            ],
+        );
         assert!(!is_consistent(&etc));
         assert!(has_consistent_submatrix(&etc));
         assert_eq!(classify(&etc), Consistency::SemiConsistent);
@@ -207,12 +235,25 @@ mod tests {
     }
 
     #[test]
+    fn from_str_accepts_codes_and_long_names() {
+        for c in Consistency::all() {
+            assert_eq!(c.code().to_string().parse::<Consistency>().unwrap(), c);
+            assert_eq!(c.to_string().parse::<Consistency>().unwrap(), c);
+        }
+        assert!("x".parse::<Consistency>().unwrap_err().contains("c|s|i"));
+    }
+
+    #[test]
     fn degree_partial() {
         // 3 machines: 0 dominates 1 and 2; 1 vs 2 mixed -> 2/3 ordered.
-        let etc = EtcMatrix::from_task_major(2, 3, vec![
-            1.0, 2.0, 3.0, //
-            1.0, 5.0, 4.0,
-        ]);
+        let etc = EtcMatrix::from_task_major(
+            2,
+            3,
+            vec![
+                1.0, 2.0, 3.0, //
+                1.0, 5.0, 4.0,
+            ],
+        );
         let d = consistency_degree(&etc);
         assert!((d - 2.0 / 3.0).abs() < 1e-12, "degree {d}");
     }

@@ -73,6 +73,21 @@ impl std::fmt::Display for Heterogeneity {
     }
 }
 
+impl std::str::FromStr for Heterogeneity {
+    type Err = String;
+
+    /// Accepts the instance-name code (`hi`/`lo`) and the long spelling
+    /// (`high`/`low`) — the shared spelling for CLI flags and service
+    /// requests.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hi" | "high" => Ok(Heterogeneity::High),
+            "lo" | "low" => Ok(Heterogeneity::Low),
+            other => Err(format!("bad heterogeneity {other:?} (hi|lo)")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +112,14 @@ mod tests {
     fn display_matches_code() {
         assert_eq!(Heterogeneity::High.to_string(), "hi");
         assert_eq!(Heterogeneity::Low.to_string(), "lo");
+    }
+
+    #[test]
+    fn from_str_accepts_codes_and_long_names() {
+        assert_eq!("hi".parse::<Heterogeneity>().unwrap(), Heterogeneity::High);
+        assert_eq!("high".parse::<Heterogeneity>().unwrap(), Heterogeneity::High);
+        assert_eq!("lo".parse::<Heterogeneity>().unwrap(), Heterogeneity::Low);
+        assert_eq!("low".parse::<Heterogeneity>().unwrap(), Heterogeneity::Low);
+        assert!("medium".parse::<Heterogeneity>().unwrap_err().contains("hi|lo"));
     }
 }

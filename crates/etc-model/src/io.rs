@@ -57,12 +57,7 @@ fn parse_f64(tok: &str) -> Result<f64, IoError> {
 /// boundary, mirroring the [`EtcMatrix`] / [`EtcInstance`] constructor
 /// invariants: ETC entries strictly positive and finite, ready times
 /// non-negative and finite. `min_exclusive` is the ETC case.
-fn parse_time(
-    kind: &str,
-    index: usize,
-    tok: &str,
-    min_exclusive: bool,
-) -> Result<f64, IoError> {
+fn parse_time(kind: &str, index: usize, tok: &str, min_exclusive: bool) -> Result<f64, IoError> {
     let v = parse_f64(tok)?;
     let ok = v.is_finite() && if min_exclusive { v > 0.0 } else { v >= 0.0 };
     if !ok {
@@ -110,13 +105,7 @@ pub fn write_braun_format<W: Write>(writer: &mut W, instance: &EtcInstance) -> i
 
 /// Writes the self-describing header format.
 pub fn write_instance<W: Write>(writer: &mut W, instance: &EtcInstance) -> io::Result<()> {
-    writeln!(
-        writer,
-        "{} {} {}",
-        instance.name(),
-        instance.n_tasks(),
-        instance.n_machines()
-    )?;
+    writeln!(writer, "{} {} {}", instance.name(), instance.n_tasks(), instance.n_machines())?;
     let ready: Vec<String> = instance.ready_times().iter().map(|r| r.to_string()).collect();
     writeln!(writer, "{}", ready.join(" "))?;
     write_braun_format(writer, instance)
@@ -127,10 +116,7 @@ pub fn read_instance<R: BufRead>(mut reader: R) -> Result<EtcInstance, IoError> 
     let mut header = String::new();
     reader.read_line(&mut header)?;
     let mut parts = header.split_whitespace();
-    let name = parts
-        .next()
-        .ok_or_else(|| IoError::Shape("empty header".into()))?
-        .to_string();
+    let name = parts.next().ok_or_else(|| IoError::Shape("empty header".into()))?.to_string();
     let n_tasks: usize = parts
         .next()
         .ok_or_else(|| IoError::Shape("missing n_tasks".into()))?
@@ -171,8 +157,7 @@ mod tests {
         let inst = EtcInstance::toy(4, 3);
         let mut buf = Vec::new();
         write_braun_format(&mut buf, &inst).unwrap();
-        let back =
-            read_braun_format(BufReader::new(buf.as_slice()), "toy_4x3", 4, 3).unwrap();
+        let back = read_braun_format(BufReader::new(buf.as_slice()), "toy_4x3", 4, 3).unwrap();
         assert_eq!(back, inst);
     }
 
@@ -213,8 +198,7 @@ mod tests {
         // estimated compute time of 0 breaks the matrix invariant).
         for bad in ["NaN", "inf", "-inf", "-1.0", "0"] {
             let data = format!("1.0 {bad} 3.0 4.0");
-            let err =
-                read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap_err();
+            let err = read_braun_format(BufReader::new(data.as_bytes()), "x", 2, 2).unwrap_err();
             assert!(matches!(err, IoError::Value(_)), "{bad}: {err}");
             assert!(err.to_string().contains("ETC value #1"), "{bad}: {err}");
         }

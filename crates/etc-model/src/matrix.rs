@@ -75,7 +75,11 @@ impl EtcMatrix {
     }
 
     /// Builds a matrix by evaluating `f(task, machine)` for every entry.
-    pub fn from_fn(n_tasks: usize, n_machines: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        n_tasks: usize,
+        n_machines: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
         let mut values = Vec::with_capacity(n_tasks * n_machines);
         for t in 0..n_tasks {
             for m in 0..n_machines {
@@ -141,9 +145,8 @@ impl EtcMatrix {
 
     /// Iterator over all `(task, machine, etc)` triples.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n_tasks).flat_map(move |t| {
-            (0..self.n_machines).map(move |m| (t, m, self.etc(t, m)))
-        })
+        (0..self.n_tasks)
+            .flat_map(move |t| (0..self.n_machines).map(move |m| (t, m, self.etc(t, m))))
     }
 
     /// Smallest entry in the matrix.

@@ -1,6 +1,8 @@
 //! Property tests on the instance generator and consistency machinery.
 
-use etc_model::consistency::{classify, consistency_degree, has_consistent_submatrix, is_consistent};
+use etc_model::consistency::{
+    classify, consistency_degree, has_consistent_submatrix, is_consistent,
+};
 use etc_model::{Consistency, EtcGenerator, EtcMatrix, GeneratorParams, Heterogeneity};
 use proptest::prelude::*;
 

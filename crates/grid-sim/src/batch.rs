@@ -184,9 +184,8 @@ mod tests {
     #[test]
     fn congestion_raises_latency() {
         let inst = inst();
-        let sparse = BatchSimulator::equal_batches(&inst, 4, 10_000.0)
-            .run(&MctRescheduler)
-            .mean_latency();
+        let sparse =
+            BatchSimulator::equal_batches(&inst, 4, 10_000.0).run(&MctRescheduler).mean_latency();
         let congested =
             BatchSimulator::equal_batches(&inst, 4, 0.0).run(&MctRescheduler).mean_latency();
         assert!(
@@ -199,10 +198,8 @@ mod tests {
     fn pa_cga_policy_not_worse_than_mct_on_makespan() {
         let inst = inst();
         let mct = BatchSimulator::equal_batches(&inst, 2, 1.0).run(&MctRescheduler);
-        let pa = BatchSimulator::equal_batches(&inst, 2, 1.0).run(&PaCgaRescheduler {
-            evaluations: 3_000,
-            ..Default::default()
-        });
+        let pa = BatchSimulator::equal_batches(&inst, 2, 1.0)
+            .run(&PaCgaRescheduler { evaluations: 3_000, ..Default::default() });
         assert!(pa.makespan <= mct.makespan * 1.01, "pa {} vs mct {}", pa.makespan, mct.makespan);
     }
 

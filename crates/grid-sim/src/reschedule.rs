@@ -116,13 +116,7 @@ impl Rescheduler for PaCgaRescheduler {
             .seed(self.seed)
             .build();
         let outcome = PaCga::new(&sub, config).run();
-        outcome
-            .best
-            .schedule
-            .assignment()
-            .iter()
-            .map(|&j| alive[j as usize])
-            .collect()
+        outcome.best.schedule.assignment().iter().map(|&j| alive[j as usize]).collect()
     }
 
     fn name(&self) -> &'static str {

@@ -96,8 +96,12 @@ impl<'a> Simulator<'a> {
                 let start = st.cursor.max(release[t]);
                 let finish = start + instance.etc().etc_on(m, t);
                 if finish <= until {
-                    records[t] =
-                        Some(TaskRecord { machine: m, start, finish, aborted_attempts: attempts[t] });
+                    records[t] = Some(TaskRecord {
+                        machine: m,
+                        start,
+                        finish,
+                        aborted_attempts: attempts[t],
+                    });
                     st.cursor = finish;
                     st.queue.pop_front();
                 } else if start < until {

@@ -26,12 +26,13 @@ fn instance(seed: u64) -> EtcInstance {
 /// Failure times as fractions of the clean makespan; at most
 /// `N_MACHINES - 1` machines fail so the workload can always finish.
 fn failures_strategy() -> impl Strategy<Value = Vec<(usize, f64)>> {
-    proptest::collection::vec((0..N_MACHINES, 0.01f64..0.95), 0..N_MACHINES - 1)
-        .prop_map(|mut v| {
+    proptest::collection::vec((0..N_MACHINES, 0.01f64..0.95), 0..N_MACHINES - 1).prop_map(
+        |mut v| {
             v.sort_by_key(|&(m, _)| m);
             v.dedup_by_key(|&mut (m, _)| m);
             v
-        })
+        },
+    )
 }
 
 proptest! {

@@ -19,10 +19,7 @@ fn argmin(values: impl Iterator<Item = f64>) -> usize {
 
 /// Shared driver: grows partial loads task by task, choosing each task's
 /// machine with `pick(task, loads)`.
-fn immediate(
-    instance: &EtcInstance,
-    mut pick: impl FnMut(usize, &[f64]) -> usize,
-) -> Schedule {
+fn immediate(instance: &EtcInstance, mut pick: impl FnMut(usize, &[f64]) -> usize) -> Schedule {
     let mut loads: Vec<f64> = instance.ready_times().to_vec();
     let mut assignment = Vec::with_capacity(instance.n_tasks());
     for t in 0..instance.n_tasks() {
@@ -43,9 +40,7 @@ pub fn olb(instance: &EtcInstance) -> Schedule {
 /// current load (can badly overload a uniformly fast machine on consistent
 /// instances — expected, and visible in the example output).
 pub fn met(instance: &EtcInstance) -> Schedule {
-    immediate(instance, |t, loads| {
-        argmin((0..loads.len()).map(|m| instance.etc().etc_on(m, t)))
-    })
+    immediate(instance, |t, loads| argmin((0..loads.len()).map(|m| instance.etc().etc_on(m, t))))
 }
 
 /// Minimum Completion Time: each task goes to the machine where it would
@@ -107,8 +102,7 @@ mod tests {
 
     #[test]
     fn mct_single_task_optimal() {
-        let inst =
-            EtcInstance::new("one", EtcMatrix::from_task_major(1, 3, vec![5.0, 2.0, 9.0]));
+        let inst = EtcInstance::new("one", EtcMatrix::from_task_major(1, 3, vec![5.0, 2.0, 9.0]));
         let s = mct(&inst);
         assert_eq!(s.machine_of(0), 1);
         assert_eq!(s.makespan(), 2.0);
@@ -117,8 +111,7 @@ mod tests {
     #[test]
     fn olb_ignores_etc() {
         // Machine 0 is free but terrible for task 0; OLB still uses it.
-        let inst =
-            EtcInstance::new("bad", EtcMatrix::from_task_major(1, 2, vec![100.0, 1.0]));
+        let inst = EtcInstance::new("bad", EtcMatrix::from_task_major(1, 2, vec![100.0, 1.0]));
         let s = olb(&inst);
         assert_eq!(s.machine_of(0), 0);
     }

@@ -58,7 +58,12 @@ fn choice_for(instance: &EtcInstance, loads: &[f64], task: usize) -> TaskChoice 
             second_m = m;
         }
     }
-    TaskChoice { machine: best_m, completion: best, second_machine: second_m, second_completion: second }
+    TaskChoice {
+        machine: best_m,
+        completion: best,
+        second_machine: second_m,
+        second_completion: second,
+    }
 }
 
 /// Which task a round commits, given every unassigned task's cached
@@ -117,8 +122,7 @@ fn iterative(instance: &EtcInstance, rule: CommitRule) -> Schedule {
     let mut loads: Vec<f64> = instance.ready_times().to_vec();
     let mut assignment = vec![0u32; n];
     let mut unassigned: Vec<usize> = (0..n).collect();
-    let mut choice: Vec<TaskChoice> =
-        (0..n).map(|t| choice_for(instance, &loads, t)).collect();
+    let mut choice: Vec<TaskChoice> = (0..n).map(|t| choice_for(instance, &loads, t)).collect();
 
     while !unassigned.is_empty() {
         let mut best = 0;
@@ -228,10 +232,8 @@ mod tests {
     #[test]
     fn min_min_optimal_on_tiny_instance() {
         // 2 tasks, 2 machines; optimum: t0->m0 (1), t1->m1 (2), makespan 2.
-        let inst = EtcInstance::new(
-            "tiny",
-            EtcMatrix::from_task_major(2, 2, vec![1.0, 3.0, 4.0, 2.0]),
-        );
+        let inst =
+            EtcInstance::new("tiny", EtcMatrix::from_task_major(2, 2, vec![1.0, 3.0, 4.0, 2.0]));
         let s = min_min(&inst);
         assert_eq!(s.machine_of(0), 0);
         assert_eq!(s.machine_of(1), 1);
@@ -269,10 +271,8 @@ mod tests {
         // Task 1: best 2 on m0, second 2.5  (sufferage 0.5).
         // Sufferage gives m0 to task 0 first; task 1 then finishes sooner
         // on m1 (2.5) than behind task 0 on m0 (1 + 2 = 3).
-        let inst = EtcInstance::new(
-            "sf",
-            EtcMatrix::from_task_major(2, 2, vec![1.0, 100.0, 2.0, 2.5]),
-        );
+        let inst =
+            EtcInstance::new("sf", EtcMatrix::from_task_major(2, 2, vec![1.0, 100.0, 2.0, 2.5]));
         let s = sufferage(&inst);
         assert_eq!(s.machine_of(0), 0);
         assert_eq!(s.machine_of(1), 1);

@@ -18,11 +18,8 @@ pub fn render_loads(schedule: &Schedule, width: usize) -> String {
     let mut out = String::new();
     for m in 0..schedule.n_machines() {
         let ct = schedule.completion(m);
-        let filled = if makespan > 0.0 {
-            ((ct / makespan) * width as f64).round() as usize
-        } else {
-            0
-        };
+        let filled =
+            if makespan > 0.0 { ((ct / makespan) * width as f64).round() as usize } else { 0 };
         let marker = if m == most_loaded { "  <- makespan" } else { "" };
         out.push_str(&format!(
             "m{m:02} |{}{}| {ct:.1} ({} tasks){marker}\n",

@@ -112,9 +112,7 @@ pub fn check_schedule_with_tolerance(
             return Err(InvariantError::CompletionDrift { machine: m, cached, recomputed: fresh });
         }
     }
-    schedule
-        .validate_index()
-        .map_err(|detail| InvariantError::IndexCorrupt { detail })?;
+    schedule.validate_index().map_err(|detail| InvariantError::IndexCorrupt { detail })?;
     Ok(())
 }
 

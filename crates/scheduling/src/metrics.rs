@@ -56,11 +56,7 @@ pub fn load_imbalance(schedule: &Schedule) -> f64 {
     if max <= 0.0 {
         return 0.0;
     }
-    let min = schedule
-        .completion_times()
-        .iter()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let min = schedule.completion_times().iter().copied().fold(f64::INFINITY, f64::min);
     (max - min) / max
 }
 

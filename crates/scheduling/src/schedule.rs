@@ -294,9 +294,7 @@ impl Schedule {
     pub fn sort_machines_into(&self, order: &mut [usize]) {
         debug_assert_eq!(order.len(), self.completion.len());
         order.sort_by(|&a, &b| {
-            self.load_rank(a)
-                .partial_cmp(&self.load_rank(b))
-                .expect("completion times are finite")
+            self.load_rank(a).partial_cmp(&self.load_rank(b)).expect("completion times are finite")
         });
     }
 
@@ -325,11 +323,7 @@ impl Schedule {
     /// # Panics
     ///
     /// Panics (in debug builds) if `f` returns an out-of-range machine.
-    pub fn rewrite_assignment(
-        &mut self,
-        instance: &EtcInstance,
-        mut f: impl FnMut(usize) -> u32,
-    ) {
+    pub fn rewrite_assignment(&mut self, instance: &EtcInstance, mut f: impl FnMut(usize) -> u32) {
         let n_machines = self.completion.len();
         let etc = instance.etc();
         // One fused pass: write the gene, accumulate its ETC into the

@@ -20,13 +20,23 @@ fn small_instance(seed: u64) -> EtcInstance {
 /// One incremental operation against a schedule.
 #[derive(Debug, Clone)]
 enum Op {
-    Move { task: usize, machine: usize },
-    Swap { a: usize, b: usize },
+    Move {
+        task: usize,
+        machine: usize,
+    },
+    Swap {
+        a: usize,
+        b: usize,
+    },
     Renormalize,
     /// Overwrite the schedule from a donor built on the same instance.
-    CopyFrom { assignment: Vec<u32> },
+    CopyFrom {
+        assignment: Vec<u32>,
+    },
     /// Bulk-rewrite every gene (the crossover path).
-    Rewrite { assignment: Vec<u32> },
+    Rewrite {
+        assignment: Vec<u32>,
+    },
 }
 
 fn op_strategy(n_tasks: usize, n_machines: usize) -> impl Strategy<Value = Op> {
@@ -105,10 +115,8 @@ impl NestedBuckets {
         if old == machine {
             return;
         }
-        let p = self.buckets[old]
-            .iter()
-            .position(|&t| t as usize == task)
-            .expect("task in its bucket");
+        let p =
+            self.buckets[old].iter().position(|&t| t as usize == task).expect("task in its bucket");
         self.buckets[old].remove(p);
         let q = self.buckets[machine].partition_point(|&t| (t as usize) < task);
         self.buckets[machine].insert(q, task as u32);

@@ -1,0 +1,112 @@
+//! A small blocking client for the `pacga serve` wire protocol: one
+//! JSON line out, one JSON line back. Used by the `pacga bench-serve`
+//! load generator, the integration tests, and anyone scripting the
+//! daemon from Rust.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// The server sent a line that is not valid JSON.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Disconnected => f.write_str("server closed the connection"),
+            ClientError::BadResponse(m) => write!(f, "unparseable response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Connects with retry until `deadline` elapses — the readiness
+    /// probe CI uses while the daemon boots.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        deadline: Duration,
+    ) -> Result<Client, ClientError> {
+        let give_up = Instant::now() + deadline;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= give_up {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Sends one raw line and returns the raw response line.
+    pub fn send_line(&mut self, line: &str) -> Result<String, ClientError> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(ClientError::Disconnected);
+        }
+        Ok(response)
+    }
+
+    /// Sends a JSON request and parses the JSON response.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let line = self.send_line(&request.to_string())?;
+        Json::parse(line.trim_end())
+            .map_err(|e| ClientError::BadResponse(format!("{e}: {}", line.trim_end())))
+    }
+
+    /// `{"type":"ping"}` round trip; `Ok` when the server answers pong.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let v = self.request(&Json::obj(vec![("type", Json::str("ping"))]))?;
+        match v.get("message").and_then(Json::as_str) {
+            Some("pong") => Ok(()),
+            _ => Err(ClientError::BadResponse(v.to_string())),
+        }
+    }
+
+    /// `{"type":"stats"}` round trip.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("type", Json::str("stats"))]))
+    }
+
+    /// `{"type":"shutdown"}` round trip (starts the server drain).
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj(vec![("type", Json::str("shutdown"))]))
+    }
+}

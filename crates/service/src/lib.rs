@@ -1,0 +1,46 @@
+//! # `pa_cga_service` — the `pacga serve` scheduling daemon
+//!
+//! The PA-CGA paper frames the algorithm as a practical scheduler for
+//! grids where requests arrive continuously. This crate turns the
+//! single-shot engine into a long-running service: a multi-threaded TCP
+//! **JSON-lines** daemon that accepts ETC scheduling requests (inline
+//! matrix, Braun registry name, or generator spec), executes them in
+//! coalesced batches through the [`pa_cga_core::runner`] worker pool,
+//! and streams back schedule + makespan + run stats.
+//!
+//! Production touches:
+//!
+//! * **Request batching** — queued requests coalesce into one portfolio
+//!   submission per scheduler pass ([`server`]).
+//! * **Memoization** — an instance-digest LRU cache answers repeated
+//!   identical requests without re-running the engine ([`cache`]).
+//! * **Backpressure** — a bounded queue; overflow gets an explicit
+//!   `busy` response instead of unbounded buffering.
+//! * **Graceful drain** — `shutdown` stops intake, finishes everything
+//!   queued, then exits with a summary.
+//! * **Observability** — a `stats` request returns uptime, throughput,
+//!   cache hit/miss counters and batch shape ([`protocol`]).
+//!
+//! The load-generator side ([`loadgen`], surfaced as
+//! `pacga bench-serve`) hammers a daemon over loopback and reports
+//! req/s plus p50/p90/p99 latency — the scaling demo and the CI smoke
+//! stage (`scripts/ci.sh` stage 6).
+//!
+//! Everything runs on `std::net` blocking sockets and `std::thread`,
+//! consistent with the workspace's no-crates.io vendor policy
+//! (DESIGN.md §5); JSON comes from the hand-rolled [`json`] module
+//! because the vendored `serde` is a no-op stand-in.
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CachedRun, ScheduleCache};
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use protocol::{Request, Response, ScheduleRequest, StatsSnapshot};
+pub use server::{serve, ServeConfig, ServeSummary, ServerHandle};

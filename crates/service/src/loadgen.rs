@@ -1,0 +1,240 @@
+//! The `pacga bench-serve` load generator: N client threads hammer a
+//! running daemon over loopback, each sending M schedule requests
+//! back-to-back, then the report aggregates throughput, latency
+//! percentiles ([`pa_cga_stats::LatencySummary`]) and the server's own
+//! cache counters.
+//!
+//! Requests cycle through `distinct` generator-spec shapes shared by
+//! every client, so with `requests >= 2 * distinct` the run is also a
+//! cache demonstration: the first cycle misses (or coalesces onto an
+//! in-flight batch), later cycles hit.
+
+use crate::client::{Client, ClientError};
+use crate::json::Json;
+use pa_cga_stats::LatencySummary;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration (the `pacga bench-serve` flags).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Engine evaluation budget per request (small = protocol-bound,
+    /// large = engine-bound).
+    pub evals: u64,
+    /// Base seed for the request shapes (deterministic load).
+    pub seed: u64,
+    /// Distinct request shapes cycled by every client.
+    pub distinct: usize,
+    /// Send `shutdown` after the load and wait for the drain ack.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7413".into(),
+            clients: 4,
+            requests: 25,
+            evals: 1_000,
+            seed: 0,
+            distinct: 4,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Everything one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `result` responses received.
+    pub ok: u64,
+    /// Of those, answered from the server cache.
+    pub cached: u64,
+    /// Of those, coalesced onto an identical in-batch run.
+    pub coalesced: u64,
+    /// `busy` responses received.
+    pub busy: u64,
+    /// `error` responses received.
+    pub errors: u64,
+    /// Wall clock of the whole load phase.
+    pub elapsed: Duration,
+    /// Completed-request throughput.
+    pub req_per_sec: f64,
+    /// Per-request round-trip latency profile; `None` when no request
+    /// completed a round trip (nothing was measured — a fabricated
+    /// all-zero profile would read as a real measurement).
+    pub latency: Option<LatencySummary>,
+    /// The server's `stats` snapshot taken right after the load.
+    pub server_stats: Option<Json>,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests : {} ok ({} cached, {} coalesced), {} busy, {} errors",
+            self.ok, self.cached, self.coalesced, self.busy, self.errors
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.1} req/s over {:.2}s",
+            self.req_per_sec,
+            self.elapsed.as_secs_f64()
+        )?;
+        match &self.latency {
+            Some(latency) => writeln!(f, "latency  : {latency}")?,
+            None => writeln!(f, "latency  : no samples (no request completed)")?,
+        }
+        if let Some(stats) = &self.server_stats {
+            let n = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+            writeln!(
+                f,
+                "server   : cache {} hits / {} misses ({} entries), {} batches (max {}), \
+                 {} evaluations",
+                n("cache_hits"),
+                n("cache_misses"),
+                n("cache_entries"),
+                n("batches"),
+                n("max_batch"),
+                n("evaluations"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The request line for shape `k` of a run seeded with `seed`: a small
+/// generator-spec instance, so the daemon exercises `etc_model`
+/// decoding and the cache digest end-to-end without 512×16 payloads.
+fn request_shape(k: usize, seed: u64, evals: u64) -> Json {
+    let consistency = ["i", "c", "s"][k % 3];
+    Json::obj(vec![
+        ("type", Json::str("schedule")),
+        ("id", Json::str(format!("load-{k}"))),
+        (
+            "etc_model",
+            Json::obj(vec![
+                ("tasks", Json::num(64.0)),
+                ("machines", Json::num(8.0)),
+                ("consistency", Json::str(consistency)),
+                ("task_het", Json::str(if k % 2 == 0 { "hi" } else { "lo" })),
+                ("machine_het", Json::str("hi")),
+                ("seed", Json::num((seed + k as u64) as f64)),
+            ]),
+        ),
+        ("evals", Json::num(evals as f64)),
+        ("seed", Json::num(seed as f64)),
+        ("ls", Json::num(2.0)),
+    ])
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    cached: u64,
+    coalesced: u64,
+    busy: u64,
+    errors: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Runs the load and gathers the report. Fails only on connection-level
+/// problems; protocol-level `busy`/`error` responses are tallied.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
+    assert!(config.clients > 0 && config.requests > 0, "need clients and requests");
+    // Fail fast (and wait for daemon readiness) before spawning threads.
+    Client::connect_retry(config.addr.as_str(), Duration::from_secs(10))?.ping()?;
+
+    let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
+    let connect_errors: Mutex<Vec<ClientError>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for c in 0..config.clients {
+            let tallies = &tallies;
+            let connect_errors = &connect_errors;
+            scope.spawn(move || {
+                let mut tally = Tally::default();
+                let mut client = match Client::connect(config.addr.as_str()) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        connect_errors.lock().unwrap_or_else(|e| e.into_inner()).push(e);
+                        return;
+                    }
+                };
+                for i in 0..config.requests {
+                    let shape = (c + i) % config.distinct.max(1);
+                    let request = request_shape(shape, config.seed, config.evals);
+                    let sent = Instant::now();
+                    match client.request(&request) {
+                        Err(_) => tally.errors += 1,
+                        Ok(v) => {
+                            tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                            match v.get("type").and_then(Json::as_str) {
+                                Some("result") => {
+                                    tally.ok += 1;
+                                    if v.get("cached").and_then(Json::as_bool) == Some(true) {
+                                        tally.cached += 1;
+                                    }
+                                    if v.get("coalesced").and_then(Json::as_bool) == Some(true) {
+                                        tally.coalesced += 1;
+                                    }
+                                }
+                                Some("busy") => tally.busy += 1,
+                                _ => tally.errors += 1,
+                            }
+                        }
+                    }
+                }
+                tallies.lock().unwrap_or_else(|e| e.into_inner()).push(tally);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    if let Some(e) = connect_errors.into_inner().unwrap_or_else(|e| e.into_inner()).pop() {
+        return Err(e);
+    }
+
+    let tallies = tallies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut ok = 0;
+    let mut cached = 0;
+    let mut coalesced = 0;
+    let mut busy = 0;
+    let mut errors = 0;
+    let mut latencies = Vec::new();
+    for t in tallies {
+        ok += t.ok;
+        cached += t.cached;
+        coalesced += t.coalesced;
+        busy += t.busy;
+        errors += t.errors;
+        latencies.extend(t.latencies_ms);
+    }
+
+    let mut tail = Client::connect(config.addr.as_str())?;
+    let server_stats = tail.stats().ok();
+    if config.shutdown_after {
+        tail.shutdown()?;
+    }
+
+    let latency =
+        if latencies.is_empty() { None } else { Some(LatencySummary::from_millis(&latencies)) };
+    Ok(LoadReport {
+        ok,
+        cached,
+        coalesced,
+        busy,
+        errors,
+        elapsed,
+        req_per_sec: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency,
+        server_stats,
+    })
+}

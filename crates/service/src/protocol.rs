@@ -1,0 +1,752 @@
+//! The `pacga serve` wire protocol.
+//!
+//! Newline-delimited JSON over TCP: each line the client sends is one
+//! request object, each line the server answers is one response object.
+//! Requests are matched to responses in order per connection.
+//!
+//! Request `type`s:
+//!
+//! * `schedule` — run the PA-CGA engine on an ETC instance given as
+//!   exactly one of `braun` (registry name), `etc` (inline row-major
+//!   matrix, optional `ready` vector) or `etc_model` (generator spec:
+//!   `tasks`, `machines`, `consistency`, `task_het`, `machine_het`,
+//!   `seed`). Budget: at most one of `evals` / `gens` / `time_ms`
+//!   (default 20 000 evaluations). Tuning: `seed`, `threads` (engine
+//!   threads — the run's weight in the shared worker pool; must not
+//!   exceed the daemon's `--workers`, or the request is answered with
+//!   an error), `ls`, `crossover`. `assignment: true` includes the
+//!   task→machine vector in the response; `id` is echoed back verbatim.
+//! * `stats` — server metrics snapshot (answered immediately, never
+//!   queued).
+//! * `ping` — liveness probe.
+//! * `shutdown` — stop accepting, drain the queue, exit.
+//!
+//! Responses: `result`, `busy` (backpressure: bounded queue full, or
+//! draining), `error`, `stats`, `ok`.
+
+use crate::json::Json;
+use etc_model::{
+    braun_instance, braun_instance_names, Consistency, EtcGenerator, EtcInstance, EtcMatrix,
+    GeneratorParams, Heterogeneity,
+};
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::crossover::CrossoverOp;
+
+/// Default evaluation budget when a `schedule` request names none.
+pub const DEFAULT_EVALS: u64 = 20_000;
+
+/// Hard cap on inline matrix size (tasks × machines), so one request
+/// cannot balloon server memory.
+pub const MAX_INLINE_CELLS: usize = 4_096 * 256;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a schedule optimization.
+    Schedule(Box<ScheduleRequest>),
+    /// Metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful drain.
+    Shutdown,
+}
+
+/// Where the ETC instance comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceSource {
+    /// A named instance from the Braun registry.
+    Braun(String),
+    /// An inline task-major matrix (+ optional ready times).
+    Inline {
+        /// Instance name echoed in the response.
+        name: String,
+        /// `etc[t][m]`, strictly positive and finite.
+        etc: Vec<Vec<f64>>,
+        /// Per-machine ready times, non-negative and finite.
+        ready: Option<Vec<f64>>,
+    },
+    /// A generator spec under the Braun et al. range-based ETC model.
+    Generator(GeneratorParams),
+}
+
+/// A decoded `schedule` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Client-chosen correlation id, echoed back.
+    pub id: Option<String>,
+    /// Instance source.
+    pub source: InstanceSource,
+    /// Stop condition.
+    pub termination: Termination,
+    /// Engine seed.
+    pub seed: u64,
+    /// Engine threads — also the request's weight in the worker pool.
+    pub threads: usize,
+    /// H2LL local-search iterations (0 disables).
+    pub ls: usize,
+    /// Recombination operator.
+    pub crossover: CrossoverOp,
+    /// Whether the response includes the full assignment vector.
+    pub include_assignment: bool,
+}
+
+fn field_str(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!("{key:?} must be a string, got {other}")),
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => {
+            n.as_u64().map(Some).ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+        }
+    }
+}
+
+fn field_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("{key:?} must be a boolean, got {other}")),
+    }
+}
+
+fn matrix_rows(v: &Json) -> Result<Vec<Vec<f64>>, String> {
+    let rows = v.as_arr().ok_or("\"etc\" must be an array of rows")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (t, row) in rows.iter().enumerate() {
+        let cells = row.as_arr().ok_or_else(|| format!("etc row {t} must be an array"))?;
+        let mut values = Vec::with_capacity(cells.len());
+        for (m, cell) in cells.iter().enumerate() {
+            let x = cell.as_f64().ok_or_else(|| format!("etc[{t}][{m}] must be a number"))?;
+            values.push(x);
+        }
+        out.push(values);
+    }
+    Ok(out)
+}
+
+fn ready_vector(v: &Json) -> Result<Option<Vec<f64>>, String> {
+    match v.get("ready") {
+        None | Some(Json::Null) => Ok(None),
+        Some(arr) => {
+            let items = arr.as_arr().ok_or("\"ready\" must be an array of numbers")?;
+            let mut out = Vec::with_capacity(items.len());
+            for (m, item) in items.iter().enumerate() {
+                out.push(item.as_f64().ok_or_else(|| format!("ready[{m}] must be a number"))?);
+            }
+            Ok(Some(out))
+        }
+    }
+}
+
+fn generator_spec(v: &Json) -> Result<GeneratorParams, String> {
+    let tasks = field_u64(v, "tasks")?.ok_or("etc_model needs \"tasks\"")? as usize;
+    let machines = field_u64(v, "machines")?.ok_or("etc_model needs \"machines\"")? as usize;
+    if tasks == 0 || machines == 0 {
+        return Err("etc_model dimensions must be positive".into());
+    }
+    if tasks.saturating_mul(machines) > MAX_INLINE_CELLS {
+        return Err(format!("etc_model larger than {MAX_INLINE_CELLS} cells"));
+    }
+    let consistency: Consistency =
+        field_str(v, "consistency")?.unwrap_or_else(|| "i".into()).parse()?;
+    let task_het: Heterogeneity =
+        field_str(v, "task_het")?.unwrap_or_else(|| "hi".into()).parse()?;
+    let machine_het: Heterogeneity =
+        field_str(v, "machine_het")?.unwrap_or_else(|| "hi".into()).parse()?;
+    Ok(GeneratorParams {
+        n_tasks: tasks,
+        n_machines: machines,
+        task_heterogeneity: task_het,
+        machine_heterogeneity: machine_het,
+        consistency,
+        seed: field_u64(v, "seed")?.unwrap_or(0),
+    })
+}
+
+impl Request {
+    /// Decodes one wire line (already framed by the caller).
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        Request::from_json(&v)
+    }
+
+    /// Decodes a parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let kind = field_str(v, "type")?.ok_or("request needs a \"type\" field")?;
+        match kind.as_str() {
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "schedule" => Ok(Request::Schedule(Box::new(ScheduleRequest::from_json(v)?))),
+            other => Err(format!("unknown request type {other:?} (schedule|stats|ping|shutdown)")),
+        }
+    }
+}
+
+impl ScheduleRequest {
+    fn from_json(v: &Json) -> Result<ScheduleRequest, String> {
+        let braun = field_str(v, "braun")?;
+        let inline = v.get("etc");
+        let spec = v.get("etc_model");
+        let source = match (braun, inline, spec) {
+            (Some(name), None, None) => {
+                if !braun_instance_names().contains(&name.as_str()) {
+                    return Err(format!("unknown Braun instance {name:?}"));
+                }
+                InstanceSource::Braun(name)
+            }
+            (None, Some(etc), None) => InstanceSource::Inline {
+                name: field_str(v, "name")?.unwrap_or_else(|| "inline".into()),
+                etc: matrix_rows(etc)?,
+                ready: ready_vector(v)?,
+            },
+            (None, None, Some(model)) => InstanceSource::Generator(generator_spec(model)?),
+            _ => {
+                return Err("schedule needs exactly one of \"braun\", \"etc\", \"etc_model\"".into())
+            }
+        };
+
+        let termination =
+            match (field_u64(v, "evals")?, field_u64(v, "gens")?, field_u64(v, "time_ms")?) {
+                (None, None, None) => Termination::Evaluations(DEFAULT_EVALS),
+                (Some(e), None, None) if e > 0 => Termination::Evaluations(e),
+                (None, Some(g), None) if g > 0 => Termination::Generations(g),
+                (None, None, Some(t)) if t > 0 => Termination::wall_time_ms(t),
+                (Some(0), None, None) | (None, Some(0), None) | (None, None, Some(0)) => {
+                    return Err("budget must be positive".into())
+                }
+                _ => return Err("give at most one of \"evals\", \"gens\", \"time_ms\"".into()),
+            };
+
+        let threads = field_u64(v, "threads")?.unwrap_or(1) as usize;
+        if threads == 0 || threads > 64 {
+            return Err("\"threads\" must be in 1..=64".into());
+        }
+        let crossover = match field_str(v, "crossover")?.as_deref() {
+            None | Some("tpx") => CrossoverOp::TwoPoint,
+            Some("opx") => CrossoverOp::OnePoint,
+            Some("ux") => CrossoverOp::Uniform,
+            Some(other) => return Err(format!("bad crossover {other:?} (opx|tpx|ux)")),
+        };
+        Ok(ScheduleRequest {
+            id: field_str(v, "id")?,
+            source,
+            termination,
+            seed: field_u64(v, "seed")?.unwrap_or(0),
+            threads,
+            ls: field_u64(v, "ls")?.unwrap_or(10) as usize,
+            crossover,
+            include_assignment: field_bool(v, "assignment")?,
+        })
+    }
+
+    /// Materializes the ETC instance this request schedules.
+    pub fn resolve_instance(&self) -> Result<EtcInstance, String> {
+        match &self.source {
+            InstanceSource::Braun(name) => Ok(braun_instance(name)),
+            InstanceSource::Generator(params) => Ok(EtcGenerator::new(*params).generate()),
+            InstanceSource::Inline { name, etc, ready } => {
+                let n_tasks = etc.len();
+                if n_tasks == 0 {
+                    return Err("inline etc matrix is empty".into());
+                }
+                let n_machines = etc[0].len();
+                if n_machines == 0 {
+                    return Err("inline etc matrix has zero machines".into());
+                }
+                if n_tasks.saturating_mul(n_machines) > MAX_INLINE_CELLS {
+                    return Err(format!("inline etc larger than {MAX_INLINE_CELLS} cells"));
+                }
+                let mut values = Vec::with_capacity(n_tasks * n_machines);
+                for (t, row) in etc.iter().enumerate() {
+                    if row.len() != n_machines {
+                        return Err(format!(
+                            "etc row {t} has {} machines, row 0 has {n_machines}",
+                            row.len()
+                        ));
+                    }
+                    for (m, &x) in row.iter().enumerate() {
+                        if !x.is_finite() || x <= 0.0 {
+                            return Err(format!(
+                                "etc[{t}][{m}] = {x}; entries must be finite and > 0"
+                            ));
+                        }
+                        values.push(x);
+                    }
+                }
+                let matrix = EtcMatrix::from_task_major(n_tasks, n_machines, values);
+                match ready {
+                    None => Ok(EtcInstance::new(name.clone(), matrix)),
+                    Some(r) => {
+                        if r.len() != n_machines {
+                            return Err(format!(
+                                "ready has {} entries, matrix has {n_machines} machines",
+                                r.len()
+                            ));
+                        }
+                        for (m, &x) in r.iter().enumerate() {
+                            if !x.is_finite() || x < 0.0 {
+                                return Err(format!(
+                                    "ready[{m}] = {x}; ready times must be finite and >= 0"
+                                ));
+                            }
+                        }
+                        Ok(EtcInstance::with_ready_times(name.clone(), matrix, r.clone()))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The engine configuration this request asks for.
+    pub fn build_config(&self) -> PaCgaConfig {
+        PaCgaConfig::builder()
+            .threads(self.threads)
+            .local_search_iterations(self.ls)
+            .crossover(self.crossover)
+            .termination(self.termination)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// Memoization digest: FNV-1a over the resolved instance bytes and
+    /// every config knob that affects the outcome. Two requests with
+    /// equal digests ask for the same computation.
+    pub fn digest(&self, instance: &EtcInstance) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(instance.n_tasks() as u64);
+        h.write_u64(instance.n_machines() as u64);
+        for &x in instance.etc().task_major_data() {
+            h.write_u64(x.to_bits());
+        }
+        for &r in instance.ready_times() {
+            h.write_u64(r.to_bits());
+        }
+        h.write_u64(self.seed);
+        h.write_u64(self.threads as u64);
+        h.write_u64(self.ls as u64);
+        h.write_u64(match self.crossover {
+            CrossoverOp::OnePoint => 1,
+            CrossoverOp::TwoPoint => 2,
+            CrossoverOp::Uniform => 3,
+        });
+        match self.termination {
+            Termination::Evaluations(e) => {
+                h.write_u64(0xE);
+                h.write_u64(e);
+            }
+            Termination::Generations(g) => {
+                h.write_u64(0x6);
+                h.write_u64(g);
+            }
+            Termination::WallTime(d) => {
+                h.write_u64(0x7);
+                h.write_u64(d.as_nanos() as u64);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit — the digest behind the memoization cache. Not
+/// cryptographic; collisions only cost a stale-but-valid cached answer
+/// for a different instance, and 64 bits over a bounded cache makes that
+/// astronomically unlikely.
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Folds eight bytes, little-endian.
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Folds a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A server response, ready to encode as one JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed `schedule` request.
+    Result {
+        /// Echo of the request id.
+        id: Option<String>,
+        /// Resolved instance name.
+        instance: String,
+        /// Instance dimensions.
+        n_tasks: usize,
+        /// Instance dimensions.
+        n_machines: usize,
+        /// Best makespan found.
+        makespan: f64,
+        /// Engine evaluations behind the answer (the original run's
+        /// count when served from cache).
+        evaluations: u64,
+        /// Wall-clock of the engine run that produced the schedule, ms.
+        engine_ms: f64,
+        /// Whether the answer came from the memoization cache.
+        cached: bool,
+        /// Whether the request was coalesced onto an identical in-batch
+        /// run instead of executing separately.
+        coalesced: bool,
+        /// Task→machine assignment (when requested).
+        assignment: Option<Vec<u32>>,
+    },
+    /// Backpressure: the request was NOT queued and will not be
+    /// answered; retry later.
+    Busy {
+        /// Why (`"queue full"` or `"draining"`).
+        reason: String,
+    },
+    /// The request failed.
+    Error {
+        /// Echo of the request id, when one decoded.
+        id: Option<String>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Metrics snapshot (`stats` request).
+    Stats(Box<StatsSnapshot>),
+    /// Acknowledgement (`ping`, `shutdown`).
+    Ok {
+        /// Free-form detail (`"pong"`, `"draining"`).
+        message: String,
+    },
+}
+
+/// Server metrics returned by a `stats` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since the listener came up.
+    pub uptime_s: f64,
+    /// Schedule requests accepted into the queue.
+    pub received: u64,
+    /// Schedule requests answered with a `result`.
+    pub completed: u64,
+    /// Schedule requests answered with an `error`.
+    pub errors: u64,
+    /// Requests rejected with `busy`.
+    pub busy: u64,
+    /// Memoization cache hits.
+    pub cache_hits: u64,
+    /// Memoization cache misses.
+    pub cache_misses: u64,
+    /// Live cache entries.
+    pub cache_entries: usize,
+    /// Cache capacity (LRU bound).
+    pub cache_capacity: usize,
+    /// In-batch duplicate requests served by one run.
+    pub coalesced: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch coalesced so far.
+    pub max_batch: u64,
+    /// Total engine evaluations spent.
+    pub evaluations: u64,
+    /// Completed requests per second of uptime.
+    pub req_per_sec: f64,
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// The JSON form of the response.
+    pub fn to_json(&self) -> Json {
+        let opt_str = |s: &Option<String>| match s {
+            Some(s) => Json::str(s.clone()),
+            None => Json::Null,
+        };
+        match self {
+            Response::Result {
+                id,
+                instance,
+                n_tasks,
+                n_machines,
+                makespan,
+                evaluations,
+                engine_ms,
+                cached,
+                coalesced,
+                assignment,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::str("result")),
+                    ("id", opt_str(id)),
+                    ("instance", Json::str(instance.clone())),
+                    ("n_tasks", Json::num(*n_tasks as f64)),
+                    ("n_machines", Json::num(*n_machines as f64)),
+                    ("makespan", Json::num(*makespan)),
+                    ("evaluations", Json::num(*evaluations as f64)),
+                    ("engine_ms", Json::num(*engine_ms)),
+                    ("cached", Json::Bool(*cached)),
+                    ("coalesced", Json::Bool(*coalesced)),
+                ];
+                if let Some(a) = assignment {
+                    fields.push((
+                        "assignment",
+                        Json::Arr(a.iter().map(|&m| Json::num(m as f64)).collect()),
+                    ));
+                }
+                Json::obj(fields)
+            }
+            Response::Busy { reason } => {
+                Json::obj(vec![("type", Json::str("busy")), ("reason", Json::str(reason.clone()))])
+            }
+            Response::Error { id, message } => Json::obj(vec![
+                ("type", Json::str("error")),
+                ("id", opt_str(id)),
+                ("message", Json::str(message.clone())),
+            ]),
+            Response::Ok { message } => {
+                Json::obj(vec![("type", Json::str("ok")), ("message", Json::str(message.clone()))])
+            }
+            Response::Stats(s) => Json::obj(vec![
+                ("type", Json::str("stats")),
+                ("uptime_s", Json::num(s.uptime_s)),
+                ("received", Json::num(s.received as f64)),
+                ("completed", Json::num(s.completed as f64)),
+                ("errors", Json::num(s.errors as f64)),
+                ("busy", Json::num(s.busy as f64)),
+                ("cache_hits", Json::num(s.cache_hits as f64)),
+                ("cache_misses", Json::num(s.cache_misses as f64)),
+                ("cache_entries", Json::num(s.cache_entries as f64)),
+                ("cache_capacity", Json::num(s.cache_capacity as f64)),
+                ("coalesced", Json::num(s.coalesced as f64)),
+                ("batches", Json::num(s.batches as f64)),
+                ("max_batch", Json::num(s.max_batch as f64)),
+                ("evaluations", Json::num(s.evaluations as f64)),
+                ("req_per_sec", Json::num(s.req_per_sec)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(line: &str) -> ScheduleRequest {
+        match Request::decode(line).unwrap() {
+            Request::Schedule(r) => *r,
+            other => panic!("expected schedule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_decode() {
+        assert_eq!(Request::decode(r#"{"type":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(Request::decode(r#"{"type":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(Request::decode(r#"{"type":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn braun_schedule_decodes_with_defaults() {
+        let r = schedule(r#"{"type":"schedule","braun":"u_c_hihi.0"}"#);
+        assert_eq!(r.source, InstanceSource::Braun("u_c_hihi.0".into()));
+        assert_eq!(r.termination, Termination::Evaluations(DEFAULT_EVALS));
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.ls, 10);
+        assert!(!r.include_assignment);
+        assert_eq!(r.resolve_instance().unwrap().n_tasks(), 512);
+    }
+
+    #[test]
+    fn inline_schedule_resolves() {
+        let r = schedule(
+            r#"{"type":"schedule","name":"tiny","etc":[[1,2],[3,4],[5,6]],"ready":[0.5,0],"evals":100}"#,
+        );
+        let inst = r.resolve_instance().unwrap();
+        assert_eq!(inst.n_tasks(), 3);
+        assert_eq!(inst.n_machines(), 2);
+        assert_eq!(inst.ready(0), 0.5);
+        assert_eq!(inst.name(), "tiny");
+    }
+
+    #[test]
+    fn generator_schedule_resolves_deterministically() {
+        let line = r#"{"type":"schedule","etc_model":{"tasks":32,"machines":4,"consistency":"c","task_het":"lo","machine_het":"hi","seed":9}}"#;
+        let a = schedule(line).resolve_instance().unwrap();
+        let b = schedule(line).resolve_instance().unwrap();
+        assert_eq!(a, b, "same spec, same instance");
+        assert_eq!(a.n_tasks(), 32);
+        assert_eq!(a.n_machines(), 4);
+    }
+
+    #[test]
+    fn source_must_be_exactly_one() {
+        for bad in [
+            r#"{"type":"schedule"}"#,
+            r#"{"type":"schedule","braun":"u_c_hihi.0","etc":[[1]]}"#,
+            r#"{"type":"schedule","braun":"u_c_hihi.0","etc_model":{"tasks":4,"machines":2}}"#,
+        ] {
+            let err = Request::decode(bad).unwrap_err();
+            assert!(err.contains("exactly one"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn invalid_inline_values_rejected_at_resolve() {
+        let cases = [
+            (r#"{"type":"schedule","etc":[[1,2],[3]]}"#, "row 1"),
+            (r#"{"type":"schedule","etc":[[1,-2]]}"#, "finite and > 0"),
+            (r#"{"type":"schedule","etc":[[1,0]]}"#, "finite and > 0"),
+            (r#"{"type":"schedule","etc":[[1,2]],"ready":[1]}"#, "machines"),
+            (r#"{"type":"schedule","etc":[[1,2]],"ready":[-1,0]}"#, ">= 0"),
+            (r#"{"type":"schedule","etc":[]}"#, "empty"),
+        ];
+        for (line, needle) in cases {
+            let err = schedule(line).resolve_instance().unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn budget_must_be_unambiguous() {
+        let err = Request::decode(r#"{"type":"schedule","braun":"u_c_hihi.0","evals":1,"gens":1}"#)
+            .unwrap_err();
+        assert!(err.contains("at most one"), "{err}");
+        let err =
+            Request::decode(r#"{"type":"schedule","braun":"u_c_hihi.0","evals":0}"#).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_reported() {
+        assert!(Request::decode(r#"{"type":"frobnicate"}"#).unwrap_err().contains("unknown"));
+        assert!(Request::decode(r#"{}"#).unwrap_err().contains("type"));
+        assert!(Request::decode("not json").unwrap_err().contains("malformed"));
+        assert!(Request::decode(r#"{"type":"schedule","braun":"nope.9"}"#)
+            .unwrap_err()
+            .contains("unknown Braun instance"));
+    }
+
+    #[test]
+    fn digest_distinguishes_every_knob() {
+        let base = r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":100}"#;
+        let variants = [
+            r#"{"type":"schedule","etc":[[1,2],[3,5]],"evals":100}"#, // data
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":101}"#, // budget
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":100,"seed":1}"#,
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":100,"threads":2}"#,
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":100,"ls":3}"#,
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":100,"crossover":"ux"}"#,
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"gens":100}"#, // budget kind
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"ready":[1,0],"evals":100}"#,
+        ];
+        let d0 = {
+            let r = schedule(base);
+            r.digest(&r.resolve_instance().unwrap())
+        };
+        for v in variants {
+            let r = schedule(v);
+            let d = r.digest(&r.resolve_instance().unwrap());
+            assert_ne!(d0, d, "{v} must change the digest");
+        }
+        // Same request, same digest — and the id / assignment flags do
+        // NOT participate (they do not change the computation).
+        let same = schedule(
+            r#"{"type":"schedule","etc":[[1,2],[3,4]],"evals":100,"id":"x","assignment":true}"#,
+        );
+        assert_eq!(d0, same.digest(&same.resolve_instance().unwrap()));
+    }
+
+    #[test]
+    fn responses_encode_as_parseable_single_lines() {
+        let responses = vec![
+            Response::Result {
+                id: Some("r1".into()),
+                instance: "toy".into(),
+                n_tasks: 4,
+                n_machines: 2,
+                makespan: 12.5,
+                evaluations: 100,
+                engine_ms: 1.25,
+                cached: false,
+                coalesced: false,
+                assignment: Some(vec![0, 1, 0, 1]),
+            },
+            Response::Busy { reason: "queue full".into() },
+            Response::Error { id: None, message: "nope".into() },
+            Response::Ok { message: "pong".into() },
+        ];
+        for r in responses {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "{line}");
+            let v = Json::parse(&line).unwrap();
+            assert!(v.get("type").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn result_without_assignment_omits_the_field() {
+        let r = Response::Result {
+            id: None,
+            instance: "toy".into(),
+            n_tasks: 4,
+            n_machines: 2,
+            makespan: 1.0,
+            evaluations: 10,
+            engine_ms: 0.1,
+            cached: true,
+            coalesced: false,
+            assignment: None,
+        };
+        let v = r.to_json();
+        assert!(v.get("assignment").is_none());
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn config_builds_from_request() {
+        let r = schedule(
+            r#"{"type":"schedule","braun":"u_c_hihi.0","threads":2,"ls":0,"gens":5,"seed":3,"crossover":"opx"}"#,
+        );
+        let c = r.build_config();
+        assert_eq!(c.threads, 2);
+        assert!(c.local_search.is_none());
+        assert_eq!(c.termination, Termination::Generations(5));
+        assert_eq!(c.seed, 3);
+        assert_eq!(c.crossover, CrossoverOp::OnePoint);
+    }
+}

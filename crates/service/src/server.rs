@@ -1,0 +1,623 @@
+//! The batching scheduler daemon behind `pacga serve`.
+//!
+//! Thread topology (all `std::net` / `std::thread`, per the vendor
+//! policy in DESIGN.md §5):
+//!
+//! ```text
+//! acceptor ──spawns──▶ one handler thread per connection
+//!                          │  parse line → control requests answered
+//!                          │  inline; schedule requests try_enqueue
+//!                          ▼
+//!                bounded queue (Mutex<VecDeque> + Condvar)
+//!                          │          full → "busy" backpressure
+//!                          ▼
+//!                scheduler thread: drains up to `batch_max` queued
+//!                requests into ONE portfolio submission
+//!                          │  cache hits answered without running;
+//!                          │  in-batch duplicates coalesced onto one run
+//!                          ▼
+//!            pa_cga_core::runner::Portfolio (weights = engine threads,
+//!            capacity = --workers ⇒ concurrent requests never
+//!            oversubscribe the host)
+//! ```
+//!
+//! Shutdown: a `shutdown` request (or [`ServerHandle::shutdown`]) stops
+//! the acceptor, the scheduler drains everything already queued, every
+//! waiting client gets its answer, and [`ServerHandle::join`] returns a
+//! [`ServeSummary`].
+
+use crate::cache::{CachedRun, ScheduleCache};
+use crate::protocol::{Request, Response, ScheduleRequest, StatsSnapshot};
+use pa_cga_core::config::PaCgaConfig;
+use pa_cga_core::engine::PaCga;
+use pa_cga_core::runner::{resolve_workers, Portfolio, RunSpec};
+use pa_cga_core::trace::RunOutcome;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (the `pacga serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Engine worker-pool capacity shared by every batch; 0 = one slot
+    /// per available core.
+    pub workers: usize,
+    /// Bounded-queue depth; requests beyond it get `busy`.
+    pub queue_cap: usize,
+    /// Memoization cache entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Most requests coalesced into one portfolio submission.
+    pub batch_max: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7413".into(),
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: 128,
+            batch_max: 16,
+        }
+    }
+}
+
+/// One queued schedule request plus the channel its handler waits on.
+struct Job {
+    request: ScheduleRequest,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct Metrics {
+    received: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    coalesced: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    evaluations: AtomicU64,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    workers: usize,
+    queue_cap: usize,
+    batch_max: usize,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    cache: Mutex<ScheduleCache>,
+    conns: Mutex<usize>,
+    conns_cv: Condvar,
+    /// Read-half handles of every live connection, keyed by connection
+    /// id: the drain path shuts their read sides down so idle keep-alive
+    /// clients produce EOF instead of pinning [`ServerHandle::join`]
+    /// until the grace deadline. In-flight requests are unaffected
+    /// (their answer goes out on the write half).
+    conn_streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    start: Instant,
+}
+
+impl Shared {
+    fn try_enqueue(&self, request: ScheduleRequest) -> Result<mpsc::Receiver<Response>, String> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err("draining".into());
+        }
+        if queue.len() >= self.queue_cap {
+            return Err("queue full".into());
+        }
+        let (tx, rx) = mpsc::channel();
+        queue.push_back(Job { request, reply: tx });
+        self.metrics.received.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        self.queue_cv.notify_one();
+        Ok(rx)
+    }
+
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        self.queue_cv.notify_all();
+        // Poke the acceptor out of its blocking accept().
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        // Stop further intake at the socket level: idle connections see
+        // EOF now instead of holding join() to the grace deadline.
+        for stream in self.conn_streams.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let (cache_hits, cache_misses, cache_entries, cache_capacity) = {
+            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            (cache.hits(), cache.misses(), cache.len(), cache.capacity())
+        };
+        let uptime_s = self.start.elapsed().as_secs_f64();
+        let completed = self.metrics.completed.load(Ordering::Relaxed);
+        StatsSnapshot {
+            uptime_s,
+            received: self.metrics.received.load(Ordering::Relaxed),
+            completed,
+            errors: self.metrics.errors.load(Ordering::Relaxed),
+            busy: self.metrics.busy.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            cache_capacity,
+            coalesced: self.metrics.coalesced.load(Ordering::Relaxed),
+            batches: self.metrics.batches.load(Ordering::Relaxed),
+            max_batch: self.metrics.max_batch.load(Ordering::Relaxed),
+            evaluations: self.metrics.evaluations.load(Ordering::Relaxed),
+            req_per_sec: completed as f64 / uptime_s.max(1e-9),
+        }
+    }
+}
+
+/// What a drained daemon reports on exit.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Schedule requests answered with a result.
+    pub completed: u64,
+    /// Schedule requests answered with an error.
+    pub errors: u64,
+    /// Requests rejected with `busy`.
+    pub busy: u64,
+    /// Cache hits / misses over the whole run.
+    pub cache_hits: u64,
+    /// Cache misses over the whole run.
+    pub cache_misses: u64,
+    /// In-batch duplicates served by one run.
+    pub coalesced: u64,
+    /// Portfolio batches executed.
+    pub batches: u64,
+    /// Total engine evaluations spent.
+    pub evaluations: u64,
+    /// Listener lifetime.
+    pub uptime: Duration,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drained cleanly: {} completed, {} errors, {} busy | cache {} hits / {} misses, \
+             {} coalesced | {} batches, {} evaluations | uptime {:.2}s",
+            self.completed,
+            self.errors,
+            self.busy,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.batches,
+            self.evaluations,
+            self.uptime.as_secs_f64()
+        )
+    }
+}
+
+/// A running daemon: its bound address plus the join/shutdown handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    scheduler: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain, as if a `shutdown` request arrived.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Waits for the drain to finish and returns the exit summary.
+    /// Lingering connections are given `grace` to finish before the
+    /// summary is returned anyway.
+    pub fn join(self) -> ServeSummary {
+        let _ = self.acceptor.join();
+        let _ = self.scheduler.join();
+        let grace = Duration::from_secs(10);
+        let deadline = Instant::now() + grace;
+        let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        while *conns > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _) =
+                self.shared.conns_cv.wait_timeout(conns, left).unwrap_or_else(|e| e.into_inner());
+            conns = guard;
+        }
+        drop(conns);
+        let s = self.shared.snapshot();
+        ServeSummary {
+            completed: s.completed,
+            errors: s.errors,
+            busy: s.busy,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            coalesced: s.coalesced,
+            batches: s.batches,
+            evaluations: s.evaluations,
+            uptime: self.shared.start.elapsed(),
+        }
+    }
+}
+
+/// Binds the listener and spawns the daemon threads.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers =
+        if config.workers == 0 { resolve_workers(None, usize::MAX) } else { config.workers };
+    let shared = Arc::new(Shared {
+        addr,
+        workers,
+        queue_cap: config.queue_cap,
+        batch_max: config.batch_max.max(1),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        metrics: Metrics::default(),
+        cache: Mutex::new(ScheduleCache::new(config.cache_cap)),
+        conns: Mutex::new(0),
+        conn_streams: Mutex::new(std::collections::HashMap::new()),
+        next_conn: AtomicU64::new(0),
+        conns_cv: Condvar::new(),
+        start: Instant::now(),
+    });
+
+    let scheduler = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("pacga-scheduler".into())
+            .spawn(move || scheduler_loop(&shared))?
+    };
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("pacga-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))?
+    };
+    Ok(ServerHandle { addr, shared, acceptor, scheduler })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break; // the shutdown poke, or a late client
+                }
+                *shared.conns.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(read_half) = stream.try_clone() {
+                    shared
+                        .conn_streams
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(conn_id, read_half);
+                }
+                // Registration raced a concurrent drain trigger: apply
+                // the read-side shutdown this connection just missed.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown(std::net::Shutdown::Read);
+                }
+                let conn_shared = Arc::clone(shared);
+                let spawned =
+                    std::thread::Builder::new().name("pacga-conn".into()).spawn(move || {
+                        handle_connection(&conn_shared, stream);
+                        conn_shared
+                            .conn_streams
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&conn_id);
+                        *conn_shared.conns.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+                        conn_shared.conns_cv.notify_all();
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: undo the bookkeeping and drop
+                    // the connection rather than wedge the acceptor.
+                    shared.conn_streams.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id);
+                    *shared.conns.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+                    shared.conns_cv.notify_all();
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::decode(&line) {
+            Err(message) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { id: None, message }
+            }
+            Ok(Request::Ping) => Response::Ok { message: "pong".into() },
+            Ok(Request::Stats) => Response::Stats(Box::new(shared.snapshot())),
+            Ok(Request::Shutdown) => {
+                shared.trigger_shutdown();
+                Response::Ok { message: "draining".into() }
+            }
+            Ok(Request::Schedule(request)) => match shared.try_enqueue(*request) {
+                Err(reason) => {
+                    shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                    Response::Busy { reason }
+                }
+                Ok(rx) => rx.recv().unwrap_or_else(|_| {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error { id: None, message: "scheduler unavailable".into() }
+                }),
+            },
+        };
+        if writeln!(writer, "{}", response.encode()).and_then(|_| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !queue.is_empty() {
+                    let take = queue.len().min(shared.batch_max);
+                    break queue.drain(..take).collect();
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // drained: queue empty under the lock
+                }
+                queue = shared.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let size = batch.len() as u64;
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.max_batch.fetch_max(size, Ordering::Relaxed);
+        process_batch(shared, batch);
+    }
+}
+
+/// One coalesced unit of engine work: the first job with a given digest
+/// owns the run; identical in-batch requests ride along. Each job keeps
+/// its own resolved instance name — the digest covers the matrix bytes,
+/// not the label, so coalesced requests may have named the same data
+/// differently and each response must echo its requester's name.
+struct PendingRun {
+    instance: etc_model::EtcInstance,
+    config: PaCgaConfig,
+    digest: u64,
+    jobs: Vec<(Job, String)>,
+}
+
+fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    let mut pending: Vec<PendingRun> = Vec::new();
+
+    for job in batch {
+        // Resolve: bad instances are answered immediately, not queued.
+        let instance = match job.request.resolve_instance() {
+            Ok(i) => i,
+            Err(message) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Response::Error { id: job.request.id.clone(), message });
+                continue;
+            }
+        };
+        // A request may not ask for more engine threads than the pool
+        // has slots: the weight would clamp but the engine would still
+        // spawn every thread, oversubscribing the host.
+        if job.request.threads > shared.workers {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Response::Error {
+                id: job.request.id.clone(),
+                message: format!(
+                    "\"threads\" = {} exceeds the server's worker pool ({})",
+                    job.request.threads, shared.workers
+                ),
+            });
+            continue;
+        }
+        let digest = job.request.digest(&instance);
+
+        // Cache pass: an identical earlier request already answered this.
+        let hit = shared.cache.lock().unwrap_or_else(|e| e.into_inner()).get(digest);
+        if let Some(run) = hit {
+            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                job.reply.send(result_response(&job.request, instance.name(), &run, true, false));
+            continue;
+        }
+
+        // Coalesce: identical request already pending in THIS batch.
+        if let Some(p) = pending.iter_mut().find(|p| p.digest == digest) {
+            let name = instance.name().to_string();
+            p.jobs.push((job, name));
+            continue;
+        }
+        let config = job.request.build_config();
+        let name = instance.name().to_string();
+        pending.push(PendingRun { instance, config, digest, jobs: vec![(job, name)] });
+    }
+
+    if pending.is_empty() {
+        return;
+    }
+
+    // One portfolio submission for the whole batch. Weights are the
+    // per-request engine thread counts, so a batch of 4-thread requests
+    // on a `--workers 4` pool executes one at a time instead of
+    // thrashing 16 threads.
+    let mut portfolio = Portfolio::new().with_workers(shared.workers);
+    for (i, p) in pending.iter().enumerate() {
+        let instance = &p.instance;
+        let config = p.config.clone();
+        let weight = p.config.threads;
+        portfolio.push(
+            RunSpec::new(format!("req{}/{}", i, instance.name()), move || {
+                PaCga::new(instance, config.clone()).run()
+            })
+            .with_weight(weight),
+        );
+    }
+    let report = portfolio.execute();
+
+    for (p, result) in pending.into_iter().zip(report.results) {
+        match result {
+            Err(panic) => {
+                for (job, _) in &p.jobs {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Response::Error {
+                        id: job.request.id.clone(),
+                        message: format!("engine failed: {panic}"),
+                    });
+                }
+            }
+            Ok(outcome) => {
+                let run = cached_run(&p.instance, &outcome);
+                shared.metrics.evaluations.fetch_add(outcome.evaluations, Ordering::Relaxed);
+                shared
+                    .cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(p.digest, run.clone());
+                for (k, (job, name)) in p.jobs.iter().enumerate() {
+                    shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    if k > 0 {
+                        shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = job.reply.send(result_response(&job.request, name, &run, false, k > 0));
+                }
+            }
+        }
+    }
+}
+
+fn cached_run(instance: &etc_model::EtcInstance, outcome: &RunOutcome) -> CachedRun {
+    CachedRun {
+        instance: instance.name().to_string(),
+        n_tasks: instance.n_tasks(),
+        n_machines: instance.n_machines(),
+        makespan: outcome.best.makespan(),
+        evaluations: outcome.evaluations,
+        engine_ms: outcome.elapsed.as_secs_f64() * 1e3,
+        assignment: outcome.best.schedule.assignment().to_vec(),
+    }
+}
+
+/// `instance_name` is the REQUESTING job's resolved name, not the
+/// cached run's: the digest ignores labels, so a cache/coalesce answer
+/// may have been computed under a different name than this client used.
+fn result_response(
+    request: &ScheduleRequest,
+    instance_name: &str,
+    run: &CachedRun,
+    cached: bool,
+    coalesced: bool,
+) -> Response {
+    Response::Result {
+        id: request.id.clone(),
+        instance: instance_name.to_string(),
+        n_tasks: run.n_tasks,
+        n_machines: run.n_machines,
+        makespan: run.makespan,
+        evaluations: run.evaluations,
+        engine_ms: run.engine_ms,
+        cached,
+        coalesced,
+        assignment: request.include_assignment.then(|| run.assignment.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local(config: ServeConfig) -> ServerHandle {
+        serve(ServeConfig { addr: "127.0.0.1:0".into(), ..config }).expect("bind loopback")
+    }
+
+    #[test]
+    fn binds_ephemeral_port_and_drains() {
+        let handle = local(ServeConfig::default());
+        assert_ne!(handle.addr().port(), 0);
+        handle.shutdown();
+        let summary = handle.join();
+        assert_eq!(summary.completed, 0);
+        assert!(summary.to_string().contains("drained cleanly"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let handle = local(ServeConfig::default());
+        handle.shutdown();
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn zero_queue_cap_rejects_everything() {
+        let handle = local(ServeConfig { queue_cap: 0, ..ServeConfig::default() });
+        let request = match Request::decode(r#"{"type":"schedule","etc":[[1,2],[2,1]],"evals":50}"#)
+            .unwrap()
+        {
+            Request::Schedule(r) => *r,
+            _ => unreachable!(),
+        };
+        let err = handle.shared.try_enqueue(request).unwrap_err();
+        assert_eq!(err, "queue full");
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn enqueue_after_shutdown_reports_draining() {
+        let handle = local(ServeConfig::default());
+        handle.shutdown();
+        let request = match Request::decode(r#"{"type":"schedule","etc":[[1,2],[2,1]],"evals":50}"#)
+            .unwrap()
+        {
+            Request::Schedule(r) => *r,
+            _ => unreachable!(),
+        };
+        let err = handle.shared.try_enqueue(request).unwrap_err();
+        assert_eq!(err, "draining");
+        handle.join();
+    }
+}

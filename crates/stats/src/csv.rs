@@ -20,11 +20,7 @@ pub fn write_row<W: Write>(w: &mut W, fields: &[String]) -> io::Result<()> {
 }
 
 /// Writes a header + rows table.
-pub fn write_table<W: Write>(
-    w: &mut W,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_table<W: Write>(w: &mut W, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let h: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     write_row(w, &h)?;
     for row in rows {
@@ -97,11 +93,8 @@ mod tests {
 
     #[test]
     fn quoting_round_trip() {
-        let tricky = vec![
-            "has,comma".to_string(),
-            "has \"quotes\"".to_string(),
-            "plain".to_string(),
-        ];
+        let tricky =
+            vec!["has,comma".to_string(), "has \"quotes\"".to_string(), "plain".to_string()];
         let mut buf = Vec::new();
         write_row(&mut buf, &tricky).unwrap();
         let text = String::from_utf8(buf).unwrap();

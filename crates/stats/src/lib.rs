@@ -11,6 +11,8 @@
 //!   free check we run alongside the notch criterion.
 //! * [`speedup`] — the paper's evaluation-count speedup ratio (Eq. 5).
 //! * [`series`] — aggregating per-generation traces across runs (Figure 6).
+//! * [`latency`] — request-latency percentile profiles (p50/p90/p99) for
+//!   the `pacga bench-serve` service load generator.
 //! * [`table`] — fixed-width ASCII tables for harness output.
 //! * [`render`] — ASCII box plots (Figure 5's visual, in a terminal).
 
@@ -18,6 +20,7 @@ pub mod boxplot;
 pub mod csv;
 pub mod descriptive;
 pub mod friedman;
+pub mod latency;
 pub mod mann_whitney;
 pub mod quartiles;
 pub mod render;
@@ -28,6 +31,7 @@ pub mod table;
 pub use boxplot::BoxplotStats;
 pub use descriptive::Descriptive;
 pub use friedman::{friedman_test, FriedmanResult};
+pub use latency::LatencySummary;
 pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
 pub use quartiles::Quartiles;
 pub use series::TraceAggregator;

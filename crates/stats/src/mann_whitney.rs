@@ -33,8 +33,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -49,11 +48,8 @@ fn normal_sf(z: f64) -> f64 {
 /// Assigns average ranks to the pooled sample; returns (ranks of `a`'s
 /// elements summed, tie-correction term Σ(t³−t)).
 fn rank_sum_of_first(a: &[f64], b: &[f64]) -> (f64, f64) {
-    let mut pooled: Vec<(f64, bool)> = a
-        .iter()
-        .map(|&x| (x, true))
-        .chain(b.iter().map(|&x| (x, false)))
-        .collect();
+    let mut pooled: Vec<(f64, bool)> =
+        a.iter().map(|&x| (x, true)).chain(b.iter().map(|&x| (x, false))).collect();
     pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite sample values"));
 
     let mut r1 = 0.0;

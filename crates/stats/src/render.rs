@@ -57,10 +57,7 @@ pub fn render_boxplots(labelled: &[(&str, &BoxplotStats)], width: usize) -> Stri
         for &o in &b.outliers {
             line[scale(o)] = b'o';
         }
-        out.push_str(&format!(
-            "{label:<label_w$} {}\n",
-            String::from_utf8(line).expect("ascii")
-        ));
+        out.push_str(&format!("{label:<label_w$} {}\n", String::from_utf8(line).expect("ascii")));
     }
     out.push_str(&format!(
         "{:<label_w$} {:<.4e}{}{:>.4e}\n",

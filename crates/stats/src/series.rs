@@ -102,9 +102,7 @@ pub fn downsample(series: &[SeriesPoint], max_points: usize) -> Vec<SeriesPoint>
         return series.to_vec();
     }
     let stride = (series.len() - 1) as f64 / (max_points - 1) as f64;
-    (0..max_points)
-        .map(|i| series[(i as f64 * stride).round() as usize])
-        .collect()
+    (0..max_points).map(|i| series[(i as f64 * stride).round() as usize]).collect()
 }
 
 #[cfg(test)]
@@ -163,9 +161,8 @@ mod tests {
 
     #[test]
     fn downsample_keeps_ends() {
-        let series: Vec<SeriesPoint> = (0..100)
-            .map(|g| SeriesPoint { generation: g, mean: g as f64, count: 1 })
-            .collect();
+        let series: Vec<SeriesPoint> =
+            (0..100).map(|g| SeriesPoint { generation: g, mean: g as f64, count: 1 }).collect();
         let d = downsample(&series, 5);
         assert_eq!(d.len(), 5);
         assert_eq!(d[0].generation, 0);

@@ -29,12 +29,8 @@ fn main() {
         instance.name()
     );
 
-    let base = || {
-        PaCgaConfig::builder()
-            .threads(1)
-            .termination(Termination::Evaluations(EVALS))
-            .seed(11)
-    };
+    let base =
+        || PaCgaConfig::builder().threads(1).termination(Termination::Evaluations(EVALS)).seed(11);
 
     let mut table = Table::new(&["variant", "best makespan", "evaluations"]);
     run(&instance, "paper (L5, best-2, tpx, move)", base().build(), &mut table);
@@ -50,7 +46,12 @@ fn main() {
         base().selection(SelectionOp::BinaryTournament).build(),
         &mut table,
     );
-    run(&instance, "one-point crossover", base().crossover(CrossoverOp::OnePoint).build(), &mut table);
+    run(
+        &instance,
+        "one-point crossover",
+        base().crossover(CrossoverOp::OnePoint).build(),
+        &mut table,
+    );
     run(&instance, "uniform crossover", base().crossover(CrossoverOp::Uniform).build(), &mut table);
     run(
         &instance,
@@ -58,12 +59,7 @@ fn main() {
         base().mutation(MutationOp::Rebalance).build(),
         &mut table,
     );
-    run(
-        &instance,
-        "no local search",
-        base().local_search_iterations(0).build(),
-        &mut table,
-    );
+    run(&instance, "no local search", base().local_search_iterations(0).build(), &mut table);
     run(
         &instance,
         "always-replace policy",

@@ -16,7 +16,12 @@ use rand::SeedableRng;
 
 fn main() {
     let instance = braun_instance("u_i_hilo.0");
-    println!("instance : {} ({} tasks × {} machines)", instance.name(), instance.n_tasks(), instance.n_machines());
+    println!(
+        "instance : {} ({} tasks × {} machines)",
+        instance.name(),
+        instance.n_tasks(),
+        instance.n_machines()
+    );
 
     // 1. Build a good static schedule with PA-CGA.
     let config = PaCgaConfig::builder()
@@ -44,13 +49,10 @@ fn main() {
         "retried tasks",
         "reschedules",
     ]);
-    let policies: [&dyn Rescheduler; 2] = [
-        &MctRescheduler,
-        &PaCgaRescheduler { evaluations: 10_000, ..Default::default() },
-    ];
+    let policies: [&dyn Rescheduler; 2] =
+        [&MctRescheduler, &PaCgaRescheduler { evaluations: 10_000, ..Default::default() }];
     for policy in policies {
-        let report =
-            Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
+        let report = Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
         report.validate().expect("inconsistent simulation");
         table.row(&[
             policy.name().to_string(),

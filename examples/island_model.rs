@@ -53,7 +53,10 @@ fn main() {
     ]);
     println!("{}", table.render());
 
-    println!("island bests : {:?}", islands.island_best.iter().map(|b| b.round()).collect::<Vec<_>>());
+    println!(
+        "island bests : {:?}",
+        islands.island_best.iter().map(|b| b.round()).collect::<Vec<_>>()
+    );
     println!("best island  : {}", islands.best_island);
     println!(
         "epoch best   : {:?}",

@@ -41,11 +41,7 @@ fn main() {
     let pa = PaCga::new(&instance, config).run();
 
     let mut table = Table::new(&["scheduler", "makespan", "flowtime", "utilization", "imbalance"]);
-    for (name, s) in [
-        ("OLB", &olb),
-        ("Min-min", &minmin),
-        ("PA-CGA", &pa.best.schedule),
-    ] {
+    for (name, s) in [("OLB", &olb), ("Min-min", &minmin), ("PA-CGA", &pa.best.schedule)] {
         table.row(&[
             name.to_string(),
             format!("{:.0}", s.makespan()),

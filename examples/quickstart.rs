@@ -13,11 +13,7 @@ fn main() {
     let instance = braun_instance("u_i_hihi.0");
     println!("instance : {}", instance.name());
     println!("notation : {}", blazewicz_notation(&instance));
-    println!(
-        "size     : {} tasks × {} machines",
-        instance.n_tasks(),
-        instance.n_machines()
-    );
+    println!("size     : {} tasks × {} machines", instance.n_tasks(), instance.n_machines());
 
     // The deterministic baseline the paper seeds its population with.
     let minmin = heuristics::min_min(&instance);

@@ -28,12 +28,10 @@ fn evals_for(instance: &EtcInstance, threads: usize, ls_iters: usize) -> f64 {
 
 fn main() {
     let instance = braun_instance("u_c_hihi.0");
-    println!(
-        "Evaluations in {TIME_MS} ms on {}, 1..={MAX_THREADS} threads\n",
-        instance.name()
-    );
+    println!("Evaluations in {TIME_MS} ms on {}, 1..={MAX_THREADS} threads\n", instance.name());
 
-    let mut table = Table::new(&["threads", "no LS", "H2LL×10", "speedup no LS", "speedup H2LL×10"]);
+    let mut table =
+        Table::new(&["threads", "no LS", "H2LL×10", "speedup no LS", "speedup H2LL×10"]);
     let no_ls: Vec<f64> = (1..=MAX_THREADS).map(|t| evals_for(&instance, t, 0)).collect();
     let with_ls: Vec<f64> = (1..=MAX_THREADS).map(|t| evals_for(&instance, t, 10)).collect();
     let s0 = speedup_percentages(&no_ls);

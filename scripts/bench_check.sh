@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# Perf-regression gate over the committed BENCH_<n>.json trajectory
+# (written by scripts/bench_baseline.sh).
+#
+#   scripts/bench_check.sh                  # compare the two newest BENCH_*.json
+#   scripts/bench_check.sh OLD.json NEW.json
+#   scripts/bench_check.sh --self-test      # prove the gate trips on a
+#                                           # synthetic regression
+#
+# Flags:
+#   --threshold PCT   regression tolerance (default 15: fail when any
+#                     shared engine_evals_per_sec key drops >15%)
+#   --strict          fail even on an nproc=1 host (default there is
+#                     warn-only: single-core wall clocks are too noisy
+#                     to gate on — contended CI runners routinely show
+#                     >15% swings with no code change)
+#
+# Testing hook: BENCH_CHECK_NPROC overrides the detected core count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+usage() {
+  echo "usage: $0 [OLD.json NEW.json] [--threshold PCT] [--strict] [--self-test]" >&2
+}
+
+THRESHOLD=15
+STRICT=0
+SELF_TEST=0
+FILES=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threshold) THRESHOLD="${2:?--threshold needs a value}"; shift ;;
+    --strict) STRICT=1 ;;
+    --self-test) SELF_TEST=1 ;;
+    -*) usage; exit 2 ;;
+    *) FILES+=("$1") ;;
+  esac
+  shift
+done
+
+# Prints "key value" pairs from a BENCH json's engine_evals_per_sec
+# block (the line-oriented format bench_baseline.sh emits).
+extract_evals() {
+  awk '
+    /"engine_evals_per_sec"[[:space:]]*:/ { inb = 1; next }
+    inb && /}/ { inb = 0 }
+    inb && /:/ {
+      line = $0
+      gsub(/[",]/, "", line)
+      n = split(line, a, ":")
+      if (n < 2) next
+      key = a[1]; gsub(/^[ \t]+|[ \t]+$/, "", key)
+      val = a[2]; gsub(/[ \t]/, "", val)
+      if (key != "" && val != "") print key, val
+    }
+  ' "$1"
+}
+
+self_test() {
+  # Not `local`: the EXIT trap fires after the function returns.
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  local wrap='{
+  "schema": "pa-cga-bench-baseline/v1",
+  "engine_evals_per_sec": {
+%s
+  },
+  "unrelated": { "t1_ls0": 1 }
+}'
+  # shellcheck disable=SC2059
+  printf "$wrap" '    "t1_ls0": 100000,
+    "t4_ls0": 200000,
+    "only_in_old": 5' > "$tmp/old.json"
+  # -1% and +5%: inside tolerance.
+  # shellcheck disable=SC2059
+  printf "$wrap" '    "t1_ls0": 99000,
+    "t4_ls0": 210000,
+    "only_in_new": 7' > "$tmp/ok.json"
+  # t1_ls0 -20%: beyond the 15% tolerance.
+  # shellcheck disable=SC2059
+  printf "$wrap" '    "t1_ls0": 80000,
+    "t4_ls0": 200000' > "$tmp/bad.json"
+
+  echo "==> bench_check self-test (threshold ${THRESHOLD}%)"
+
+  if ! "$0" "$tmp/old.json" "$tmp/ok.json" --strict > "$tmp/out_ok"; then
+    echo "FAIL: in-tolerance comparison must pass" >&2
+    cat "$tmp/out_ok" >&2
+    exit 1
+  fi
+  echo "  pass: -1% / +5% accepted"
+
+  if "$0" "$tmp/old.json" "$tmp/bad.json" --strict > "$tmp/out_bad"; then
+    echo "FAIL: a synthetic -20% regression must exit non-zero" >&2
+    cat "$tmp/out_bad" >&2
+    exit 1
+  fi
+  grep -q "REGRESSED" "$tmp/out_bad" || {
+    echo "FAIL: regression output must flag the key" >&2
+    exit 1
+  }
+  echo "  pass: -20% regression rejected (strict)"
+
+  if ! BENCH_CHECK_NPROC=1 "$0" "$tmp/old.json" "$tmp/bad.json" > "$tmp/out_warn"; then
+    echo "FAIL: nproc=1 must downgrade the regression to a warning" >&2
+    exit 1
+  fi
+  grep -q "warn-only" "$tmp/out_warn" || {
+    echo "FAIL: warn-only path must announce itself" >&2
+    exit 1
+  }
+  echo "  pass: nproc=1 downgrades to warn-only"
+
+  if BENCH_CHECK_NPROC=4 "$0" "$tmp/old.json" "$tmp/bad.json" > /dev/null; then
+    echo "FAIL: multi-core hosts must fail on regression without --strict" >&2
+    exit 1
+  fi
+  echo "  pass: nproc=4 fails without --strict"
+  echo "==> bench_check self-test OK"
+}
+
+if [[ "$SELF_TEST" == 1 ]]; then
+  self_test
+  exit 0
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  mapfile -t trajectory < <(ls BENCH_*.json 2>/dev/null | sort -V)
+  if (( ${#trajectory[@]} < 2 )); then
+    echo "==> bench_check: fewer than two BENCH_*.json files; nothing to compare"
+    exit 0
+  fi
+  OLD="${trajectory[-2]}"
+  NEW="${trajectory[-1]}"
+elif [[ ${#FILES[@]} -eq 2 ]]; then
+  OLD="${FILES[0]}"
+  NEW="${FILES[1]}"
+else
+  usage
+  exit 2
+fi
+[[ -r "$OLD" && -r "$NEW" ]] || { echo "bench_check: cannot read $OLD / $NEW" >&2; exit 2; }
+
+NPROC="${BENCH_CHECK_NPROC:-$(nproc 2>/dev/null || echo 1)}"
+
+echo "==> bench_check: $OLD -> $NEW (fail below -${THRESHOLD}% on engine_evals_per_sec)"
+shared=0
+regressions=0
+while read -r key old_val; do
+  new_val="$(extract_evals "$NEW" | awk -v k="$key" '$1 == k { print $2; exit }')"
+  [[ -z "$new_val" ]] && continue
+  shared=$((shared + 1))
+  pct="$(awk -v o="$old_val" -v n="$new_val" 'BEGIN { printf "%+.1f", 100 * (n - o) / o }')"
+  if awk -v o="$old_val" -v n="$new_val" -v t="$THRESHOLD" \
+       'BEGIN { exit !(n < o * (1 - t / 100)) }'; then
+    status="REGRESSED"
+    regressions=$((regressions + 1))
+  else
+    status="ok"
+  fi
+  printf '  %-24s %12s -> %12s  %7s%%  %s\n' "$key" "$old_val" "$new_val" "$pct" "$status"
+done < <(extract_evals "$OLD")
+
+if (( shared == 0 )); then
+  echo "==> bench_check: no shared engine_evals_per_sec keys between $OLD and $NEW; skipping"
+  exit 0
+fi
+
+if (( regressions > 0 )); then
+  if [[ "$STRICT" == 1 || "$NPROC" -gt 1 ]]; then
+    echo "==> bench_check FAILED: $regressions/$shared key(s) regressed more than ${THRESHOLD}%" >&2
+    exit 1
+  fi
+  echo "==> bench_check: $regressions/$shared key(s) regressed more than ${THRESHOLD}%, but" \
+       "nproc=$NPROC — single-core wall-clock noise; warn-only (use --strict to enforce)"
+  exit 0
+fi
+echo "==> bench_check OK: $shared shared key(s), none regressed more than ${THRESHOLD}%"

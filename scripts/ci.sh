@@ -1,31 +1,109 @@
 #!/usr/bin/env bash
 # The full local CI gate. Run from anywhere; operates on the repo root.
 #
-#   scripts/ci.sh
+#   scripts/ci.sh          # all stages
+#   scripts/ci.sh --fast   # inner-loop gate: stages 0-3 only
 #
-# Five stages, each fatal on failure:
-#   1. cargo build --release (every crate, every target — benches and
-#      experiment binaries must at least compile)
-#   2. cargo test -q (unit + property + integration + doc tests)
-#   3. cargo doc --no-deps with warnings denied, so doc rot (broken
-#      intra-doc links and other rustdoc warnings) fails fast.
-#   4. bench smoke: every criterion bench body runs exactly once, so the
-#      perf-baseline harness (scripts/bench_baseline.sh) cannot rot.
-#   5. sweep smoke: `pacga sweep` end-to-end through the portfolio
-#      runner at a tiny deterministic budget.
+# Named stages, each fatal on failure, each wall-clock timed (summary
+# table at the end):
+#   0 fmt    cargo fmt --check (soft-skip with a notice when the
+#            rustfmt component is unavailable in the build container)
+#   1 build  cargo build --release (every crate, every target — benches
+#            and experiment binaries must at least compile)
+#   2 test   cargo test -q (unit + property + integration + doc tests)
+#   3 doc    cargo doc --no-deps with warnings denied (doc rot fails fast)
+#   4 bench  bench smoke (every criterion bench body runs once) plus the
+#            perf-regression gate: scripts/bench_check.sh --self-test,
+#            then the committed BENCH_*.json trajectory comparison
+#   5 sweep  `pacga sweep` end-to-end through the portfolio runner
+#   6 serve  `pacga serve` boots, `pacga bench-serve` hammers it over
+#            loopback (deterministic seed), req/s and cache-hit lines are
+#            asserted, and the daemon must drain cleanly on shutdown
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] cargo build --release (all targets)"
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+SUMMARY=()
+CURRENT=""
+STAGE_T0=0
+SERVE_PID=""
+
+begin() {
+  CURRENT="$1"
+  STAGE_T0="$(date +%s)"
+  echo
+  echo "==> [$1] $2"
+}
+
+finish() {
+  local dt=$(( $(date +%s) - STAGE_T0 ))
+  SUMMARY+=("$(printf '  %-10s %4ds  %s' "$CURRENT" "$dt" "${1:-ok}")")
+  CURRENT=""
+}
+
+skip() {
+  SUMMARY+=("$(printf '  %-10s %4s  %s' "$1" "-" "skipped ($2)")")
+}
+
+print_summary() {
+  echo
+  echo "==> stage summary"
+  printf '  %-10s %5s  %s\n' "stage" "time" "status"
+  local line
+  for line in "${SUMMARY[@]}"; do
+    echo "$line"
+  done
+}
+
+on_err() {
+  local dt=$(( $(date +%s) - STAGE_T0 ))
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  if [[ -n "$CURRENT" ]]; then
+    SUMMARY+=("$(printf '  %-10s %4ds  %s' "$CURRENT" "$dt" "FAILED")")
+  fi
+  print_summary
+  echo "==> CI FAILED${CURRENT:+ in stage $CURRENT}" >&2
+}
+trap on_err ERR
+
+begin "0:fmt" "cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+  cargo fmt --check
+  finish
+else
+  echo "NOTICE: rustfmt component unavailable in this container — style gate soft-skipped"
+  finish "skipped (no rustfmt)"
+fi
+
+begin "1:build" "cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
+finish
 
-echo "==> [2/5] cargo test -q (includes runner property + identity tests)"
+begin "2:test" "cargo test -q (includes service e2e + identity tests)"
 cargo test -q --workspace
+finish
 
-echo "==> [3/5] cargo doc --no-deps (warnings denied)"
+begin "3:doc" "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+finish
 
-echo "==> [4/5] bench smoke (1 iteration per bench)"
+if [[ "$FAST" == 1 ]]; then
+  skip "4:bench" "--fast"
+  skip "5:sweep" "--fast"
+  skip "6:serve" "--fast"
+  print_summary
+  echo "==> CI green (--fast: stages 4-6 skipped)"
+  exit 0
+fi
+
+begin "4:bench" "bench smoke + perf-regression gate"
 scripts/bench_baseline.sh --smoke
 # Surface the committed scaling numbers next to the smoke result so a
 # stale/odd speedup_vs_t1 section is spotted without opening the JSON.
@@ -34,10 +112,59 @@ if [[ -n "$latest_bench" ]] && grep -q '"speedup_vs_t1"' "$latest_bench"; then
   echo "==> recorded speedup_vs_t1 ($latest_bench):"
   sed -n '/"speedup_vs_t1"/,/}/p' "$latest_bench"
 fi
+scripts/bench_check.sh --self-test
+scripts/bench_check.sh
+finish
 
-echo "==> [5/5] pacga sweep smoke (portfolio runner end-to-end)"
+begin "5:sweep" "pacga sweep smoke (portfolio runner end-to-end)"
 SWEEP_OUT="$(cargo run --release -q -p pa-cga-cli -- sweep --braun u_c_hihi --runs 2 --evals 2000 --ls 2)"
 echo "$SWEEP_OUT"
 grep -q "runs/s" <<<"$SWEEP_OUT" || { echo "sweep smoke produced no throughput line" >&2; exit 1; }
+finish
 
+begin "6:serve" "pacga serve + bench-serve load smoke"
+PACGA="target/release/pacga"
+SERVE_LOG="$(mktemp)"
+# Port 0: the daemon announces its actual address, so two CI runs on
+# one host (or a leftover daemon) can never collide — or worse, have
+# bench-serve drive and drain a foreign daemon on a fixed port.
+"$PACGA" serve --addr 127.0.0.1:0 --workers 2 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+  SERVE_ADDR="$(sed -n 's/^pacga serve: listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")"
+  [[ -n "$SERVE_ADDR" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || {
+  echo "serve smoke: daemon never announced its address" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+echo "==> daemon listening on $SERVE_ADDR"
+# bench-serve retries the connection internally while the daemon boots.
+BENCH_OUT="$("$PACGA" bench-serve --addr "$SERVE_ADDR" --clients 3 --requests 8 \
+  --evals 400 --distinct 2 --seed 1 --shutdown)"
+echo "$BENCH_OUT"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "==> daemon log:"
+cat "$SERVE_LOG"
+
+rps="$(sed -n 's/^throughput: \([0-9.]*\) req\/s.*/\1/p' <<<"$BENCH_OUT")"
+[[ -n "$rps" ]] || { echo "serve smoke: no req/s line" >&2; exit 1; }
+awk -v r="$rps" 'BEGIN { exit !(r > 0) }' \
+  || { echo "serve smoke: zero throughput ($rps req/s)" >&2; exit 1; }
+grep -Eq "p99 [0-9.]+ms" <<<"$BENCH_OUT" \
+  || { echo "serve smoke: no latency percentile line" >&2; exit 1; }
+hits="$(sed -n 's/^server   : cache \([0-9]*\) hits.*/\1/p' <<<"$BENCH_OUT")"
+[[ -n "$hits" && "$hits" -gt 0 ]] \
+  || { echo "serve smoke: repeated identical requests produced no cache hits" >&2; exit 1; }
+grep -q "drained cleanly" "$SERVE_LOG" \
+  || { echo "serve smoke: daemon did not report a clean drain" >&2; exit 1; }
+rm -f "$SERVE_LOG"
+finish
+
+print_summary
 echo "==> CI green"

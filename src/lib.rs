@@ -13,6 +13,9 @@
 //! * [`sim`] — the discrete-event grid simulator (machine churn, batch
 //!   arrivals, rescheduling policies).
 //! * [`stats`] — the statistics toolkit behind the experiment harness.
+//! * [`service`] — the `pacga serve` batching scheduler daemon (TCP
+//!   JSON-lines protocol, request coalescing, memoization cache,
+//!   backpressure) and its load-generator client.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use etc_model as etc;
 pub use grid_sim as sim;
 pub use heuristics as heur;
 pub use pa_cga_core as cga;
+pub use pa_cga_service as service;
 pub use pa_cga_stats as stats;
 pub use scheduling as sched;
 
@@ -59,6 +63,7 @@ pub mod prelude {
         blazewicz_notation, braun_instance, braun_instance_names, Consistency, EtcGenerator,
         EtcInstance, EtcMatrix, GeneratorParams, Heterogeneity,
     };
+    pub use grid_sim::{BatchSimulator, FailureTrace, MctRescheduler, PaCgaRescheduler, Simulator};
     pub use heuristics;
     pub use pa_cga_core::{
         config::{PaCgaConfig, Termination},
@@ -68,9 +73,6 @@ pub mod prelude {
         mutation::MutationOp,
         neighborhood::NeighborhoodShape,
         selection::SelectionOp,
-    };
-    pub use grid_sim::{
-        BatchSimulator, FailureTrace, MctRescheduler, PaCgaRescheduler, Simulator,
     };
     pub use pa_cga_stats::{Descriptive, Quartiles};
     pub use scheduling::Schedule;

@@ -66,11 +66,7 @@ fn pa_cga_competitive_on_inconsistent_hihi_at_equal_wall_time() {
 
     let mean = |f: &dyn Fn(u64) -> f64| -> f64 { (0..3).map(f).sum::<f64>() / 3.0 };
     let pa = mean(&|seed| {
-        let cfg = PaCgaConfig::builder()
-            .threads(1)
-            .termination(budget)
-            .seed(seed)
-            .build();
+        let cfg = PaCgaConfig::builder().threads(1).termination(budget).seed(seed).build();
         PaCga::new(&instance, cfg).run().best.makespan()
     });
     let struggle = mean(&|seed| {
@@ -81,10 +77,7 @@ fn pa_cga_competitive_on_inconsistent_hihi_at_equal_wall_time() {
         let cfg = CmaLthConfig { termination: budget, seed, ..CmaLthConfig::default() };
         CmaLth::new(&instance, cfg).run().best.makespan()
     });
-    assert!(
-        pa <= struggle * 1.05,
-        "PA-CGA {pa} lost to Struggle GA {struggle} by >5%"
-    );
+    assert!(pa <= struggle * 1.05, "PA-CGA {pa} lost to Struggle GA {struggle} by >5%");
     assert!(pa <= cma * 1.05, "PA-CGA {pa} lost to cMA+LTH {cma} by >5%");
 }
 

@@ -29,10 +29,7 @@ fn stress(threads: usize, shape: NeighborhoodShape, seed: u64) {
         );
     }
     // The best individual is the population minimum.
-    let pop_min = population
-        .iter()
-        .map(|i| i.fitness)
-        .fold(f64::INFINITY, f64::min);
+    let pop_min = population.iter().map(|i| i.fitness).fold(f64::INFINITY, f64::min);
     assert_eq!(outcome.best.fitness, pop_min);
 }
 

@@ -83,11 +83,8 @@ fn multithreaded_runs_agree_on_budget_not_necessarily_path() {
     // Parallel async runs are deterministic only up to OS interleaving;
     // what must hold: valid results, same configured budget semantics.
     let instance = braun_instance("u_c_hihi.0");
-    let cfg = PaCgaConfig::builder()
-        .threads(3)
-        .termination(Termination::Generations(10))
-        .seed(1)
-        .build();
+    let cfg =
+        PaCgaConfig::builder().threads(3).termination(Termination::Generations(10)).seed(1).build();
     let a = PaCga::new(&instance, cfg.clone()).run();
     let b = PaCga::new(&instance, cfg).run();
     assert_eq!(a.generations, vec![10, 10, 10]);

@@ -36,10 +36,7 @@ fn improves_min_min_on_all_benchmark_instances() {
             strictly_better += 1;
         }
     }
-    assert!(
-        strictly_better >= 9,
-        "PA-CGA strictly improved only {strictly_better}/12 instances"
-    );
+    assert!(strictly_better >= 9, "PA-CGA strictly improved only {strictly_better}/12 instances");
 }
 
 #[test]

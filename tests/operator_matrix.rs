@@ -11,17 +11,10 @@ use pa_cga::cga::sweep::SweepPolicy;
 use pa_cga::prelude::*;
 use pa_cga::sched::check_schedule;
 
-const NEIGHBORHOODS: [NeighborhoodShape; 4] = [
-    NeighborhoodShape::L5,
-    NeighborhoodShape::L9,
-    NeighborhoodShape::C9,
-    NeighborhoodShape::C13,
-];
-const SELECTIONS: [SelectionOp; 3] = [
-    SelectionOp::BestTwo,
-    SelectionOp::BinaryTournament,
-    SelectionOp::CenterPlusBest,
-];
+const NEIGHBORHOODS: [NeighborhoodShape; 4] =
+    [NeighborhoodShape::L5, NeighborhoodShape::L9, NeighborhoodShape::C9, NeighborhoodShape::C13];
+const SELECTIONS: [SelectionOp; 3] =
+    [SelectionOp::BestTwo, SelectionOp::BinaryTournament, SelectionOp::CenterPlusBest];
 const CROSSOVERS: [CrossoverOp; 3] =
     [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform];
 const MUTATIONS: [MutationOp; 3] = [MutationOp::Move, MutationOp::Swap, MutationOp::Rebalance];

@@ -38,13 +38,10 @@ fn both_policies_survive_multi_failure_runs() {
     let horizon = schedule.makespan() * 0.5;
     let failures = FailureTrace::new(vec![(0, horizon * 0.3), (7, horizon * 0.6), (12, horizon)]);
 
-    let policies: [&dyn Rescheduler; 2] = [
-        &MctRescheduler,
-        &PaCgaRescheduler { evaluations: 2_000, ..Default::default() },
-    ];
+    let policies: [&dyn Rescheduler; 2] =
+        [&MctRescheduler, &PaCgaRescheduler { evaluations: 2_000, ..Default::default() }];
     for policy in policies {
-        let report =
-            Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
+        let report = Simulator::with_failures(&instance, failures.clone()).run(&schedule, policy);
         report.validate().unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
         assert_eq!(report.tasks.len(), instance.n_tasks(), "{}: lost tasks", policy.name());
         assert_eq!(report.failed_machines, vec![0, 7, 12]);
@@ -69,10 +66,7 @@ fn pa_cga_rescheduling_not_worse_than_mct_after_failures() {
     let pa = Simulator::with_failures(&instance, failures)
         .run(&schedule, &PaCgaRescheduler { evaluations: 8_000, ..Default::default() })
         .makespan;
-    assert!(
-        pa <= mct * 1.02,
-        "PA-CGA rescheduling ({pa}) much worse than MCT ({mct})"
-    );
+    assert!(pa <= mct * 1.02, "PA-CGA rescheduling ({pa}) much worse than MCT ({mct})");
 }
 
 #[test]

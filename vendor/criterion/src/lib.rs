@@ -28,15 +28,11 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: format!("{}/{}", function_name.into(), parameter),
-        }
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: parameter.to_string(),
-        }
+        BenchmarkId { id: parameter.to_string() }
     }
 }
 
@@ -107,10 +103,7 @@ fn smoke_mode() -> bool {
 }
 
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher {
-        smoke: smoke_mode(),
-        result: None,
-    };
+    let mut b = Bencher { smoke: smoke_mode(), result: None };
     f(&mut b);
     match b.result {
         Some((_, samples)) if samples.is_empty() => {
@@ -141,10 +134,7 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            _parent: self,
-        }
+        BenchmarkGroup { name: name.into(), _parent: self }
     }
 
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {

@@ -20,9 +20,7 @@ pub struct RwLock<T: ?Sized> {
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock {
-            inner: sync::RwLock::new(value),
-        }
+        RwLock { inner: sync::RwLock::new(value) }
     }
 
     pub fn into_inner(self) -> T {
@@ -68,9 +66,7 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex {
-            inner: sync::Mutex::new(value),
-        }
+        Mutex { inner: sync::Mutex::new(value) }
     }
 
     pub fn into_inner(self) -> T {

@@ -13,38 +13,26 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange {
-            min: n,
-            max_exclusive: n + 1,
-        }
+        SizeRange { min: n, max_exclusive: n + 1 }
     }
 }
 
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty vec size range");
-        SizeRange {
-            min: r.start,
-            max_exclusive: r.end,
-        }
+        SizeRange { min: r.start, max_exclusive: r.end }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-        SizeRange {
-            min: *r.start(),
-            max_exclusive: *r.end() + 1,
-        }
+        SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
     }
 }
 
 /// Strategy producing `Vec`s whose elements come from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy {
-        element,
-        size: size.into(),
-    }
+    VecStrategy { element, size: size.into() }
 }
 
 /// See [`vec()`].

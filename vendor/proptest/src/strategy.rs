@@ -26,11 +26,7 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter {
-            inner: self,
-            f,
-            reason,
-        }
+        Filter { inner: self, f, reason }
     }
 
     /// Erases the concrete strategy type.
