@@ -51,6 +51,20 @@ pub struct PaCgaConfig {
     /// that incremental `CT` updates accumulate over long asynchronous
     /// runs. `0` disables the pass entirely.
     pub renormalize_every: u64,
+    /// Offspring evaluated per batched pass over the ETC slab
+    /// ([`scheduling::OffspringBatch`], DESIGN.md §9). `1` reproduces the
+    /// per-offspring engine loop exactly (same RNG draw order); larger
+    /// batches trade snapshot freshness *within* a batch for cache-hot
+    /// evaluation, the same relaxation the asynchronous model already
+    /// makes across thread blocks.
+    pub eval_batch: usize,
+    /// `true` (default): offspring fitness comes from the incremental
+    /// delta path — the slab's cached completion times and the schedule's
+    /// O(1) tracked-argmax makespan. `false`: every offspring is
+    /// re-derived from scratch (fresh build + full fold), the oracle
+    /// path. The canonical-CT invariant makes the two modes byte-identical
+    /// (the `delta_toggle` test pins that); the toggle exists to prove it.
+    pub delta_eval: bool,
     /// Master seed; derives population-init and per-thread RNG streams.
     pub seed: u64,
     /// How the initial population is seeded (paper: Min-min, 1 ind).
@@ -81,6 +95,8 @@ impl PaCgaConfig {
             sweep: SweepPolicy::LineSweep,
             termination: Termination::WallTime(Duration::from_secs(90)),
             renormalize_every: 1000,
+            eval_batch: 16,
+            delta_eval: true,
             seed: 0,
             seeding: Seeding::MinMin,
             record_traces: false,
@@ -114,6 +130,7 @@ impl PaCgaConfig {
         ] {
             assert!((0.0..=1.0).contains(&p), "{name} = {p} outside [0, 1]");
         }
+        assert!(self.eval_batch >= 1, "eval_batch must be at least 1");
     }
 
     /// One-line human-readable summary (harness headers).
@@ -237,6 +254,20 @@ impl PaCgaConfigBuilder {
         self
     }
 
+    /// Offspring per batched evaluation pass (1 reproduces the
+    /// per-offspring loop exactly).
+    pub fn eval_batch(mut self, batch: usize) -> Self {
+        self.config.eval_batch = batch;
+        self
+    }
+
+    /// Whether offspring fitness uses the incremental delta path (`true`,
+    /// default) or the from-scratch oracle recompute (`false`).
+    pub fn delta_eval(mut self, on: bool) -> Self {
+        self.config.delta_eval = on;
+        self
+    }
+
     /// Master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -325,6 +356,28 @@ mod tests {
              H2LL(iter=10) p_ser=1, replace-if-better, stop: wall-time 90.0s"
         );
         assert!(!s.contains("p_ser p="), "p_ser must label its own value");
+    }
+
+    #[test]
+    fn batch_and_delta_defaults() {
+        let c = PaCgaConfig::paper();
+        assert_eq!(c.eval_batch, 16);
+        assert!(c.delta_eval);
+        let c = PaCgaConfig::builder()
+            .grid(4, 4)
+            .threads(1)
+            .eval_batch(1)
+            .delta_eval(false)
+            .termination(Termination::Generations(1))
+            .build();
+        assert_eq!(c.eval_batch, 1);
+        assert!(!c.delta_eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_batch")]
+    fn zero_batch_rejected() {
+        PaCgaConfig::builder().grid(4, 4).threads(1).eval_batch(0).build();
     }
 
     #[test]

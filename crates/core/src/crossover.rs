@@ -83,6 +83,37 @@ impl CrossoverOp {
         }
     }
 
+    /// Gene-level recombination for the batched engine path: `out` must
+    /// already hold parent 1's genes (the slab row is seeded with them)
+    /// and is overwritten in place with the offspring. Consumes *exactly*
+    /// the RNG draws of [`CrossoverOp::recombine_into`] in the same
+    /// order, so the two paths produce identical offspring from identical
+    /// RNG states — the batched engine at `eval_batch = 1` replays the
+    /// per-offspring loop draw for draw.
+    pub fn compose_into(self, g2: &[u32], out: &mut [u32], rng: &mut impl Rng) {
+        debug_assert_eq!(g2.len(), out.len());
+        let n = out.len();
+        match self {
+            CrossoverOp::OnePoint => {
+                let cut = rng.gen_range(0..=n);
+                out[cut..].copy_from_slice(&g2[cut..]);
+            }
+            CrossoverOp::TwoPoint => {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(0..=n);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                out[lo..hi].copy_from_slice(&g2[lo..hi]);
+            }
+            CrossoverOp::Uniform => {
+                for t in 0..n {
+                    if rng.gen_bool(0.5) {
+                        out[t] = g2[t];
+                    }
+                }
+            }
+        }
+    }
+
     /// Allocating convenience wrapper around
     /// [`CrossoverOp::recombine_into`].
     pub fn recombine(
@@ -186,6 +217,27 @@ mod tests {
         let mut buf = p1.clone();
         CrossoverOp::TwoPoint.recombine_into(&inst, &p1, &p2, &mut buf, &mut rng);
         assert!(check_schedule(&inst, &buf).is_ok());
+    }
+
+    #[test]
+    fn compose_into_matches_recombine_into_draw_for_draw() {
+        let inst = EtcInstance::toy(32, 4);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let p1 = Schedule::random(&inst, &mut rng);
+        let p2 = Schedule::random(&inst, &mut rng);
+        for op in [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+            for seed in 0..20 {
+                let mut r1 = SmallRng::seed_from_u64(seed);
+                let mut r2 = SmallRng::seed_from_u64(seed);
+                let mut buf = p1.clone();
+                op.recombine_into(&inst, &p1, &p2, &mut buf, &mut r1);
+                let mut genes = p1.assignment().to_vec();
+                op.compose_into(p2.assignment(), &mut genes, &mut r2);
+                assert_eq!(buf.assignment(), &genes[..], "{op} seed {seed}");
+                // Both paths must leave the RNG in the same state.
+                assert_eq!(r1.gen::<u64>(), r2.gen::<u64>(), "{op} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crossbeam::utils::CachePadded;
 use etc_model::EtcInstance;
 use parking_lot::RwLock;
 use rand::Rng;
+use scheduling::OffspringBatch;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -156,8 +157,14 @@ impl<'a> PaCga<'a> {
         });
         let elapsed = start.elapsed();
 
-        let final_pop: Vec<Individual> =
+        let mut final_pop: Vec<Individual> =
             population.into_iter().map(|cell| CachePadded::into_inner(cell).into_inner()).collect();
+        // Re-index cells whose last replacement was a deferred-index
+        // install — one counting sort per touched cell, instead of one
+        // per accepted offspring all run long.
+        for ind in &mut final_pop {
+            ind.schedule.ensure_index();
+        }
         let best = final_pop
             .iter()
             .min_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
@@ -202,15 +209,18 @@ fn evolve_block(
     let mut trace = ThreadTrace::default();
     let budget = cfg.termination.evaluation_budget();
 
-    // Reusable scratch: parents, offspring, neighborhood snapshot, H2LL
-    // machine ordering, sweep order. No allocation inside the hot loop.
+    // Reusable scratch: the offspring batch slab, a local-search schedule,
+    // the neighborhood snapshot, H2LL machine ordering, sweep order, and a
+    // parent-2 gene buffer. No allocation inside the hot loop.
     let template: Individual = pop[block.start].read().clone();
-    let mut p1 = template.clone();
-    let mut p2 = template.clone();
     let mut offspring = template;
     let mut snapshot: Vec<(u32, f64)> = Vec::with_capacity(cfg.neighborhood.size());
     let mut ls_scratch: Vec<usize> = Vec::with_capacity(instance.n_machines());
     let mut order: Vec<usize> = Vec::with_capacity(block.len());
+    let mut batch = OffspringBatch::new(instance, cfg.eval_batch);
+    let mut p2_genes = vec![0u32; instance.n_tasks()];
+    // Per-row metadata for stage 3: (cell index, run local search?).
+    let mut meta: Vec<(usize, bool)> = Vec::with_capacity(cfg.eval_batch);
 
     let mut generations = 0u64;
     let mut replacements = 0u64;
@@ -218,82 +228,145 @@ fn evolve_block(
     let mut pending = 0u64;
     'run: loop {
         cfg.sweep.order_into(block.clone(), &mut order, &mut rng);
-        for (k, &i) in order.iter().enumerate() {
-            // get_neighborhood + select: lock-free relaxed loads from the
-            // fitness mirrors — no reader/writer traffic on the cell locks.
-            snapshot.clear();
-            for &nb in table.neighbors(i) {
-                let fitness = f64::from_bits(fit[nb as usize].load(Ordering::Relaxed));
-                snapshot.push((nb, fitness));
-            }
-            let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
-            let g0 = snapshot[s0].0 as usize;
-            let g1 = snapshot[s1].0 as usize;
-            // Parent genome copies: the two remaining read locks.
-            p1.copy_from(&pop[g0].read());
-            if g1 == g0 {
-                p2.copy_from(&p1);
-            } else {
-                p2.copy_from(&pop[g1].read());
+        // The sweep runs in chunks of `eval_batch` cells, three stages per
+        // chunk (DESIGN.md §9). With eval_batch = 1 the stages collapse to
+        // the retired per-offspring loop, draw for draw; wider batches
+        // trade within-chunk snapshot freshness for a cache-hot
+        // evaluation pass — the same staleness the asynchronous model
+        // already tolerates across thread blocks. Chunks never straddle a
+        // sweep boundary, so per-sweep bookkeeping is untouched.
+        let mut kbase = 0;
+        while kbase < order.len() {
+            let chunk = (order.len() - kbase).min(cfg.eval_batch);
+            batch.clear();
+            meta.clear();
+
+            // Stage 1 — selection + gene-level variation per cell.
+            for j in 0..chunk {
+                let i = order[kbase + j];
+                // get_neighborhood + select: lock-free relaxed loads from
+                // the fitness mirrors — no traffic on the cell locks.
+                snapshot.clear();
+                for &nb in table.neighbors(i) {
+                    let fitness = f64::from_bits(fit[nb as usize].load(Ordering::Relaxed));
+                    snapshot.push((nb, fitness));
+                }
+                let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
+                let g0 = snapshot[s0].0 as usize;
+                let g1 = snapshot[s1].0 as usize;
+                // Parent 1 lands in the slab row verbatim — genes, CT and
+                // fitness under one read lock, ~1/3 the bytes of the full
+                // Individual copy the per-offspring loop paid.
+                let row = {
+                    let p1 = pop[g0].read();
+                    batch.push_parent(
+                        p1.schedule.assignment(),
+                        p1.schedule.completion_times(),
+                        p1.fitness,
+                    )
+                };
+                // recombine(p_comb, parents): gene-level, in place over
+                // parent 1's genes (the second read lock only held for
+                // the parent-2 gene copy).
+                if rng.gen_bool(cfg.p_crossover) {
+                    if g1 == g0 {
+                        // Self-crossover: parent 2 aliases the slab row, so
+                        // compose from a stable copy.
+                        p2_genes.copy_from_slice(batch.genes(row));
+                        cfg.crossover.compose_into(&p2_genes, batch.genes_mut(row), &mut rng);
+                    } else {
+                        // Compose straight from parent 2 under its read
+                        // lock — the whole-genome copy the retired loop
+                        // paid is gone; the lock is held only for the
+                        // (usually shorter) splice itself.
+                        let p2 = pop[g1].read();
+                        cfg.crossover.compose_into(
+                            p2.schedule.assignment(),
+                            batch.genes_mut(row),
+                            &mut rng,
+                        );
+                    }
+                }
+                // mutate(p_mut, offspring): gene-level.
+                if rng.gen_bool(cfg.p_mutation) {
+                    cfg.mutation.mutate_row(instance, &mut batch, row, &mut rng);
+                }
+                let ls = cfg.local_search.is_some() && rng.gen_bool(cfg.p_local_search);
+                meta.push((i, ls));
             }
 
-            // recombine(p_comb, parents)
-            if rng.gen_bool(cfg.p_crossover) {
-                cfg.crossover.recombine_into(
-                    instance,
-                    &p1.schedule,
-                    &p2.schedule,
-                    &mut offspring.schedule,
-                    &mut rng,
-                );
-            } else {
-                offspring.schedule.copy_from(&p1.schedule);
-            }
-            // mutate(p_mut, offspring)
-            if rng.gen_bool(cfg.p_mutation) {
-                cfg.mutation.mutate(instance, &mut offspring.schedule, &mut rng);
-            }
-            // H2LL(p_ser, iter, offspring)
-            if let Some(ls) = cfg.local_search {
-                if rng.gen_bool(cfg.p_local_search) {
-                    ls.apply_with_scratch(
+            // Stage 2 — evaluate(offspring), batched: one cache-hot pass
+            // re-derives every stale row's completion times and fitness.
+            batch.evaluate(instance);
+
+            // Stage 3 — H2LL, replacement, sharded accounting per cell.
+            for (j, &(i, ls)) in meta.iter().enumerate() {
+                let k = kbase + j;
+                let fitness = if ls {
+                    // H2LL(p_ser, iter, offspring) needs a materialized
+                    // schedule (task index + tracked argmax).
+                    batch.materialize_into(instance, j, &mut offspring.schedule);
+                    offspring.fitness = batch.fitness(j);
+                    cfg.local_search.expect("ls flag implies operator").apply_with_scratch(
                         instance,
                         &mut offspring.schedule,
                         &mut rng,
                         &mut ls_scratch,
                     );
-                }
-            }
-            // evaluate(offspring)
-            offspring.evaluate();
-            pending += 1;
+                    if cfg.delta_eval {
+                        offspring.evaluate()
+                    } else {
+                        offspring.fitness = offspring.schedule.makespan_full();
+                        offspring.fitness
+                    }
+                } else if cfg.delta_eval {
+                    batch.fitness(j)
+                } else {
+                    batch.oracle_fitness(instance, j)
+                };
+                pending += 1;
 
-            // replace(ind, offspring): the only write lock. The fitness
-            // mirror is published while the lock is held, so it always
-            // equals the last committed fitness.
-            {
-                let mut current = pop[i].write();
-                if cfg.replacement.accepts(current.fitness, offspring.fitness) {
-                    current.copy_from(&offspring);
-                    fit[i].store(offspring.fitness_bits(), Ordering::Relaxed);
-                    replacements += 1;
+                // replace(ind, offspring): the only write lock. The
+                // fitness mirror is published while the lock is held, so
+                // it always equals the last committed fitness. Accepted
+                // non-LS rows materialize straight from the slab into the
+                // resident cell — the index rebuild replaces the retired
+                // full-Individual copy.
+                {
+                    let mut current = pop[i].write();
+                    if cfg.replacement.accepts(current.fitness, fitness) {
+                        if ls {
+                            current.copy_from(&offspring);
+                        } else {
+                            // Deferred-index install: the cell's CSR index
+                            // is read by nothing mid-run (parents export
+                            // genes + CT only), so the counting sort waits
+                            // for the run-exit ensure_index pass.
+                            batch.materialize_into_deferred(instance, j, &mut current.schedule);
+                            current.fitness = fitness;
+                        }
+                        fit[i].store(fitness.to_bits(), Ordering::Relaxed);
+                        replacements += 1;
+                    }
                 }
-            }
 
-            // Sharded accounting: flush the local count every
-            // EVAL_FLUSH_EVERY evaluations; the flush doubles as the
-            // mid-sweep evaluation-budget check. A partial sweep counts
-            // no generation and records no trace point — but a check
-            // firing on the sweep's LAST cell is a completed sweep, so
-            // it falls through to the normal per-sweep bookkeeping and
-            // lets the boundary stop check end the run.
-            if pending >= EVAL_FLUSH_EVERY {
-                let total = evals.fetch_add(pending, Ordering::Relaxed) + pending;
-                pending = 0;
-                if budget.is_some_and(|b| total >= b) && k + 1 < order.len() {
-                    break 'run;
+                // Sharded accounting: flush the local count every
+                // EVAL_FLUSH_EVERY evaluations; the flush doubles as the
+                // mid-sweep evaluation-budget check. A partial sweep
+                // counts no generation and records no trace point — but a
+                // check firing on the sweep's LAST cell is a completed
+                // sweep, so it falls through to the normal per-sweep
+                // bookkeeping and lets the boundary stop check end the
+                // run.
+                if pending >= EVAL_FLUSH_EVERY {
+                    let total = evals.fetch_add(pending, Ordering::Relaxed) + pending;
+                    pending = 0;
+                    if budget.is_some_and(|b| total >= b) && k + 1 < order.len() {
+                        break 'run;
+                    }
                 }
             }
+            kbase += chunk;
         }
         generations += 1;
 

@@ -14,6 +14,7 @@ use crate::rng::stream_rng;
 use crate::trace::{RunOutcome, ThreadTrace};
 use etc_model::EtcInstance;
 use rand::Rng;
+use scheduling::OffspringBatch;
 use std::time::Instant;
 
 /// Sequential synchronous cellular GA sharing the PA-CGA operator set and
@@ -52,6 +53,9 @@ impl<'a> SyncCga<'a> {
         let mut snapshot: Vec<(u32, f64)> = Vec::with_capacity(cfg.neighborhood.size());
         let mut ls_scratch: Vec<usize> = Vec::with_capacity(instance.n_machines());
         let mut offspring = pop[0].clone();
+        let mut batch = OffspringBatch::new(instance, cfg.eval_batch);
+        // Per-row stage-3 metadata: run local search on this row?
+        let mut meta: Vec<bool> = Vec::with_capacity(cfg.eval_batch);
         let mut trace = ThreadTrace::default();
         let start = Instant::now();
         let mut generations = 0u64;
@@ -62,68 +66,105 @@ impl<'a> SyncCga<'a> {
         let mut since_check = 0u64;
 
         'run: loop {
-            for i in 0..pop.len() {
-                snapshot.clear();
-                for &nb in table.neighbors(i) {
-                    snapshot.push((nb, pop[nb as usize].fitness));
-                }
-                let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
-                let p1 = &pop[snapshot[s0].0 as usize];
-                let p2 = &pop[snapshot[s1].0 as usize];
+            // Chunked like the parallel engine (DESIGN.md §9): stage 1
+            // draws selection + gene-level variation per cell, stage 2
+            // evaluates the chunk in one cache-hot slab pass, stage 3 runs
+            // H2LL and replacement. eval_batch = 1 collapses to the
+            // retired per-offspring loop draw for draw. The synchronous
+            // model is unaffected by within-chunk staleness — selection
+            // always reads the immutable OLD population.
+            let mut kbase = 0;
+            while kbase < pop.len() {
+                let chunk = (pop.len() - kbase).min(cfg.eval_batch);
+                batch.clear();
+                meta.clear();
 
-                if rng.gen_bool(cfg.p_crossover) {
-                    cfg.crossover.recombine_into(
-                        instance,
-                        &p1.schedule,
-                        &p2.schedule,
-                        &mut offspring.schedule,
-                        &mut rng,
+                for j in 0..chunk {
+                    let i = kbase + j;
+                    snapshot.clear();
+                    for &nb in table.neighbors(i) {
+                        snapshot.push((nb, pop[nb as usize].fitness));
+                    }
+                    let (s0, s1) = cfg.selection.select(&snapshot, &mut rng);
+                    let p1 = &pop[snapshot[s0].0 as usize];
+                    let row = batch.push_parent(
+                        p1.schedule.assignment(),
+                        p1.schedule.completion_times(),
+                        p1.fitness,
                     );
-                } else {
-                    offspring.schedule.copy_from(&p1.schedule);
+                    if rng.gen_bool(cfg.p_crossover) {
+                        let g2 = pop[snapshot[s1].0 as usize].schedule.assignment();
+                        cfg.crossover.compose_into(g2, batch.genes_mut(row), &mut rng);
+                    }
+                    if rng.gen_bool(cfg.p_mutation) {
+                        cfg.mutation.mutate_row(instance, &mut batch, row, &mut rng);
+                    }
+                    let ls = cfg.local_search.is_some() && rng.gen_bool(cfg.p_local_search);
+                    meta.push(ls);
                 }
-                if rng.gen_bool(cfg.p_mutation) {
-                    cfg.mutation.mutate(instance, &mut offspring.schedule, &mut rng);
-                }
-                if let Some(ls) = cfg.local_search {
-                    if rng.gen_bool(cfg.p_local_search) {
-                        ls.apply_with_scratch(
+
+                batch.evaluate(instance);
+
+                for (j, &ls) in meta.iter().enumerate() {
+                    let i = kbase + j;
+                    let fitness = if ls {
+                        batch.materialize_into(instance, j, &mut offspring.schedule);
+                        offspring.fitness = batch.fitness(j);
+                        cfg.local_search.expect("ls flag implies operator").apply_with_scratch(
                             instance,
                             &mut offspring.schedule,
                             &mut rng,
                             &mut ls_scratch,
                         );
-                    }
-                }
-                offspring.evaluate();
-                evaluations += 1;
-
-                // Synchronous: the decision reads the OLD population, the
-                // result lands in the auxiliary one.
-                if cfg.replacement.accepts(pop[i].fitness, offspring.fitness) {
-                    aux[i].copy_from(&offspring);
-                    replacements += 1;
-                } else {
-                    aux[i].copy_from(&pop[i]);
-                }
-
-                // Mid-sweep evaluation-budget check, every
-                // EVAL_FLUSH_EVERY cells: cells not yet evolved this
-                // sweep carry over unchanged, the partial sweep counts no
-                // generation and records no trace point. A check firing
-                // on the sweep's last cell is a completed sweep — skip
-                // the early exit and let the boundary stop check see it.
-                since_check += 1;
-                if since_check >= EVAL_FLUSH_EVERY {
-                    since_check = 0;
-                    if budget.is_some_and(|b| evaluations >= b) && i + 1 < pop.len() {
-                        for j in i + 1..pop.len() {
-                            aux[j].copy_from(&pop[j]);
+                        if cfg.delta_eval {
+                            offspring.evaluate()
+                        } else {
+                            offspring.fitness = offspring.schedule.makespan_full();
+                            offspring.fitness
                         }
-                        std::mem::swap(&mut pop, &mut aux);
-                        break 'run;
+                    } else if cfg.delta_eval {
+                        batch.fitness(j)
+                    } else {
+                        batch.oracle_fitness(instance, j)
+                    };
+                    evaluations += 1;
+
+                    // Synchronous: the decision reads the OLD population,
+                    // the result lands in the auxiliary one.
+                    if cfg.replacement.accepts(pop[i].fitness, fitness) {
+                        if ls {
+                            aux[i].copy_from(&offspring);
+                        } else {
+                            // Deferred-index install (see the parallel
+                            // engine): re-indexed once at run exit.
+                            batch.materialize_into_deferred(instance, j, &mut aux[i].schedule);
+                            aux[i].fitness = fitness;
+                        }
+                        replacements += 1;
+                    } else {
+                        aux[i].copy_from(&pop[i]);
+                    }
+
+                    // Mid-sweep evaluation-budget check, every
+                    // EVAL_FLUSH_EVERY cells: cells not yet evolved this
+                    // sweep carry over unchanged, the partial sweep counts
+                    // no generation and records no trace point. A check
+                    // firing on the sweep's last cell is a completed sweep
+                    // — skip the early exit and let the boundary stop
+                    // check see it.
+                    since_check += 1;
+                    if since_check >= EVAL_FLUSH_EVERY {
+                        since_check = 0;
+                        if budget.is_some_and(|b| evaluations >= b) && i + 1 < pop.len() {
+                            for jj in i + 1..pop.len() {
+                                aux[jj].copy_from(&pop[jj]);
+                            }
+                            std::mem::swap(&mut pop, &mut aux);
+                            break 'run;
+                        }
                     }
                 }
+                kbase += chunk;
             }
             std::mem::swap(&mut pop, &mut aux);
             generations += 1;
@@ -147,6 +188,10 @@ impl<'a> SyncCga<'a> {
             }
         }
 
+        // Re-index any cells still carrying a deferred-index install.
+        for ind in &mut pop {
+            ind.schedule.ensure_index();
+        }
         let best = pop
             .iter()
             .min_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))

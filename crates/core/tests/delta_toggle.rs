@@ -1,0 +1,109 @@
+//! Delta-on vs delta-off byte-identity (ISSUE 6): the `delta_eval`
+//! toggle switches offspring fitness between the incremental path (slab
+//! completion times + O(1) tracked-argmax makespan) and the from-scratch
+//! oracle (fresh build + full fold). Under the canonical-CT invariant
+//! the two are bit-identical everywhere, so entire runs — best
+//! individual, final population, traces, evaluation counts — must be
+//! **byte-identical** under deterministic generation budgets, at every
+//! batch width, on both engines.
+
+use etc_model::EtcInstance;
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::{PaCga, SyncCga};
+use scheduling::Schedule;
+
+fn config(delta: bool, batch: usize, gens: u64) -> PaCgaConfig {
+    PaCgaConfig::builder()
+        .grid(8, 8)
+        .threads(1)
+        .eval_batch(batch)
+        .delta_eval(delta)
+        .local_search_iterations(5)
+        .termination(Termination::Generations(gens))
+        .seed(77)
+        .record_traces(true)
+        .build()
+}
+
+#[test]
+fn parallel_engine_delta_toggle_is_byte_identical() {
+    let inst = EtcInstance::toy(48, 6);
+    for batch in [1, 5, 16] {
+        let (on, pop_on) = PaCga::new(&inst, config(true, batch, 12)).run_with_population();
+        let (off, pop_off) = PaCga::new(&inst, config(false, batch, 12)).run_with_population();
+        assert_eq!(on.best, off.best, "batch {batch}: best diverged");
+        assert_eq!(on.evaluations, off.evaluations, "batch {batch}");
+        assert_eq!(on.traces, off.traces, "batch {batch}: traces diverged");
+        assert_eq!(on.replacements, off.replacements, "batch {batch}");
+        assert_eq!(pop_on.len(), pop_off.len());
+        for (i, (a, b)) in pop_on.iter().zip(&pop_off).enumerate() {
+            assert_eq!(a, b, "batch {batch}: individual {i} diverged");
+            assert_eq!(a.fitness.to_bits(), b.fitness.to_bits(), "batch {batch}: {i}");
+        }
+    }
+}
+
+#[test]
+fn sync_engine_delta_toggle_is_byte_identical() {
+    let inst = EtcInstance::toy(48, 6);
+    for batch in [1, 5, 16] {
+        let (on, pop_on) = SyncCga::new(&inst, config(true, batch, 12)).run_with_population();
+        let (off, pop_off) = SyncCga::new(&inst, config(false, batch, 12)).run_with_population();
+        assert_eq!(on.best, off.best, "batch {batch}: best diverged");
+        assert_eq!(on.evaluations, off.evaluations, "batch {batch}");
+        assert_eq!(on.traces, off.traces, "batch {batch}: traces diverged");
+        for (i, (a, b)) in pop_on.iter().zip(&pop_off).enumerate() {
+            assert_eq!(a, b, "batch {batch}: individual {i} diverged");
+        }
+    }
+}
+
+/// The toggle also holds under an evaluation budget with mid-sweep stops
+/// (the sharded-flush early exit must fire at the same cell either way).
+#[test]
+fn delta_toggle_is_byte_identical_under_evaluation_budget() {
+    let inst = EtcInstance::toy(48, 6);
+    let cfg = |delta: bool| {
+        PaCgaConfig::builder()
+            .grid(16, 16)
+            .threads(1)
+            .eval_batch(16)
+            .delta_eval(delta)
+            .termination(Termination::Evaluations(700))
+            .seed(5)
+            .build()
+    };
+    let (on, pop_on) = PaCga::new(&inst, cfg(true)).run_with_population();
+    let (off, pop_off) = PaCga::new(&inst, cfg(false)).run_with_population();
+    assert_eq!(on.best, off.best);
+    assert_eq!(on.evaluations, off.evaluations);
+    assert_eq!(pop_on, pop_off);
+}
+
+/// Engine-level zero-drift pin (ISSUE 6 satellite): a long run with
+/// renormalization disabled must end with every individual's CT vector
+/// bit-identical to a from-scratch recompute — the canonical-CT
+/// invariant leaves the periodic renormalize pass nothing to correct.
+#[test]
+fn long_run_without_renormalization_has_zero_ulp_drift() {
+    let inst = EtcInstance::toy(48, 6);
+    let cfg = PaCgaConfig::builder()
+        .grid(8, 8)
+        .threads(2)
+        .local_search_iterations(5)
+        .renormalize_every(0)
+        .termination(Termination::Generations(60))
+        .seed(31)
+        .build();
+    let (_, pop) = PaCga::new(&inst, cfg).run_with_population();
+    for (i, ind) in pop.iter().enumerate() {
+        let oracle = Schedule::from_assignment(&inst, ind.schedule.assignment().to_vec());
+        for m in 0..inst.n_machines() {
+            let drift = (ind.schedule.completion(m).to_bits() as i64
+                - oracle.completion(m).to_bits() as i64)
+                .abs();
+            assert_eq!(drift, 0, "individual {i} CT[{m}] drifted {drift} ULPs");
+        }
+        assert_eq!(ind.fitness.to_bits(), oracle.makespan_full().to_bits(), "individual {i}");
+    }
+}

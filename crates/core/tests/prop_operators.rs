@@ -7,8 +7,8 @@ use pa_cga_core::local_search::H2ll;
 use pa_cga_core::mutation::MutationOp;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use scheduling::{check_schedule, Schedule};
+use rand::{Rng, SeedableRng};
+use scheduling::{check_schedule, OffspringBatch, Schedule};
 
 const N_TASKS: usize = 40;
 const N_MACHINES: usize = 7;
@@ -156,5 +156,86 @@ proptest! {
         MutationOp::Move.mutate(&inst, &mut off, &mut rng);
         H2ll::with_iterations(10).apply(&inst, &mut off, &mut rng);
         prop_assert!(check_schedule(&inst, &off).is_ok());
+    }
+
+    /// Delta differential (ISSUE 6): after every operator in the breeding
+    /// pipeline, the incrementally maintained CT vector and the O(1)
+    /// tracked-argmax makespan are bit-identical to a from-scratch
+    /// rebuild, for all operator variants.
+    #[test]
+    fn pipeline_delta_state_matches_oracle_after_every_operator(
+        inst_seed in 0u64..10,
+        rng_seed in 0u64..300,
+        consistency in consistency_strategy(),
+        a1 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+        a2 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        let inst_for_check = instance(inst_seed, consistency);
+        let inst = &inst_for_check;
+        let oracle_check = |s: &Schedule, ctx: &str| {
+            let oracle = Schedule::from_assignment(inst, s.assignment().to_vec());
+            for m in 0..N_MACHINES {
+                assert_eq!(s.completion(m).to_bits(), oracle.completion(m).to_bits(),
+                    "{ctx}: CT[{m}] diverged");
+            }
+            assert_eq!(s.makespan().to_bits(), s.makespan_full().to_bits(), "{ctx}: argmax");
+            assert_eq!(s.makespan().to_bits(), oracle.makespan_full().to_bits(), "{ctx}");
+        };
+        let p1 = Schedule::from_assignment(inst, a1);
+        let p2 = Schedule::from_assignment(inst, a2);
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        for xop in [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+            let mut off = xop.recombine(inst, &p1, &p2, &mut rng);
+            oracle_check(&off, "after crossover");
+            for mop in [MutationOp::Move, MutationOp::Swap, MutationOp::Rebalance] {
+                mop.mutate(inst, &mut off, &mut rng);
+                oracle_check(&off, "after mutation");
+            }
+            H2ll::with_iterations(5).apply(inst, &mut off, &mut rng);
+            oracle_check(&off, "after H2LL");
+        }
+    }
+
+    /// Batched-path differential: the gene-level compose/mutate variants
+    /// plus the slab evaluation produce offspring bit-identical (genes,
+    /// CT, fitness) to the schedule-level operators fed the same RNG
+    /// stream.
+    #[test]
+    fn batched_gene_path_is_bitwise_identical_to_schedule_path(
+        inst_seed in 0u64..10,
+        rng_seed in 0u64..300,
+        consistency in consistency_strategy(),
+        a1 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+        a2 in proptest::collection::vec(0u32..N_MACHINES as u32, N_TASKS),
+    ) {
+        let inst = instance(inst_seed, consistency);
+        let p1 = Schedule::from_assignment(&inst, a1);
+        let p2 = Schedule::from_assignment(&inst, a2);
+        for xop in [CrossoverOp::OnePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+            for mop in [MutationOp::Move, MutationOp::Swap, MutationOp::Rebalance] {
+                // Schedule path.
+                let mut r1 = SmallRng::seed_from_u64(rng_seed);
+                let mut off = xop.recombine(&inst, &p1, &p2, &mut r1);
+                mop.mutate(&inst, &mut off, &mut r1);
+                // Gene/slab path, same RNG stream.
+                let mut r2 = SmallRng::seed_from_u64(rng_seed);
+                let mut batch = OffspringBatch::new(&inst, 1);
+                let row = batch.push_parent(
+                    p1.assignment(), p1.completion_times(), p1.makespan());
+                xop.compose_into(p2.assignment(), batch.genes_mut(row), &mut r2);
+                mop.mutate_row(&inst, &mut batch, row, &mut r2);
+                batch.evaluate(&inst);
+                prop_assert_eq!(off.assignment(), batch.genes(row), "{} + {}", xop, mop);
+                prop_assert_eq!(
+                    off.makespan().to_bits(), batch.fitness(row).to_bits(),
+                    "{} + {}", xop, mop);
+                for m in 0..N_MACHINES {
+                    prop_assert_eq!(
+                        off.completion(m).to_bits(),
+                        batch.completion_row(row)[m].to_bits());
+                }
+                prop_assert_eq!(r1.gen::<u64>(), r2.gen::<u64>(), "RNG streams diverged");
+            }
+        }
     }
 }

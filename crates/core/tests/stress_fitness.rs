@@ -121,3 +121,63 @@ fn sharded_accounting_is_exact_under_generation_budget() {
     assert_eq!(out.generations, vec![25; 8]);
     assert_eq!(out.evaluations, 64 + 25 * 64);
 }
+
+/// The batched evaluation path (ISSUE 6): across batch widths — narrower
+/// than, equal to, and wider than a thread's block — an 8-thread run
+/// must publish no torn or stale fitness through the atomic mirrors.
+/// Every surviving individual's cached fitness must be bit-identical to
+/// its schedule's makespan AND to a from-scratch oracle recompute (the
+/// slab rows were installed by `load_evaluated`, so a stale-row or
+/// wrong-row materialization would surface here).
+#[test]
+fn batched_evaluation_publishes_consistent_fitness_across_widths() {
+    let inst = EtcInstance::toy(48, 6);
+    for batch in [1, 3, 8, 16, 64] {
+        let cfg = PaCgaConfig::builder()
+            .grid(8, 8)
+            .threads(8)
+            .eval_batch(batch)
+            .local_search_iterations(2)
+            .termination(Termination::Evaluations(3_000))
+            .seed(23)
+            .build();
+        let (out, pop) = PaCga::new(&inst, cfg).run_with_population();
+        for (i, ind) in pop.iter().enumerate() {
+            check_schedule(&inst, &ind.schedule)
+                .unwrap_or_else(|e| panic!("batch {batch}, individual {i}: {e}"));
+            assert_eq!(
+                ind.fitness.to_bits(),
+                ind.schedule.makespan().to_bits(),
+                "batch {batch}, individual {i}: cached fitness is stale"
+            );
+            let oracle = Schedule::from_assignment(&inst, ind.schedule.assignment().to_vec());
+            assert_eq!(
+                ind.fitness.to_bits(),
+                oracle.makespan_full().to_bits(),
+                "batch {batch}, individual {i}: fitness diverges from the oracle"
+            );
+        }
+        assert!(out.evaluations >= 3_000);
+        assert!(out.evaluations <= 3_000 + 8 * EVAL_FLUSH_EVERY, "batch {batch}");
+    }
+}
+
+/// Sharded counters must sum exactly to evaluations performed no matter
+/// the batch width: chunks never straddle sweep boundaries, so a
+/// generation budget yields the same exact count for every width.
+#[test]
+fn sharded_accounting_is_exact_across_batch_widths() {
+    let inst = EtcInstance::toy(48, 6);
+    for batch in [1, 2, 7, 16, 64] {
+        let cfg = PaCgaConfig::builder()
+            .grid(8, 8)
+            .threads(8)
+            .eval_batch(batch)
+            .termination(Termination::Generations(25))
+            .seed(17)
+            .build();
+        let out = PaCga::new(&inst, cfg).run();
+        assert_eq!(out.generations, vec![25; 8], "batch {batch}");
+        assert_eq!(out.evaluations, 64 + 25 * 64, "batch {batch}");
+    }
+}

@@ -15,11 +15,13 @@
 //! [`metrics`] adds the evaluation criteria used in the paper and its
 //! baselines (makespan, flowtime, utilization, imbalance).
 
+pub mod batch_eval;
 pub mod gantt;
 pub mod invariant;
 pub mod metrics;
 pub mod schedule;
 
+pub use batch_eval::OffspringBatch;
 pub use invariant::{check_schedule, InvariantError};
 pub use metrics::{flowtime, load_imbalance, machine_loads, utilization};
 pub use schedule::Schedule;

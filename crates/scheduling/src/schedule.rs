@@ -8,8 +8,20 @@ use serde::{Deserialize, Serialize};
 /// per-machine completion times and a per-machine **task index**.
 ///
 /// All mutators take the [`EtcInstance`] as an argument (the schedule does
-/// not own it), update `CT` incrementally in O(1) per moved task, and keep
-/// the representation valid. Makespan evaluation is O(#machines).
+/// not own it), update `CT` incrementally, and keep the representation
+/// valid. Makespan evaluation is O(1) from a maintained argmax.
+///
+/// **Canonical-CT invariant (DESIGN.md §9):** every cached completion time
+/// is *bit-identical* to the from-scratch recomputation
+/// `ready[m] + Σ ETC[t][m]` taken over `m`'s tasks in ascending task
+/// order. [`Schedule::move_task`] guarantees this by re-deriving the two
+/// touched machines from their sorted bucket slices (O(tasks on the two
+/// machines), the "O(changed machines)" delta path) instead of applying a
+/// `±etc` float pair that would drift from the canonical sum. Because
+/// every constructor and mutator accumulates in the same ascending-task
+/// order, *any* two routes to the same assignment produce bit-identical
+/// `CT` vectors — the property the differential suite (`prop_delta.rs`)
+/// pins against [`Schedule::renormalize`]-style full recomputes.
 ///
 /// The task index mirrors the assignment in **CSR form** (DESIGN.md §7):
 /// one flat `bucket_tasks` array holding every task grouped by machine
@@ -51,6 +63,21 @@ pub struct Schedule {
     /// value).
     #[serde(skip)]
     cursors: Vec<u32>,
+    /// Index of a machine whose completion time equals the makespan —
+    /// maintained by every mutator so [`Schedule::makespan`] is O(1).
+    /// Excluded from `PartialEq` (two equal schedules may cache different
+    /// argmax indices when completion times tie; the *value*
+    /// `completion[max_machine]` is identical either way).
+    #[serde(skip)]
+    max_machine: u32,
+    /// Set by [`Schedule::load_evaluated_deferred`]: the CSR index does
+    /// not match `assignment` yet. Index readers debug-assert this is
+    /// false; [`Schedule::ensure_index`] clears it. Deferred schedules
+    /// exist only inside the engines' population cells mid-run (the
+    /// replacement hot path skips the counting sort for offspring whose
+    /// index nothing will read); every public exit point re-indexes.
+    #[serde(skip)]
+    index_stale: bool,
 }
 
 /// Value equality: the five semantic buffers. `cursors` is rebuild
@@ -90,8 +117,11 @@ impl Schedule {
             bucket_start: Vec::new(),
             pos: Vec::new(),
             cursors: Vec::new(),
+            max_machine: 0,
+            index_stale: false,
         };
         s.rebuild_index();
+        s.rescan_max();
         s
     }
 
@@ -106,6 +136,16 @@ impl Schedule {
             self.bucket_start[m as usize] += 1;
         }
         self.place_counted();
+        self.index_stale = false;
+    }
+
+    /// Rebuilds the CSR index if a [`Schedule::load_evaluated_deferred`]
+    /// left it stale; a no-op otherwise. Engines call this on every
+    /// individual before a population leaves the run.
+    pub fn ensure_index(&mut self) {
+        if self.index_stale {
+            self.rebuild_index();
+        }
     }
 
     /// The counting sort's prefix-sum + placement half: expects
@@ -144,6 +184,7 @@ impl Schedule {
     /// pass as their shifts.
     fn index_move(&mut self, task: usize, old: usize, new: usize) {
         debug_assert_ne!(old, new);
+        debug_assert!(!self.index_stale, "incremental move on a deferred-load schedule");
         let gp = self.bucket_start[old] as usize + self.pos[task] as usize;
         debug_assert_eq!(self.bucket_tasks[gp] as usize, task);
         let s_new = self.bucket_start[new] as usize;
@@ -242,10 +283,43 @@ impl Schedule {
         &self.completion
     }
 
-    /// The paper's `evaluate()`: the maximum completion time.
+    /// The paper's `evaluate()`: the maximum completion time. O(1) from
+    /// the maintained argmax (the delta-fitness path); the O(M) fold it
+    /// replaced survives as [`Schedule::makespan_full`], the oracle the
+    /// differential suite compares against.
     #[inline]
     pub fn makespan(&self) -> f64 {
+        self.completion[self.max_machine as usize]
+    }
+
+    /// The original O(M) makespan fold over every cached completion time —
+    /// kept as the oracle path for the differential tests pinning the
+    /// tracked-argmax [`Schedule::makespan`] bit-identically.
+    pub fn makespan_full(&self) -> f64 {
         self.completion.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Re-derives `max_machine` by full scan (ties to the lowest index).
+    fn rescan_max(&mut self) {
+        self.max_machine = self.most_loaded_machine() as u32;
+    }
+
+    /// Re-establishes `max_machine` after exactly machines `a` and `b` had
+    /// their completion times rewritten. O(1) compare-and-replace unless
+    /// the defining machine itself changed (its load may have *dropped*,
+    /// dethroning it), which needs the O(M) rescan.
+    fn refresh_max(&mut self, a: usize, b: usize) {
+        let mm = self.max_machine as usize;
+        if mm == a || mm == b {
+            self.rescan_max();
+        } else {
+            if self.completion[a] > self.completion[mm] {
+                self.max_machine = a as u32;
+            }
+            if self.completion[b] > self.completion[self.max_machine as usize] {
+                self.max_machine = b as u32;
+            }
+        }
     }
 
     /// Index of the most loaded machine (ties break to the lowest index);
@@ -298,20 +372,37 @@ impl Schedule {
         });
     }
 
-    /// Moves `task` to `new_machine`, updating both completion times
-    /// incrementally (the paper's O(1) update). Returns the previous
-    /// machine. A move to the same machine is a no-op.
+    /// Moves `task` to `new_machine`, updating both touched completion
+    /// times incrementally (the paper's delta update, here
+    /// O(tasks on the two machines) rather than a `±etc` float pair — see
+    /// the canonical-CT invariant in the struct docs). Returns the
+    /// previous machine. A move to the same machine is a no-op.
     pub fn move_task(&mut self, instance: &EtcInstance, task: usize, new_machine: usize) -> usize {
         let old = self.assignment[task] as usize;
         if old == new_machine {
             return old;
         }
-        let etc = instance.etc();
-        self.completion[old] -= etc.etc_on(old, task);
-        self.completion[new_machine] += etc.etc_on(new_machine, task);
         self.assignment[task] = new_machine as u32;
         self.index_move(task, old, new_machine);
+        self.recompute_machine(instance, old);
+        self.recompute_machine(instance, new_machine);
+        self.refresh_max(old, new_machine);
         old
+    }
+
+    /// Re-derives one machine's completion time from its sorted bucket
+    /// slice — the same ascending-task-order accumulation every bulk
+    /// constructor uses, so the result is bit-identical to a from-scratch
+    /// recompute by construction.
+    #[inline]
+    fn recompute_machine(&mut self, instance: &EtcInstance, machine: usize) {
+        let row = instance.etc().machine_row(machine);
+        let (s, e) = (self.bucket_start[machine] as usize, self.bucket_start[machine + 1] as usize);
+        let mut ct = instance.ready_times()[machine];
+        for &t in &self.bucket_tasks[s..e] {
+            ct += row[t as usize];
+        }
+        self.completion[machine] = ct;
     }
 
     /// Overwrites the whole assignment (`assignment[t] = f(t)`), then
@@ -340,6 +431,7 @@ impl Schedule {
             self.bucket_start[m] += 1;
         }
         self.place_counted();
+        self.rescan_max();
     }
 
     /// Swaps the machines of two tasks, incrementally.
@@ -357,6 +449,7 @@ impl Schedule {
     /// an O(1) slice borrow from the CSR index (no allocation, no scan).
     #[inline]
     pub fn tasks_on(&self, machine: usize) -> &[u32] {
+        debug_assert!(!self.index_stale, "index read on a deferred-load schedule");
         &self.bucket_tasks
             [self.bucket_start[machine] as usize..self.bucket_start[machine + 1] as usize]
     }
@@ -364,6 +457,7 @@ impl Schedule {
     /// Number of tasks on `machine` (O(1), from the task index).
     #[inline]
     pub fn count_on(&self, machine: usize) -> usize {
+        debug_assert!(!self.index_stale, "index read on a deferred-load schedule");
         (self.bucket_start[machine + 1] - self.bucket_start[machine]) as usize
     }
 
@@ -440,8 +534,11 @@ impl Schedule {
         Ok(())
     }
 
-    /// Recomputes `CT` from scratch, discarding accumulated floating-point
-    /// drift from long runs of incremental updates.
+    /// Recomputes `CT` from scratch. Historically this discarded
+    /// accumulated floating-point drift from `±etc` incremental updates;
+    /// under the canonical-CT invariant it is a provable no-op on the
+    /// cached values (the drift test pins that to the ULP) and survives
+    /// as the oracle path for the differential suite.
     pub fn renormalize(&mut self, instance: &EtcInstance) {
         let etc = instance.etc();
         self.completion.copy_from_slice(instance.ready_times());
@@ -449,6 +546,61 @@ impl Schedule {
             let m = m as usize;
             self.completion[m] += etc.etc_on(m, t);
         }
+        self.rescan_max();
+    }
+
+    /// Loads an externally evaluated solution — a gene row plus the
+    /// per-machine completion times a batch evaluation pass
+    /// ([`crate::OffspringBatch`]) already computed — rebuilding the task
+    /// index and argmax without re-touching the ETC matrix. The caller
+    /// guarantees `completion` is the canonical ascending-task-order
+    /// accumulation for `assignment`; debug builds verify that bitwise.
+    pub fn load_evaluated(
+        &mut self,
+        instance: &EtcInstance,
+        assignment: &[u32],
+        completion: &[f64],
+    ) {
+        assert_eq!(assignment.len(), self.assignment.len(), "task count mismatch");
+        assert_eq!(completion.len(), self.completion.len(), "machine count mismatch");
+        self.assignment.copy_from_slice(assignment);
+        self.completion.copy_from_slice(completion);
+        self.rebuild_index();
+        self.rescan_max();
+        #[cfg(debug_assertions)]
+        {
+            let mut check = instance.ready_times().to_vec();
+            for (t, &m) in self.assignment.iter().enumerate() {
+                check[m as usize] += instance.etc().etc_on(m as usize, t);
+            }
+            debug_assert!(
+                check.iter().zip(&self.completion).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "loaded completion times are not the canonical accumulation"
+            );
+        }
+        let _ = instance;
+    }
+
+    /// [`Schedule::load_evaluated`] minus the index rebuild: genes and
+    /// completion times land, the argmax is refreshed, and the CSR index
+    /// is left **stale** (readers debug-assert against it) until
+    /// [`Schedule::ensure_index`]. This is the engines' replacement hot
+    /// path — an accepted non-local-search offspring's index is read by
+    /// nothing mid-run, so the counting sort is deferred to the one
+    /// fix-up pass at run exit.
+    pub fn load_evaluated_deferred(
+        &mut self,
+        instance: &EtcInstance,
+        assignment: &[u32],
+        completion: &[f64],
+    ) {
+        assert_eq!(assignment.len(), self.assignment.len(), "task count mismatch");
+        assert_eq!(completion.len(), self.completion.len(), "machine count mismatch");
+        self.assignment.copy_from_slice(assignment);
+        self.completion.copy_from_slice(completion);
+        self.index_stale = true;
+        self.rescan_max();
+        let _ = instance;
     }
 
     /// Copies another schedule's contents into this one without
@@ -462,6 +614,8 @@ impl Schedule {
         self.bucket_tasks.copy_from_slice(&other.bucket_tasks);
         self.bucket_start.copy_from_slice(&other.bucket_start);
         self.pos.copy_from_slice(&other.pos);
+        self.max_machine = other.max_machine;
+        self.index_stale = other.index_stale;
     }
 }
 
@@ -656,6 +810,47 @@ mod tests {
         let mut b = Schedule::round_robin(&inst);
         b.copy_from(&a);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn makespan_tracks_argmax_through_random_moves() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut s = Schedule::round_robin(&inst);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let t = rng.gen_range(0..24);
+            let m = rng.gen_range(0..5);
+            s.move_task(&inst, t, m);
+            assert_eq!(s.makespan().to_bits(), s.makespan_full().to_bits());
+        }
+    }
+
+    #[test]
+    fn move_task_completion_is_bitwise_canonical() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut s = Schedule::round_robin(&inst);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let t = rng.gen_range(0..24);
+            let m = rng.gen_range(0..5);
+            s.move_task(&inst, t, m);
+            let fresh = Schedule::from_assignment(&inst, s.assignment().to_vec());
+            for mac in 0..5 {
+                assert_eq!(s.completion(mac).to_bits(), fresh.completion(mac).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn load_evaluated_rebuilds_index_and_argmax() {
+        let inst = toy();
+        let fresh = Schedule::from_assignment(&inst, vec![2, 1, 0, 1]);
+        let mut s = Schedule::round_robin(&inst);
+        s.load_evaluated(&inst, fresh.assignment(), fresh.completion_times());
+        assert_eq!(s, fresh);
+        assert_eq!(s.makespan().to_bits(), fresh.makespan().to_bits());
+        assert_eq!(s.makespan().to_bits(), s.makespan_full().to_bits());
+        assert!(s.validate_index().is_ok());
     }
 
     #[test]

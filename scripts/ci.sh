@@ -11,6 +11,11 @@
 #   1 build  cargo build --release (every crate, every target — benches
 #            and experiment binaries must at least compile)
 #   2 test   cargo test -q (unit + property + integration + doc tests)
+#   2b delta delta-oracle differential gate: the incremental-evaluation
+#            suites (prop_delta, prop_operators, delta_toggle,
+#            stress_fitness) re-run under --release, where float codegen
+#            differs from debug — bit-identity must hold in the optimized
+#            build the benchmarks and production runs actually use
 #   3 doc    cargo doc --no-deps with warnings denied (doc rot fails fast)
 #   4 bench  bench smoke (every criterion bench body runs once) plus the
 #            perf-regression gate: scripts/bench_check.sh --self-test,
@@ -88,6 +93,12 @@ finish
 
 begin "2:test" "cargo test -q (includes service e2e + identity tests)"
 cargo test -q --workspace
+finish
+
+begin "2b:delta" "delta-oracle differential gate (--release)"
+cargo test -q --release -p scheduling --test prop_delta
+cargo test -q --release -p pa_cga_core \
+  --test prop_operators --test delta_toggle --test stress_fitness
 finish
 
 begin "3:doc" "cargo doc --no-deps (warnings denied)"
