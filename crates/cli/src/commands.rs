@@ -70,9 +70,17 @@ USAGE:
                  [--ls N] [--crossover opx|tpx|ux] [--seed S]
                  [--workers W]
   pacga serve    [--addr HOST:PORT] [--workers W] [--queue-cap Q]
-                 [--cache-cap C] [--batch-max B]
+                 [--cache-cap C] [--batch-max B] [--data-dir DIR]
+                 [--checkpoint-gens N]
   pacga bench-serve [--addr HOST:PORT] [--clients N] [--requests M]
                  [--evals E] [--seed S] [--distinct D] [--shutdown]
+                 [--timeout MS] [--retries R]
+  pacga job start --braun NAME [--job NAME] [--checkpoint-gens N]
+                 [--evals E | --gens G | --time-ms T] [--seed S]
+                 [--threads N] [--ls N] [--crossover opx|tpx|ux]
+  pacga job (status|log|stop|archive) --job NAME [--tail N]
+     (all job verbs also take [--addr HOST:PORT] [--timeout MS]
+      [--retries R])
   pacga list
 
 `sweep` runs the full replication protocol (N independent seeds per
@@ -86,6 +94,10 @@ with request batching, an instance-digest result cache, bounded-queue
 backpressure and graceful drain on a `shutdown` request. `bench-serve`
 is the matching load generator; with --shutdown it drains the daemon
 when done.
+
+With --data-dir, `serve` also runs the durable job manager: `pacga job
+start` submits a named crash-safe run that checkpoints every N
+generations and survives daemon restarts (see README \"Durable jobs\").
 ";
 
 /// Loads an instance from `--braun NAME` or `--instance FILE`.
@@ -452,20 +464,29 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         queue_cap: args.get_parse("queue-cap", 64usize, "usize")?,
         cache_cap: args.get_parse("cache-cap", 128usize, "usize")?,
         batch_max: args.get_parse("batch-max", 16usize, "usize")?,
+        data_dir: args.get("data-dir").map(String::from),
+        checkpoint_gens: args.get_parse("checkpoint-gens", 64u64, "u64")?,
     };
     if config.batch_max == 0 {
         return Err(CliError::Other("--batch-max must be positive".into()));
+    }
+    if config.checkpoint_gens == 0 {
+        return Err(CliError::Other("--checkpoint-gens must be positive".into()));
     }
     let queue_cap = config.queue_cap;
     let cache_cap = config.cache_cap;
     let batch_max = config.batch_max;
     let workers = config.workers;
+    let jobs_note = match &config.data_dir {
+        Some(dir) => format!(", data-dir={dir}"),
+        None => String::new(),
+    };
     let handle = serve(config)?;
     // Announce readiness eagerly — `dispatch`'s return value only prints
     // after the daemon exits.
     println!(
         "pacga serve: listening on {} (workers={}, queue-cap={queue_cap}, \
-         cache-cap={cache_cap}, batch-max={batch_max})",
+         cache-cap={cache_cap}, batch-max={batch_max}{jobs_note})",
         handle.addr(),
         if workers == 0 { "auto".to_string() } else { workers.to_string() },
     );
@@ -488,6 +509,8 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
         seed: args.get_parse("seed", 0u64, "u64")?,
         distinct: args.get_parse("distinct", 4usize, "usize")?,
         shutdown_after: args.get_bool("shutdown")?,
+        timeout_ms: args.get_parse("timeout", 0u64, "u64")?,
+        retries: args.get_parse("retries", 0u32, "u32")?,
     };
     if config.clients == 0 || config.requests == 0 {
         return Err(CliError::Other("--clients and --requests must be positive".into()));
@@ -504,6 +527,120 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
         config.addr,
         if config.shutdown_after { "daemon shutdown requested (drained)\n" } else { "" },
     ))
+}
+
+/// `pacga job <verb>` — client for the daemon's durable-job verbs.
+/// Talks to a `pacga serve --data-dir ...` daemon over the same wire
+/// protocol, with socket timeouts and bounded-backoff retry.
+pub fn cmd_job(verb: &str, args: &Args) -> Result<String, CliError> {
+    use pa_cga_service::{Json, RetryPolicy, RobustClient};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7413").to_string();
+    let timeout_ms = args.get_parse("timeout", 10_000u64, "u64")?;
+    let retries = args.get_parse("retries", 2u32, "u32")?;
+
+    let request = match verb {
+        "start" => {
+            let braun = args.require("braun")?;
+            if !braun_instance_names().contains(&braun) {
+                return Err(CliError::Other(format!(
+                    "unknown Braun instance {braun:?}; try `pacga list`"
+                )));
+            }
+            let mut fields = vec![("type", Json::str("job.start")), ("braun", Json::str(braun))];
+            if let Some(job) = args.get("job") {
+                fields.push(("job", Json::str(job)));
+            }
+            for (flag, key) in [
+                ("checkpoint-gens", "checkpoint_gens"),
+                ("evals", "evals"),
+                ("gens", "gens"),
+                ("time-ms", "time_ms"),
+                ("seed", "seed"),
+                ("threads", "threads"),
+                ("ls", "ls"),
+            ] {
+                if args.get(flag).is_some() {
+                    fields.push((key, Json::num(args.get_parse(flag, 0u64, "u64")? as f64)));
+                }
+            }
+            if let Some(crossover) = args.get("crossover") {
+                fields.push(("crossover", Json::str(crossover)));
+            }
+            Json::obj(fields)
+        }
+        "status" | "stop" | "archive" => Json::obj(vec![
+            ("type", Json::str(format!("job.{verb}"))),
+            ("job", Json::str(args.require("job")?)),
+        ]),
+        "log" => Json::obj(vec![
+            ("type", Json::str("job.log")),
+            ("job", Json::str(args.require("job")?)),
+            ("tail", Json::num(args.get_parse("tail", 20u64, "u64")? as f64)),
+        ]),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown job verb {other:?}; expected start|status|log|stop|archive\n\n{USAGE}"
+            )))
+        }
+    };
+
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let policy = RetryPolicy { attempts: retries, ..RetryPolicy::default() };
+    let mut client = RobustClient::new(addr.as_str(), timeout, policy);
+    let v = client
+        .request(&request)
+        .map_err(|e| CliError::Other(format!("job {verb} against {addr}: {e}")))?;
+
+    match v.get("type").and_then(Json::as_str) {
+        Some("job") => {
+            let s = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or("-").to_string();
+            let n = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let mut out = format!(
+                "job        : {}\nstate      : {}\ngenerations: {}\nevaluations: {}\n",
+                s("job"),
+                s("state"),
+                n("generations"),
+                n("evaluations"),
+            );
+            if let Some(best) = v.get("best_makespan").and_then(Json::as_f64) {
+                out.push_str(&format!("best       : {best:.3}\n"));
+            }
+            if let Some(rate) = v.get("evals_per_sec").and_then(Json::as_f64) {
+                out.push_str(&format!("rate       : {rate:.0} evals/s\n"));
+            }
+            if let Some(eta) = v.get("eta_s").and_then(Json::as_f64) {
+                out.push_str(&format!("eta        : {eta:.0}s\n"));
+            }
+            if let Some(dest) = v.get("archived_to").and_then(Json::as_str) {
+                out.push_str(&format!("archived to: {dest}\n"));
+            }
+            if let Some(msg) = v.get("message").and_then(Json::as_str) {
+                out.push_str(&format!("note       : {msg}\n"));
+            }
+            Ok(out)
+        }
+        Some("job_log") => {
+            let lines = v.get("lines").and_then(Json::as_arr).unwrap_or(&[]);
+            let mut out = String::new();
+            for line in lines.iter().filter_map(Json::as_str) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            if out.is_empty() {
+                out.push_str("(empty log)\n");
+            }
+            Ok(out)
+        }
+        Some("busy") => Err(CliError::Other(format!(
+            "daemon busy: {}",
+            v.get("reason").and_then(Json::as_str).unwrap_or("try again")
+        ))),
+        _ => Err(CliError::Other(format!(
+            "job {verb} failed: {}",
+            v.get("message").and_then(Json::as_str).unwrap_or("unrecognized response")
+        ))),
+    }
 }
 
 /// Dispatches a full command line (tokens exclude the program name).
@@ -581,16 +718,62 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
             cmd_sweep(&args)
         }
         "serve" => {
-            let args =
-                Args::parse(tokens, &["addr", "workers", "queue-cap", "cache-cap", "batch-max"])?;
+            let args = Args::parse(
+                tokens,
+                &[
+                    "addr",
+                    "workers",
+                    "queue-cap",
+                    "cache-cap",
+                    "batch-max",
+                    "data-dir",
+                    "checkpoint-gens",
+                ],
+            )?;
             cmd_serve(&args)
         }
         "bench-serve" => {
             let args = Args::parse(
                 tokens,
-                &["addr", "clients", "requests", "evals", "seed", "distinct", "shutdown"],
+                &[
+                    "addr", "clients", "requests", "evals", "seed", "distinct", "shutdown",
+                    "timeout", "retries",
+                ],
             )?;
             cmd_bench_serve(&args)
+        }
+        "job" => {
+            // The verb is positional: `pacga job status --job x`.
+            let verb = match tokens.get(1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    return Err(CliError::Other(format!(
+                        "job needs a verb: start|status|log|stop|archive\n\n{USAGE}"
+                    )))
+                }
+            };
+            let mut rest = tokens;
+            rest.remove(1);
+            let args = Args::parse(
+                rest,
+                &[
+                    "addr",
+                    "timeout",
+                    "retries",
+                    "job",
+                    "braun",
+                    "checkpoint-gens",
+                    "evals",
+                    "gens",
+                    "time-ms",
+                    "seed",
+                    "threads",
+                    "ls",
+                    "crossover",
+                    "tail",
+                ],
+            )?;
+            cmd_job(&verb, &args)
         }
         "help" | "--help" | "-h" | "" => Ok(USAGE.to_string()),
         other => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -676,10 +859,36 @@ mod tests {
             "sweep",
             "serve",
             "bench-serve",
+            "job",
             "list",
         ] {
             assert!(USAGE.contains(&format!("pacga {cmd}")), "{cmd} missing from USAGE");
         }
+    }
+
+    #[test]
+    fn job_requires_a_verb_and_rejects_unknown_verbs() {
+        let err = dispatch(toks("job")).unwrap_err();
+        assert!(err.to_string().contains("job needs a verb"), "{err}");
+        let err = dispatch(toks("job --job x")).unwrap_err();
+        assert!(err.to_string().contains("job needs a verb"), "{err}");
+        let err = dispatch(toks("job frobnicate --job x")).unwrap_err();
+        assert!(err.to_string().contains("unknown job verb"), "{err}");
+    }
+
+    #[test]
+    fn job_start_validates_instance_before_connecting() {
+        // An unknown registry name fails fast — no daemon required.
+        let err = dispatch(toks("job start --braun u_z_zzzz.9")).unwrap_err();
+        assert!(err.to_string().contains("unknown Braun instance"), "{err}");
+        let err = dispatch(toks("job start")).unwrap_err();
+        assert!(err.to_string().contains("--braun"), "{err}");
+    }
+
+    #[test]
+    fn job_status_requires_job_name() {
+        let err = dispatch(toks("job status")).unwrap_err();
+        assert!(err.to_string().contains("--job"), "{err}");
     }
 
     #[test]
@@ -763,6 +972,13 @@ mod unknown_flag_tests {
     #[test]
     fn bench_serve_rejects_unknown_flag() {
         assert_rejects_unknown("bench-serve --bogus 1", "bench-serve");
+    }
+
+    #[test]
+    fn job_rejects_unknown_flag() {
+        // The positional verb is stripped before flag parsing, so the
+        // command names itself `job` in the error.
+        assert_rejects_unknown("job status --job x --bogus 1", "job");
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Fault-injected crash recovery: SIGKILL the real `pacga serve` binary
+//! mid-job, restart it on the same data dir, and require the job to
+//! resume from its last checkpoint and finish correctly.
+//!
+//! This is the PR's acceptance gate for the durable job manager:
+//!
+//! * the job is never stuck in `running` after a restart,
+//! * generation accounting across the kill is exact (threads=1), so
+//!   nothing is double-run or lost beyond the checkpoint interval,
+//! * the best makespan never regresses across the restart,
+//! * the final schedule is valid (right length, machines in range).
+
+use pa_cga_service::{Client, Json};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const GENS_BUDGET: u64 = 1_200;
+const CHECKPOINT_GENS: u64 = 10;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns the real binary and parses the announced address.
+    fn spawn(data_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pacga"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--data-dir",
+                &data_dir.to_string_lossy(),
+                "--checkpoint-gens",
+                &CHECKPOINT_GENS.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pacga serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unparseable announce line: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_retry(self.addr.as_str(), Duration::from_secs(10))
+            .expect("connect to daemon")
+    }
+
+    /// SIGKILL — no drain, no final checkpoint, mid-write is fair game.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+fn request(client: &mut Client, line: &str) -> Json {
+    Json::parse(client.send_line(line).unwrap().trim()).unwrap()
+}
+
+fn job_status(client: &mut Client, job: &str) -> Json {
+    request(client, &format!(r#"{{"type":"job.status","job":"{job}"}}"#))
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_resumes_and_finishes() {
+    let dir = std::env::temp_dir().join(format!("pacga-kill-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Incarnation 1: start the job, wait for a couple of checkpoints.
+    let daemon = Daemon::spawn(&dir);
+    let mut client = daemon.client();
+    let started = request(
+        &mut client,
+        &format!(
+            r#"{{"type":"job.start","job":"crash-test","checkpoint_gens":{CHECKPOINT_GENS},"etc_model":{{"tasks":64,"machines":8,"seed":17}},"gens":{GENS_BUDGET},"seed":23,"threads":1,"ls":1}}"#
+        ),
+    );
+    assert_eq!(started.get("type").unwrap().as_str(), Some("job"), "{started}");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let (pre_kill_gens, pre_kill_best) = loop {
+        let v = job_status(&mut client, "crash-test");
+        let gens = v.get("generations").and_then(Json::as_u64).unwrap_or(0);
+        if gens >= 3 * CHECKPOINT_GENS {
+            assert_eq!(
+                v.get("state").and_then(Json::as_str),
+                Some("checkpointed"),
+                "checkpoints must be landing: {v}"
+            );
+            break (gens, v.get("best_makespan").unwrap().as_f64().unwrap());
+        }
+        assert!(gens < GENS_BUDGET, "job finished before the kill; budget too small for this host");
+        assert!(Instant::now() < deadline, "no checkpoint within 60s: {v}");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    drop(client);
+    daemon.kill();
+
+    // The checkpointed state survived on disk; whatever the manifest says
+    // now ("running" is possible — the kill beat the next manifest
+    // write), restart must resolve it.
+    assert!(dir.join("jobs/crash-test/checkpoint.ckpt").is_file());
+
+    // Incarnation 2: recovery re-queues and finishes the remainder.
+    let daemon = Daemon::spawn(&dir);
+    let mut client = daemon.client();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let done = loop {
+        let v = job_status(&mut client, "crash-test");
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => break v,
+            Some("failed") | Some("stopped") => panic!("job died instead of resuming: {v}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job did not finish after restart: {v}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Exact budget: resumed from the checkpoint (≤ one interval lost),
+    // never re-run from scratch, never over-run (threads=1 is exact).
+    assert_eq!(
+        done.get("generations").unwrap().as_u64(),
+        Some(GENS_BUDGET),
+        "generation accounting must be exact across the kill: {done}"
+    );
+    assert!(
+        done.get("evaluations").unwrap().as_u64().unwrap() > 0,
+        "evaluations carried across the restart: {done}"
+    );
+
+    // Fitness is monotone at the population level: the restart must not
+    // lose the best individual the pre-kill checkpoint had.
+    let final_best = done.get("best_makespan").unwrap().as_f64().unwrap();
+    assert!(
+        final_best <= pre_kill_best + 1e-9,
+        "best makespan regressed across the kill: {pre_kill_best} -> {final_best} \
+         (pre-kill gens {pre_kill_gens})"
+    );
+
+    // The daemon accounted the recovery, and the log shows the seam.
+    let stats = request(&mut client, r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("jobs_resumed").unwrap().as_u64(), Some(1), "{stats}");
+    assert_eq!(stats.get("jobs_active").unwrap().as_u64(), Some(0), "{stats}");
+    let log = request(&mut client, r#"{"type":"job.log","job":"crash-test","tail":1000}"#);
+    let lines: Vec<&str> =
+        log.get("lines").unwrap().as_arr().unwrap().iter().filter_map(Json::as_str).collect();
+    assert!(lines.iter().any(|l| l.contains("recovered")), "{lines:?}");
+    assert!(lines.iter().any(|l| l.contains("resume-checkpoint")), "{lines:?}");
+
+    // The archived result is a valid schedule.
+    let result =
+        Json::parse(&std::fs::read_to_string(dir.join("jobs/crash-test/result.json")).unwrap())
+            .unwrap();
+    let assignment = result.get("assignment").unwrap().as_arr().unwrap();
+    assert_eq!(assignment.len(), 64);
+    assert!(assignment.iter().all(|m| m.as_u64().unwrap() < 8));
+    assert_eq!(result.get("makespan").unwrap().as_f64(), Some(final_best));
+
+    // Clean drain of the second incarnation.
+    let _ = request(&mut client, r#"{"type":"shutdown"}"#);
+    drop(client);
+    let mut child = daemon.child;
+    let reaped = (0..500).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        matches!(child.try_wait(), Ok(Some(_)))
+    });
+    if !reaped {
+        child.kill().ok();
+        child.wait().ok();
+        panic!("daemon did not drain after shutdown");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second, smaller fault: kill while still `queued`/early-`running`
+/// (no checkpoint yet). Restart must start the job from scratch and
+/// still finish — "no checkpoint" degrades to a fresh run, never a
+/// stuck or failed job.
+#[test]
+fn sigkill_before_first_checkpoint_restarts_from_scratch() {
+    let dir = std::env::temp_dir().join(format!("pacga-kill-fresh-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let daemon = Daemon::spawn(&dir);
+    let mut client = daemon.client();
+    // Huge cadence: no checkpoint will ever land before the kill.
+    let started = request(
+        &mut client,
+        r#"{"type":"job.start","job":"early-kill","checkpoint_gens":1000000,"etc_model":{"tasks":24,"machines":3,"seed":5},"gens":60,"seed":2,"threads":1,"ls":0}"#,
+    );
+    assert_eq!(started.get("type").unwrap().as_str(), Some("job"), "{started}");
+    drop(client);
+    daemon.kill();
+
+    let daemon = Daemon::spawn(&dir);
+    let mut client = daemon.client();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let v = job_status(&mut client, "early-kill");
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => {
+                assert_eq!(v.get("generations").unwrap().as_u64(), Some(60), "{v}");
+                break;
+            }
+            Some("failed") | Some("stopped") => panic!("early-kill job died: {v}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job stuck after early kill: {v}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = request(&mut client, r#"{"type":"shutdown"}"#);
+    drop(client);
+    let mut child = daemon.child;
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,26 +1,83 @@
 //! Population checkpointing.
 //!
-//! Long runs (the paper's 90 s × 100 repetitions, or island epochs) can be
-//! saved and resumed: a checkpoint stores each individual's assignment
-//! vector in a small line-oriented text format; loading rebuilds schedules
-//! *from scratch* against the instance (which also discards any
-//! accumulated floating-point drift in the cached completion times).
-//! Resume via [`crate::engine::PaCga::run_seeded`].
+//! Long runs (the paper's 90 s × 100 repetitions, island epochs, or the
+//! service's durable jobs) can be saved and resumed: a checkpoint stores
+//! each individual's assignment vector in a small line-oriented text
+//! format; loading rebuilds schedules *from scratch* against the instance
+//! (which also discards any accumulated floating-point drift in the
+//! cached completion times). Resume via
+//! [`crate::engine::PaCga::run_seeded`] or
+//! [`crate::engine::PaCga::run_hooked`].
+//!
+//! Format (`v2`):
+//!
+//! ```text
+//! pacga-checkpoint v2 <population> <n_tasks>
+//! meta <generations> <evaluations> <elapsed_ms>
+//! <gene gene gene ...>        (one line per individual)
+//! crc <crc32-hex>             (over every preceding byte)
+//! ```
+//!
+//! The trailing CRC-32 means a torn or bit-rotted file can never load as
+//! a *wrong but plausible* population: structural damage is caught by
+//! the header/gene validation, value damage by the checksum. On-disk
+//! writes go through [`save_to_path`] — temp file + `fsync` + atomic
+//! rename (plus directory `fsync`), so a crash mid-write leaves either
+//! the old checkpoint or the new one, never a hybrid.
 
 use crate::individual::Individual;
 use etc_model::EtcInstance;
 use scheduling::Schedule;
 use std::io::{self, BufRead, Write};
+use std::path::Path;
 
 /// Format magic + version.
-const HEADER: &str = "pacga-checkpoint v1";
+const HEADER: &str = "pacga-checkpoint v2";
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the trailer
+/// checksum. Bitwise implementation: checkpoint files are small and
+/// written once per cadence interval, so a lookup table buys nothing.
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u32;
+            for _ in 0..8 {
+                let mask = (self.0 & 1).wrapping_neg();
+                self.0 = (self.0 >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// Run progress carried inside a checkpoint, so a resumed job can charge
+/// the work already done against its original budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointMeta {
+    /// Completed generations of the snapshotting thread.
+    pub generations: u64,
+    /// Evaluations accounted when the snapshot was taken.
+    pub evaluations: u64,
+    /// Wall-clock milliseconds consumed before the snapshot (summed
+    /// across restarts by the caller).
+    pub elapsed_ms: u64,
+}
 
 /// Checkpoint errors.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// Malformed or wrong-version contents.
+    /// Malformed, truncated, corrupt or wrong-version contents.
     Format(String),
     /// Checkpoint does not match the instance.
     Mismatch(String),
@@ -44,27 +101,62 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Writes a population checkpoint.
+/// Writes a population checkpoint with default (all-zero) meta.
 pub fn save_population<W: Write>(w: &mut W, population: &[Individual]) -> io::Result<()> {
+    save_population_meta(w, population, &CheckpointMeta::default())
+}
+
+/// Writes a population checkpoint carrying run progress.
+pub fn save_population_meta<W: Write>(
+    w: &mut W,
+    population: &[Individual],
+    meta: &CheckpointMeta,
+) -> io::Result<()> {
     assert!(!population.is_empty(), "empty population");
     let n_tasks = population[0].schedule.n_tasks();
-    writeln!(w, "{HEADER} {} {n_tasks}", population.len())?;
+    // Body first, so the CRC covers exactly the bytes that precede it.
+    let mut body = format!("{HEADER} {} {n_tasks}\n", population.len());
+    body.push_str(&format!("meta {} {} {}\n", meta.generations, meta.evaluations, meta.elapsed_ms));
     for ind in population {
         debug_assert_eq!(ind.schedule.n_tasks(), n_tasks);
-        let genes: Vec<String> = ind.schedule.assignment().iter().map(|m| m.to_string()).collect();
-        writeln!(w, "{}", genes.join(" "))?;
+        let mut first = true;
+        for m in ind.schedule.assignment() {
+            if !first {
+                body.push(' ');
+            }
+            first = false;
+            body.push_str(&m.to_string());
+        }
+        body.push('\n');
     }
+    let mut crc = Crc32::new();
+    crc.update(body.as_bytes());
+    w.write_all(body.as_bytes())?;
+    writeln!(w, "crc {:08x}", crc.finish())?;
     Ok(())
 }
 
-/// Reads a population checkpoint back, rebuilding schedules (and exact
-/// completion times) against `instance`.
+/// Reads a population checkpoint back, discarding the meta line.
 pub fn load_population<R: BufRead>(
     r: &mut R,
     instance: &EtcInstance,
 ) -> Result<Vec<Individual>, CheckpointError> {
+    load_population_meta(r, instance).map(|(pop, _)| pop)
+}
+
+/// Reads a population checkpoint back with its progress meta, rebuilding
+/// schedules (and exact completion times) against `instance`. Fails on
+/// any structural damage, value damage (CRC mismatch), or instance
+/// mismatch — a checkpoint either loads whole and verified, or not at
+/// all.
+pub fn load_population_meta<R: BufRead>(
+    r: &mut R,
+    instance: &EtcInstance,
+) -> Result<(Vec<Individual>, CheckpointMeta), CheckpointError> {
+    let mut crc = Crc32::new();
     let mut header = String::new();
     r.read_line(&mut header)?;
+    crc.update(header.as_bytes());
     let rest = header
         .trim_end()
         .strip_prefix(HEADER)
@@ -78,6 +170,9 @@ pub fn load_population<R: BufRead>(
         .next()
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| CheckpointError::Format("missing task count".into()))?;
+    if count == 0 {
+        return Err(CheckpointError::Format("empty population".into()));
+    }
     if n_tasks != instance.n_tasks() {
         return Err(CheckpointError::Mismatch(format!(
             "checkpoint has {n_tasks} tasks, instance {}",
@@ -85,8 +180,30 @@ pub fn load_population<R: BufRead>(
         )));
     }
 
-    let mut population = Vec::with_capacity(count);
     let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(CheckpointError::Format("missing meta line".into()));
+    }
+    crc.update(line.as_bytes());
+    let meta = {
+        let mut toks = line
+            .trim_end()
+            .strip_prefix("meta ")
+            .ok_or_else(|| CheckpointError::Format("missing meta line".into()))?
+            .split_whitespace();
+        let mut next = |what: &str| -> Result<u64, CheckpointError> {
+            toks.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| CheckpointError::Format(format!("meta: bad {what}")))
+        };
+        CheckpointMeta {
+            generations: next("generations")?,
+            evaluations: next("evaluations")?,
+            elapsed_ms: next("elapsed_ms")?,
+        }
+    };
+
+    let mut population = Vec::with_capacity(count);
     for i in 0..count {
         line.clear();
         if r.read_line(&mut line)? == 0 {
@@ -94,6 +211,7 @@ pub fn load_population<R: BufRead>(
                 "expected {count} individuals, found {i}"
             )));
         }
+        crc.update(line.as_bytes());
         let genes: Result<Vec<u32>, _> =
             line.split_whitespace().map(|t| t.parse::<u32>()).collect();
         let genes =
@@ -114,7 +232,72 @@ pub fn load_population<R: BufRead>(
         }
         population.push(Individual::new(Schedule::from_assignment(instance, genes)));
     }
-    Ok(population)
+
+    // Trailer: the CRC over everything read so far.
+    line.clear();
+    if r.read_line(&mut line)? == 0 {
+        return Err(CheckpointError::Format("missing crc trailer".into()));
+    }
+    let stored = line
+        .trim_end()
+        .strip_prefix("crc ")
+        .and_then(|t| u32::from_str_radix(t.trim(), 16).ok())
+        .ok_or_else(|| CheckpointError::Format("malformed crc trailer".into()))?;
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(CheckpointError::Format(format!(
+            "crc mismatch: stored {stored:08x}, computed {computed:08x}"
+        )));
+    }
+    Ok((population, meta))
+}
+
+/// Atomically writes a checkpoint to `path`: the bytes land in
+/// `<path>.tmp`, are `fsync`ed, then renamed over `path` (with the
+/// parent directory `fsync`ed so the rename itself survives a crash).
+///
+/// With `rotate_to`, the previous checkpoint at `path` is first renamed
+/// aside — the two-snapshot scheme the job manager uses: a kill between
+/// the rotate and the install leaves `rotate_to` holding the last good
+/// snapshot, so recovery falls back at the cost of one cadence interval.
+pub fn save_to_path(
+    path: &Path,
+    rotate_to: Option<&Path>,
+    population: &[Individual],
+    meta: &CheckpointMeta,
+) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        let mut buf = io::BufWriter::new(&mut file);
+        save_population_meta(&mut buf, population, meta)?;
+        buf.flush()?;
+        drop(buf);
+        file.sync_all()?;
+    }
+    if let Some(prev) = rotate_to {
+        if path.exists() {
+            std::fs::rename(path, prev)?;
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename: fsync the directory entry. Best-effort on
+        // filesystems that reject directory fsync.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and verifies the checkpoint at `path`.
+pub fn load_from_path(
+    path: &Path,
+    instance: &EtcInstance,
+) -> Result<(Vec<Individual>, CheckpointMeta), CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    load_population_meta(&mut io::BufReader::new(file), instance)
 }
 
 #[cfg(test)]
@@ -134,12 +317,23 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_preserves_assignments_and_fitness() {
+    fn crc32_known_vector() {
+        // The classic "123456789" check value.
+        let mut crc = Crc32::new();
+        crc.update(b"123456789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip_preserves_assignments_fitness_and_meta() {
         let inst = EtcInstance::toy(24, 4);
         let (_, pop) = PaCga::new(&inst, run_config(1)).run_with_population();
+        let meta = CheckpointMeta { generations: 5, evaluations: 96, elapsed_ms: 1234 };
         let mut buf = Vec::new();
-        save_population(&mut buf, &pop).unwrap();
-        let loaded = load_population(&mut BufReader::new(buf.as_slice()), &inst).unwrap();
+        save_population_meta(&mut buf, &pop, &meta).unwrap();
+        let (loaded, got) =
+            load_population_meta(&mut BufReader::new(buf.as_slice()), &inst).unwrap();
+        assert_eq!(got, meta);
         assert_eq!(loaded.len(), pop.len());
         for (a, b) in pop.iter().zip(&loaded) {
             assert_eq!(a.schedule.assignment(), b.schedule.assignment());
@@ -184,7 +378,7 @@ mod tests {
     #[test]
     fn truncated_file_detected() {
         let inst = EtcInstance::toy(4, 2);
-        let text = format!("{HEADER} 3 4\n0 1 0 1\n");
+        let text = format!("{HEADER} 3 4\nmeta 0 0 0\n0 1 0 1\n");
         let err = load_population(&mut BufReader::new(text.as_bytes()), &inst).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
     }
@@ -194,5 +388,78 @@ mod tests {
         let inst = EtcInstance::toy(4, 2);
         let err = load_population(&mut BufReader::new("nonsense\n".as_bytes()), &inst).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn old_v1_checkpoints_are_rejected_by_version() {
+        let inst = EtcInstance::toy(4, 2);
+        let err = load_population(
+            &mut BufReader::new("pacga-checkpoint v1 1 4\n0 1 0 1\n".as_bytes()),
+            &inst,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn flipped_gene_bit_fails_the_crc() {
+        // Corrupt a gene into ANOTHER VALID machine index: structure and
+        // range checks pass, only the checksum can catch it.
+        let inst = EtcInstance::toy(4, 2);
+        let pop = vec![Individual::new(Schedule::from_assignment(&inst, vec![0, 1, 0, 1]))];
+        let mut buf = Vec::new();
+        save_population(&mut buf, &pop).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let corrupted = text.replacen("0 1 0 1", "1 1 0 1", 1);
+        assert_ne!(text, corrupted, "corruption must hit the gene line");
+        let err = load_population(&mut BufReader::new(corrupted.as_bytes()), &inst).unwrap_err();
+        match err {
+            CheckpointError::Format(m) => assert!(m.contains("crc mismatch"), "{m}"),
+            other => panic!("expected crc Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_or_malformed_crc_trailer_detected() {
+        let inst = EtcInstance::toy(4, 2);
+        let pop = vec![Individual::new(Schedule::from_assignment(&inst, vec![0, 1, 0, 1]))];
+        let mut buf = Vec::new();
+        save_population(&mut buf, &pop).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let without_crc: String =
+            text.lines().filter(|l| !l.starts_with("crc ")).map(|l| format!("{l}\n")).collect();
+        let err = load_population(&mut BufReader::new(without_crc.as_bytes()), &inst).unwrap_err();
+        assert!(err.to_string().contains("crc"), "{err}");
+
+        let bad_hex = text.replace("crc ", "crc zz");
+        let err = load_population(&mut BufReader::new(bad_hex.as_bytes()), &inst).unwrap_err();
+        assert!(err.to_string().contains("crc"), "{err}");
+    }
+
+    #[test]
+    fn save_to_path_round_trips_and_rotates() {
+        let inst = EtcInstance::toy(6, 3);
+        let dir = std::env::temp_dir().join(format!("pacga_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("checkpoint.ckpt");
+        let prev = dir.join("checkpoint.prev.ckpt");
+
+        let pop1 = vec![Individual::new(Schedule::from_assignment(&inst, vec![0, 1, 2, 0, 1, 2]))];
+        let meta1 = CheckpointMeta { generations: 1, evaluations: 10, elapsed_ms: 5 };
+        save_to_path(&ckpt, Some(&prev), &pop1, &meta1).unwrap();
+        assert!(ckpt.exists() && !prev.exists());
+
+        let pop2 = vec![Individual::new(Schedule::from_assignment(&inst, vec![2, 1, 0, 2, 1, 0]))];
+        let meta2 = CheckpointMeta { generations: 2, evaluations: 20, elapsed_ms: 9 };
+        save_to_path(&ckpt, Some(&prev), &pop2, &meta2).unwrap();
+
+        let (latest, m2) = load_from_path(&ckpt, &inst).unwrap();
+        assert_eq!(latest[0].schedule.assignment(), pop2[0].schedule.assignment());
+        assert_eq!(m2, meta2);
+        let (older, m1) = load_from_path(&prev, &inst).unwrap();
+        assert_eq!(older[0].schedule.assignment(), pop1[0].schedule.assignment());
+        assert_eq!(m1, meta1);
+        assert!(!ckpt.with_extension("tmp").exists(), "temp file cleaned up by rename");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

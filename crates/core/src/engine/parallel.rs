@@ -22,6 +22,7 @@
 
 use crate::config::PaCgaConfig;
 use crate::grid::GridTopology;
+use crate::hooks::{CheckpointView, RunHooks};
 use crate::individual::Individual;
 use crate::neighborhood::NeighborhoodTable;
 use crate::partition::partition_blocks;
@@ -95,7 +96,7 @@ impl<'a> PaCga<'a> {
     /// Runs to termination, returning the final population alongside the
     /// outcome — used by invariant audits and diversity studies.
     pub fn run_with_population(&self) -> (RunOutcome, Vec<Individual>) {
-        self.run_internal(None)
+        self.run_internal(None, None)
     }
 
     /// Warm-start: evolves an existing population instead of initializing
@@ -111,10 +112,38 @@ impl<'a> PaCga<'a> {
             self.config.population_size(),
             "warm-start population size mismatch"
         );
-        self.run_internal(Some(initial))
+        self.run_internal(Some(initial), None)
     }
 
-    fn run_internal(&self, initial: Option<Vec<Individual>>) -> (RunOutcome, Vec<Individual>) {
+    /// Runs with [`RunHooks`] installed — periodic checkpoint snapshots
+    /// (taken by thread 0) and cooperative cancellation, optionally from
+    /// a warm-start population (same contract as [`PaCga::run_seeded`]).
+    /// The durable job manager's entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is `Some` and does not match the configured
+    /// population size.
+    pub fn run_hooked(
+        &self,
+        initial: Option<Vec<Individual>>,
+        hooks: &RunHooks<'_>,
+    ) -> (RunOutcome, Vec<Individual>) {
+        if let Some(init) = &initial {
+            assert_eq!(
+                init.len(),
+                self.config.population_size(),
+                "warm-start population size mismatch"
+            );
+        }
+        self.run_internal(initial, Some(hooks))
+    }
+
+    fn run_internal(
+        &self,
+        initial: Option<Vec<Individual>>,
+        hooks: Option<&RunHooks<'_>>,
+    ) -> (RunOutcome, Vec<Individual>) {
         let cfg = &self.config;
         let instance = self.instance;
         let grid = GridTopology::new(cfg.grid_width, cfg.grid_height);
@@ -146,7 +175,7 @@ impl<'a> PaCga<'a> {
                     let block = block.clone();
                     scope.spawn(move || {
                         evolve_block(
-                            instance, cfg, pop, fit, table, block, tid as u64, start, evals,
+                            instance, cfg, pop, fit, table, block, tid as u64, start, evals, hooks,
                         )
                     })
                 })
@@ -204,6 +233,7 @@ fn evolve_block(
     thread_id: u64,
     start: Instant,
     evals: &AtomicU64,
+    hooks: Option<&RunHooks<'_>>,
 ) -> (u64, u64, ThreadTrace) {
     let mut rng = stream_rng(cfg.seed, thread_id);
     let mut trace = ThreadTrace::default();
@@ -226,6 +256,10 @@ fn evolve_block(
     let mut replacements = 0u64;
     // Evaluations counted locally since the last flush into `evals`.
     let mut pending = 0u64;
+    // Checkpoint snapshot buffer — only ever populated on thread 0 and
+    // only when checkpoint hooks are installed; other threads never
+    // allocate it.
+    let mut snap: Vec<Individual> = Vec::new();
     'run: loop {
         cfg.sweep.order_into(block.clone(), &mut order, &mut rng);
         // The sweep runs in chunks of `eval_batch` cells, three stages per
@@ -407,6 +441,37 @@ fn evolve_block(
         // Algorithm 3 line 1: the stop check runs once per block sweep.
         if cfg.termination.should_stop(start, generations, evals.load(Ordering::Relaxed)) {
             break;
+        }
+
+        // Run hooks (one branch per sweep when none are installed):
+        // cooperative cancel on every thread, checkpoint cadence on
+        // thread 0 only.
+        if let Some(h) = hooks {
+            if h.is_cancelled() {
+                break;
+            }
+            if thread_id == 0 && h.checkpoint_due(generations) {
+                // Snapshot every cell one read lock at a time: cells owned
+                // by other threads may be from slightly different sweeps
+                // (the staleness the asynchronous model already accepts),
+                // but each clone is internally consistent. The buffer is
+                // reused across checkpoints after the first.
+                if snap.is_empty() {
+                    snap.extend(pop.iter().map(|cell| cell.read().clone()));
+                } else {
+                    for (dst, cell) in snap.iter_mut().zip(pop) {
+                        dst.copy_from(&cell.read());
+                    }
+                }
+                let view = CheckpointView {
+                    generation: generations,
+                    evaluations: evals.load(Ordering::Relaxed) + pending,
+                    population: &snap,
+                };
+                if let Some(cb) = h.on_checkpoint {
+                    cb(&view);
+                }
+            }
         }
     }
     debug_assert_eq!(pending, 0, "all evaluations flushed on exit");

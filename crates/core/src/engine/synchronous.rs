@@ -9,6 +9,7 @@
 use crate::config::PaCgaConfig;
 use crate::engine::parallel::EVAL_FLUSH_EVERY;
 use crate::grid::GridTopology;
+use crate::hooks::{CheckpointView, RunHooks};
 use crate::neighborhood::NeighborhoodTable;
 use crate::rng::stream_rng;
 use crate::trace::{RunOutcome, ThreadTrace};
@@ -41,15 +42,66 @@ impl<'a> SyncCga<'a> {
     /// Runs to termination, also returning the final population (for
     /// diversity studies and invariant audits).
     pub fn run_with_population(&self) -> (RunOutcome, Vec<crate::individual::Individual>) {
+        self.run_internal(None, None)
+    }
+
+    /// Warm-start: evolves an existing population (fitness trusted as
+    /// cached; initial evaluations not re-charged — same contract as
+    /// [`crate::engine::PaCga::run_seeded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not match the configured population size.
+    pub fn run_seeded(
+        &self,
+        initial: Vec<crate::individual::Individual>,
+    ) -> (RunOutcome, Vec<crate::individual::Individual>) {
+        assert_eq!(
+            initial.len(),
+            self.config.population_size(),
+            "warm-start population size mismatch"
+        );
+        self.run_internal(Some(initial), None)
+    }
+
+    /// Runs with [`RunHooks`] installed (periodic checkpoints at
+    /// generation boundaries, cooperative cancel), optionally warm-started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is `Some` and does not match the configured
+    /// population size.
+    pub fn run_hooked(
+        &self,
+        initial: Option<Vec<crate::individual::Individual>>,
+        hooks: &RunHooks<'_>,
+    ) -> (RunOutcome, Vec<crate::individual::Individual>) {
+        if let Some(init) = &initial {
+            assert_eq!(
+                init.len(),
+                self.config.population_size(),
+                "warm-start population size mismatch"
+            );
+        }
+        self.run_internal(initial, Some(hooks))
+    }
+
+    fn run_internal(
+        &self,
+        initial: Option<Vec<crate::individual::Individual>>,
+        hooks: Option<&RunHooks<'_>>,
+    ) -> (RunOutcome, Vec<crate::individual::Individual>) {
         let cfg = &self.config;
         let instance = self.instance;
         let grid = GridTopology::new(cfg.grid_width, cfg.grid_height);
         let table = NeighborhoodTable::new(grid, cfg.neighborhood);
         let mut rng = stream_rng(cfg.seed, 0);
 
-        let mut pop = super::init_population(instance, cfg);
+        let warm = initial.is_some();
+        let mut pop = initial.unwrap_or_else(|| super::init_population(instance, cfg));
         let mut aux = pop.clone();
-        let mut evaluations = pop.len() as u64;
+        // A warm-started population was already evaluated by its producer.
+        let mut evaluations = if warm { 0 } else { pop.len() as u64 };
         let mut snapshot: Vec<(u32, f64)> = Vec::with_capacity(cfg.neighborhood.size());
         let mut ls_scratch: Vec<usize> = Vec::with_capacity(instance.n_machines());
         let mut offspring = pop[0].clone();
@@ -185,6 +237,19 @@ impl<'a> SyncCga<'a> {
             }
             if cfg.termination.should_stop(start, generations, evaluations) {
                 break;
+            }
+            // Run hooks: one branch per generation when none installed.
+            if let Some(h) = hooks {
+                if h.is_cancelled() {
+                    break;
+                }
+                if h.checkpoint_due(generations) {
+                    let view =
+                        CheckpointView { generation: generations, evaluations, population: &pop };
+                    if let Some(cb) = h.on_checkpoint {
+                        cb(&view);
+                    }
+                }
             }
         }
 

@@ -53,6 +53,7 @@ pub mod crossover;
 pub mod diversity;
 pub mod engine;
 pub mod grid;
+pub mod hooks;
 pub mod individual;
 pub mod local_search;
 pub mod mutation;
@@ -69,6 +70,7 @@ pub mod trace;
 
 pub use config::{PaCgaConfig, Termination};
 pub use engine::{PaCga, RunOutcome, SyncCga};
+pub use hooks::{CheckpointView, RunHooks};
 pub use individual::Individual;
 pub use local_search::H2ll;
 pub use runner::{Portfolio, PortfolioReport, RunSpec, Runnable};

@@ -63,6 +63,7 @@
 //! [`Termination::Evaluations`]: crate::config::Termination::Evaluations
 
 use crate::engine::{PaCga, SyncCga};
+use crate::hooks::RunHooks;
 use crate::trace::RunOutcome;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +79,14 @@ use std::time::{Duration, Instant};
 pub trait Runnable {
     /// Executes the run to termination.
     fn run_once(&self) -> RunOutcome;
+
+    /// Executes the run with [`RunHooks`] installed (periodic checkpoint
+    /// callbacks, cooperative cancel). The default ignores the hooks —
+    /// correct for runnables with no safe preemption point (closures,
+    /// heuristics); the engines override it.
+    fn run_with_hooks(&self, _hooks: &RunHooks<'_>) -> RunOutcome {
+        self.run_once()
+    }
 
     /// How many pool slots the run occupies while executing (its internal
     /// engine thread count). Weight-1 jobs pack `workers` at a time; a
@@ -98,6 +107,10 @@ impl Runnable for PaCga<'_> {
         self.run()
     }
 
+    fn run_with_hooks(&self, hooks: &RunHooks<'_>) -> RunOutcome {
+        self.run_hooked(None, hooks).0
+    }
+
     fn weight(&self) -> usize {
         self.config().threads
     }
@@ -106,6 +119,10 @@ impl Runnable for PaCga<'_> {
 impl Runnable for SyncCga<'_> {
     fn run_once(&self) -> RunOutcome {
         self.run()
+    }
+
+    fn run_with_hooks(&self, hooks: &RunHooks<'_>) -> RunOutcome {
+        self.run_hooked(None, hooks).0
     }
 }
 
@@ -189,17 +206,23 @@ pub struct ProgressEvent {
 }
 
 /// Counting semaphore (std has none): guards the pool's admitted weight.
-struct Semaphore {
+/// Also used by the service's durable job manager to admit resumed jobs
+/// against the daemon's worker budget.
+#[derive(Debug)]
+pub struct Semaphore {
     permits: Mutex<usize>,
     freed: Condvar,
 }
 
 impl Semaphore {
-    fn new(permits: usize) -> Self {
+    /// A semaphore holding `permits` free slots.
+    pub fn new(permits: usize) -> Self {
         Self { permits: Mutex::new(permits), freed: Condvar::new() }
     }
 
-    fn acquire(&self, n: usize) {
+    /// Blocks until `n` slots are free, then takes them. Callers clamp
+    /// `n` to the initial capacity (a larger `n` never admits).
+    pub fn acquire(&self, n: usize) {
         let mut p = self.permits.lock().unwrap_or_else(|e| e.into_inner());
         while *p < n {
             p = self.freed.wait(p).unwrap_or_else(|e| e.into_inner());
@@ -207,7 +230,8 @@ impl Semaphore {
         *p -= n;
     }
 
-    fn release(&self, n: usize) {
+    /// Returns `n` slots to the pool.
+    pub fn release(&self, n: usize) {
         *self.permits.lock().unwrap_or_else(|e| e.into_inner()) += n;
         self.freed.notify_all();
     }

@@ -1,10 +1,14 @@
 //! Direct coverage for `pa_cga_core::checkpoint`: save/load round trips
 //! across every engine grid shape in use, plus the malformed-input error
-//! paths (truncated files, corrupt headers, bad genes). Before this
-//! suite the module was only exercised through the engine resume path.
+//! paths (truncated files, corrupt headers, bad genes, torn mid-write
+//! prefixes, CRC damage). Before this suite the module was only
+//! exercised through the engine resume path.
 
 use etc_model::EtcInstance;
-use pa_cga_core::checkpoint::{load_population, save_population, CheckpointError};
+use pa_cga_core::checkpoint::{
+    load_population, load_population_meta, save_population, save_population_meta, CheckpointError,
+    CheckpointMeta,
+};
 use pa_cga_core::config::{PaCgaConfig, Termination};
 use pa_cga_core::engine::PaCga;
 use pa_cga_core::individual::Individual;
@@ -95,15 +99,19 @@ fn load_text(text: &str, instance: &EtcInstance) -> Result<Vec<Individual>, Chec
 fn corrupt_headers_are_format_errors() {
     let instance = EtcInstance::toy(4, 2);
     let cases: &[&str] = &[
-        "",                           // empty file
-        "\n",                         // blank header
-        "not-a-checkpoint 2 4\n",     // wrong magic
-        "pacga-checkpoint v2 2 4\n",  // wrong version
-        "pacga-checkpoint v1\n",      // missing counts
-        "pacga-checkpoint v1 2\n",    // missing task count
-        "pacga-checkpoint v1 x 4\n",  // non-numeric population size
-        "pacga-checkpoint v1 2 y\n",  // non-numeric task count
-        "pacga-checkpoint v1 -1 4\n", // negative population size
+        "",                                      // empty file
+        "\n",                                    // blank header
+        "not-a-checkpoint 2 4\n",                // wrong magic
+        "pacga-checkpoint v1 2 4\n0 1 0 1\n",    // retired v1 format
+        "pacga-checkpoint v3 2 4\n",             // future version
+        "pacga-checkpoint v2\n",                 // missing counts
+        "pacga-checkpoint v2 2\n",               // missing task count
+        "pacga-checkpoint v2 x 4\n",             // non-numeric population size
+        "pacga-checkpoint v2 2 y\n",             // non-numeric task count
+        "pacga-checkpoint v2 -1 4\n",            // negative population size
+        "pacga-checkpoint v2 1 4\n0 1 0 1\n",    // missing meta line
+        "pacga-checkpoint v2 1 4\nmeta 0 0\n",   // short meta line
+        "pacga-checkpoint v2 1 4\nmeta a 0 0\n", // non-numeric meta field
     ];
     for case in cases {
         let err = load_text(case, &instance).unwrap_err();
@@ -115,7 +123,7 @@ fn corrupt_headers_are_format_errors() {
 fn truncated_population_is_a_format_error() {
     let instance = EtcInstance::toy(4, 2);
     // Header promises 3 individuals, body delivers 1.
-    let err = load_text("pacga-checkpoint v1 3 4\n0 1 0 1\n", &instance).unwrap_err();
+    let err = load_text("pacga-checkpoint v2 3 4\nmeta 0 0 0\n0 1 0 1\n", &instance).unwrap_err();
     match err {
         CheckpointError::Format(m) => {
             assert!(m.contains("expected 3"), "{m}");
@@ -129,7 +137,8 @@ fn truncated_population_is_a_format_error() {
 fn truncated_gene_line_is_a_format_error() {
     let instance = EtcInstance::toy(4, 2);
     // Individual 1 has 2 genes instead of 4.
-    let err = load_text("pacga-checkpoint v1 2 4\n0 1 0 1\n1 0\n", &instance).unwrap_err();
+    let err =
+        load_text("pacga-checkpoint v2 2 4\nmeta 0 0 0\n0 1 0 1\n1 0\n", &instance).unwrap_err();
     match err {
         CheckpointError::Format(m) => assert!(m.contains("individual 1"), "{m}"),
         other => panic!("expected Format, got {other:?}"),
@@ -139,7 +148,7 @@ fn truncated_gene_line_is_a_format_error() {
 #[test]
 fn non_numeric_gene_is_a_format_error() {
     let instance = EtcInstance::toy(4, 2);
-    let err = load_text("pacga-checkpoint v1 1 4\n0 huh 0 1\n", &instance).unwrap_err();
+    let err = load_text("pacga-checkpoint v2 1 4\nmeta 0 0 0\n0 huh 0 1\n", &instance).unwrap_err();
     assert!(matches!(err, CheckpointError::Format(_)), "{err}");
     assert!(err.to_string().contains("bad gene"), "{err}");
 }
@@ -147,14 +156,14 @@ fn non_numeric_gene_is_a_format_error() {
 #[test]
 fn task_count_mismatch_is_a_mismatch_error() {
     let instance = EtcInstance::toy(5, 2);
-    let err = load_text("pacga-checkpoint v1 1 4\n0 1 0 1\n", &instance).unwrap_err();
+    let err = load_text("pacga-checkpoint v2 1 4\nmeta 0 0 0\n0 1 0 1\n", &instance).unwrap_err();
     assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
 }
 
 #[test]
 fn machine_out_of_range_is_a_mismatch_error() {
     let instance = EtcInstance::toy(4, 2);
-    let err = load_text("pacga-checkpoint v1 1 4\n0 1 2 1\n", &instance).unwrap_err();
+    let err = load_text("pacga-checkpoint v2 1 4\nmeta 0 0 0\n0 1 2 1\n", &instance).unwrap_err();
     match err {
         CheckpointError::Mismatch(m) => assert!(m.contains("machine 2"), "{m}"),
         other => panic!("expected Mismatch, got {other:?}"),
@@ -162,7 +171,7 @@ fn machine_out_of_range_is_a_mismatch_error() {
 }
 
 #[test]
-fn save_then_corrupt_one_byte_still_detected() {
+fn save_then_corrupt_gene_out_of_range_detected() {
     // Flip a gene into a machine index beyond the instance: the loader
     // must reject it rather than rebuild a nonsense schedule.
     let instance = EtcInstance::toy(6, 3);
@@ -171,7 +180,51 @@ fn save_then_corrupt_one_byte_still_detected() {
     let mut buf = Vec::new();
     save_population(&mut buf, &population).unwrap();
     let text = String::from_utf8(buf).unwrap();
-    let corrupted = text.replacen("2", "9", 1);
+    let corrupted = text.replacen("0 1 2 0 1 2", "0 1 9 0 1 2", 1);
+    assert_ne!(text, corrupted);
     let err = load_text(&corrupted, &instance).unwrap_err();
     assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+}
+
+#[test]
+fn save_then_corrupt_gene_in_range_fails_the_crc() {
+    // The nastier corruption: a gene flipped to a *valid* machine index.
+    // Structure and range checks pass; only the CRC trailer catches it.
+    let instance = EtcInstance::toy(6, 3);
+    let population =
+        vec![Individual::new(Schedule::from_assignment(&instance, vec![0, 1, 2, 0, 1, 2]))];
+    let mut buf = Vec::new();
+    save_population(&mut buf, &population).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let corrupted = text.replacen("0 1 2 0 1 2", "1 1 2 0 1 2", 1);
+    assert_ne!(text, corrupted);
+    let err = load_text(&corrupted, &instance).unwrap_err();
+    assert!(err.to_string().contains("crc mismatch"), "{err}");
+}
+
+#[test]
+fn every_torn_mid_write_prefix_is_rejected() {
+    // Simulate a kill at every possible byte offset of an in-place write:
+    // no proper prefix of a valid checkpoint may load. (This is why
+    // save_to_path stages through a temp file — but even a torn file must
+    // fail loudly, never load as a wrong-but-plausible population.)
+    let instance = EtcInstance::toy(6, 3);
+    let population = engine_population(&instance, 4, 4, 99);
+    let mut buf = Vec::new();
+    let meta = CheckpointMeta { generations: 12, evaluations: 340, elapsed_ms: 77 };
+    save_population_meta(&mut buf, &population, &meta).unwrap();
+
+    // The full file loads, with its meta.
+    let (_, got) = load_population_meta(&mut BufReader::new(buf.as_slice()), &instance).unwrap();
+    assert_eq!(got, meta);
+
+    // Every cut except the final newline must fail (a file missing only
+    // the trailing '\n' is byte-wise complete and still CRC-verified —
+    // loading it is safe, and the guarantee is "never loadable-but-
+    // WRONG", not "never loadable").
+    for cut in 0..buf.len() - 1 {
+        let prefix = &buf[..cut];
+        let result = load_population(&mut BufReader::new(prefix), &instance);
+        assert!(result.is_err(), "torn prefix of {cut}/{} bytes must not load", buf.len());
+    }
 }

@@ -1,0 +1,107 @@
+//! Seeded byte-mutation fuzz smoke over `checkpoint::load_population`
+//! (ROADMAP item 4 down-payment; see `crates/service/tests/fuzz_smoke.rs`
+//! for the JSON / protocol targets).
+//!
+//! Deterministic: a fixed-seed xoshiro stream drives byte flips, inserts,
+//! deletes, truncations and splices over a valid v2 checkpoint. Every
+//! mutant must either load cleanly or return a `CheckpointError` — a
+//! panic (slice OOB, integer overflow, `unwrap` on parse) fails the
+//! test with the reproducing iteration number.
+//!
+//! Iteration count: `PA_CGA_FUZZ_ITERS` (default 10 000 per target, the
+//! CI floor).
+
+use etc_model::EtcInstance;
+use pa_cga_core::checkpoint::{load_population, save_population_meta, CheckpointMeta};
+use pa_cga_core::config::{PaCgaConfig, Termination};
+use pa_cga_core::engine::PaCga;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::BufReader;
+
+fn fuzz_iters() -> u64 {
+    std::env::var("PA_CGA_FUZZ_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000)
+}
+
+/// Applies 1–4 random byte-level mutations to `base`.
+fn mutate(base: &[u8], rng: &mut SmallRng) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        if bytes.is_empty() {
+            bytes.push(rng.gen_range(0..=255u32) as u8);
+            continue;
+        }
+        match rng.gen_range(0..5u32) {
+            // Flip one byte to an arbitrary value.
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(0..=255u32) as u8;
+            }
+            // Insert a byte (biased toward digits/whitespace, the
+            // characters the parser actually branches on).
+            1 => {
+                let i = rng.gen_range(0..=bytes.len());
+                let b = *b"0123456789 \n\t-+ex"
+                    .get(rng.gen_range(0..17usize))
+                    .expect("table index in range");
+                bytes.insert(i, b);
+            }
+            // Delete a byte.
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            // Truncate (torn write).
+            3 => {
+                let keep = rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+            }
+            // Splice: duplicate a random chunk somewhere else.
+            _ => {
+                let start = rng.gen_range(0..bytes.len());
+                let len = rng.gen_range(0..(bytes.len() - start).min(32) + 1);
+                let chunk: Vec<u8> = bytes[start..start + len].to_vec();
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.splice(at..at, chunk);
+            }
+        }
+    }
+    bytes
+}
+
+#[test]
+fn mutated_checkpoints_never_panic_the_loader() {
+    let instance = EtcInstance::toy(16, 4);
+    let config = PaCgaConfig::builder()
+        .grid(4, 4)
+        .threads(1)
+        .termination(Termination::Generations(2))
+        .seed(3)
+        .build();
+    let (_, population) = PaCga::new(&instance, config).run_with_population();
+    let mut base = Vec::new();
+    let meta = CheckpointMeta { generations: 2, evaluations: 48, elapsed_ms: 3 };
+    save_population_meta(&mut base, &population, &meta).unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(0x50AC_6A01);
+    let mut rejected = 0u64;
+    let iters = fuzz_iters();
+    for i in 0..iters {
+        let mutant = mutate(&base, &mut rng);
+        let result = std::panic::catch_unwind(|| {
+            load_population(&mut BufReader::new(mutant.as_slice()), &instance).is_err()
+        });
+        match result {
+            Ok(true) => rejected += 1,
+            Ok(false) => {} // mutation happened to keep the file valid
+            Err(_) => panic!(
+                "checkpoint loader panicked on iteration {i} (seed 0x50AC6A01); \
+                 mutant: {:?}",
+                String::from_utf8_lossy(&mutant)
+            ),
+        }
+    }
+    // Sanity: the harness is actually exercising error paths, not
+    // producing valid files 10k times.
+    assert!(rejected > iters / 2, "only {rejected}/{iters} mutants rejected");
+}

@@ -2,6 +2,12 @@
 //! JSON line out, one JSON line back. Used by the `pacga bench-serve`
 //! load generator, the integration tests, and anyone scripting the
 //! daemon from Rust.
+//!
+//! [`RobustClient`] layers socket timeouts and bounded exponential
+//! backoff on top: `busy` responses and connection resets are retried
+//! (reconnecting as needed), while **read timeouts are not** — the
+//! request may already be executing server-side, and resending would
+//! risk running it twice.
 
 use crate::json::Json;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -29,6 +35,29 @@ impl std::fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// True for transient transport failures where resending is safe:
+    /// the connection died before (or while) the response arrived and
+    /// the daemon's scheduler never owed us an answer we might double.
+    /// Read timeouts are deliberately **not** retryable — the request
+    /// may be mid-execution server-side.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Disconnected => true,
+            ClientError::BadResponse(_) => false,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::NotConnected
+            ),
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
@@ -46,8 +75,20 @@ pub struct Client {
 impl Client {
     /// Connects once.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with_timeout(addr, None)
+    }
+
+    /// Connects once with read/write socket timeouts (`None` = block
+    /// forever, the default). A timed-out read surfaces as
+    /// `ClientError::Io(WouldBlock | TimedOut)`.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client { reader, writer: BufWriter::new(stream) })
     }
@@ -108,5 +149,131 @@ impl Client {
     /// `{"type":"shutdown"}` round trip (starts the server drain).
     pub fn shutdown(&mut self) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![("type", Json::str("shutdown"))]))
+    }
+}
+
+/// Bounded exponential backoff: attempt `n` sleeps
+/// `min(base_delay * 2^n, max_delay)`. Deterministic (no jitter) so
+/// test runs and load reports are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = never retry).
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { attempts: 0, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_delay.checked_mul(factor).unwrap_or(self.max_delay).min(self.max_delay)
+    }
+}
+
+/// A self-healing client: reconnects and retries on transient failures
+/// (`busy` backpressure, connection resets) with [`RetryPolicy`]
+/// backoff, and counts every retry so callers can report pressure
+/// separately from failures.
+pub struct RobustClient {
+    addr: String,
+    timeout: Option<Duration>,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    retries: u64,
+}
+
+impl RobustClient {
+    /// Lazily-connecting robust client. `timeout` bounds every socket
+    /// read/write; `None` blocks forever.
+    pub fn new(addr: impl Into<String>, timeout: Option<Duration>, policy: RetryPolicy) -> Self {
+        RobustClient { addr: addr.into(), timeout, policy, client: None, retries: 0 }
+    }
+
+    /// Transient-failure retries performed so far (busy + reconnect).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn connected(&mut self) -> Result<&mut Client, ClientError> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_with_timeout(self.addr.as_str(), self.timeout)?);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// Sends `request`, retrying `busy` responses and retryable
+    /// transport failures (reconnecting as needed) up to the policy's
+    /// attempt budget. The final `busy` is returned as-is once the
+    /// budget is spent; non-retryable errors (including read timeouts)
+    /// surface immediately.
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.connected().and_then(|c| c.request(request));
+            let retryable = match &outcome {
+                Ok(v) => v.get("type").and_then(Json::as_str) == Some("busy"),
+                Err(e) => {
+                    // A dead connection is useless either way; drop it so
+                    // the next attempt reconnects.
+                    self.client = None;
+                    e.is_retryable()
+                }
+            };
+            if !retryable || attempt >= self.policy.attempts {
+                return outcome;
+            }
+            std::thread::sleep(self.policy.delay(attempt));
+            self.retries += 1;
+            attempt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(50));
+        assert_eq!(p.delay(1), Duration::from_millis(100));
+        assert_eq!(p.delay(2), Duration::from_millis(200));
+        assert_eq!(p.delay(3), Duration::from_millis(300), "capped");
+        assert_eq!(p.delay(31), Duration::from_millis(300), "shift overflow capped");
+    }
+
+    #[test]
+    fn retryability_is_kind_specific() {
+        use std::io::{Error, ErrorKind};
+        assert!(ClientError::Disconnected.is_retryable());
+        assert!(ClientError::Io(Error::from(ErrorKind::ConnectionReset)).is_retryable());
+        assert!(ClientError::Io(Error::from(ErrorKind::BrokenPipe)).is_retryable());
+        // Read timeouts must NOT resend: the request may be executing.
+        assert!(!ClientError::Io(Error::from(ErrorKind::WouldBlock)).is_retryable());
+        assert!(!ClientError::Io(Error::from(ErrorKind::TimedOut)).is_retryable());
+        assert!(!ClientError::BadResponse("x".into()).is_retryable());
     }
 }

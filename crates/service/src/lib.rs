@@ -18,6 +18,10 @@
 //!   `busy` response instead of unbounded buffering.
 //! * **Graceful drain** — `shutdown` stops intake, finishes everything
 //!   queued, then exits with a summary.
+//! * **Durable jobs** — with `--data-dir`, long runs become crash-safe
+//!   named jobs: periodic atomic checkpoints, resume-on-restart, and a
+//!   `job.start`/`job.status`/`job.log`/`job.stop`/`job.archive`
+//!   lifecycle ([`jobs`]).
 //! * **Observability** — a `stats` request returns uptime, throughput,
 //!   cache hit/miss counters and batch shape ([`protocol`]).
 //!
@@ -33,13 +37,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod jobs;
 pub mod json;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CachedRun, ScheduleCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy, RobustClient};
+pub use jobs::{JobCounters, JobManager, JobState};
 pub use json::Json;
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use protocol::{Request, Response, ScheduleRequest, StatsSnapshot};

@@ -9,7 +9,7 @@
 //! cache demonstration: the first cycle misses (or coalesces onto an
 //! in-flight batch), later cycles hit.
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, RetryPolicy, RobustClient};
 use crate::json::Json;
 use pa_cga_stats::LatencySummary;
 use std::sync::Mutex;
@@ -33,6 +33,11 @@ pub struct LoadConfig {
     pub distinct: usize,
     /// Send `shutdown` after the load and wait for the drain ack.
     pub shutdown_after: bool,
+    /// Socket read/write timeout in milliseconds (0 = block forever).
+    pub timeout_ms: u64,
+    /// Transient-failure retries per request (`busy` + connection
+    /// resets), exponential backoff; 0 disables retrying.
+    pub retries: u32,
 }
 
 impl Default for LoadConfig {
@@ -45,6 +50,8 @@ impl Default for LoadConfig {
             seed: 0,
             distinct: 4,
             shutdown_after: false,
+            timeout_ms: 0,
+            retries: 0,
         }
     }
 }
@@ -62,6 +69,9 @@ pub struct LoadReport {
     pub busy: u64,
     /// `error` responses received.
     pub errors: u64,
+    /// Transient-failure retries performed (reported separately: a
+    /// retried-then-served request counts once in `ok` and here).
+    pub retries: u64,
     /// Wall clock of the whole load phase.
     pub elapsed: Duration,
     /// Completed-request throughput.
@@ -78,8 +88,8 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "requests : {} ok ({} cached, {} coalesced), {} busy, {} errors",
-            self.ok, self.cached, self.coalesced, self.busy, self.errors
+            "requests : {} ok ({} cached, {} coalesced), {} busy, {} errors, {} retries",
+            self.ok, self.cached, self.coalesced, self.busy, self.errors, self.retries
         )?;
         writeln!(
             f,
@@ -141,6 +151,7 @@ struct Tally {
     coalesced: u64,
     busy: u64,
     errors: u64,
+    retries: u64,
     latencies_ms: Vec<f64>,
 }
 
@@ -152,22 +163,17 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
     Client::connect_retry(config.addr.as_str(), Duration::from_secs(10))?.ping()?;
 
     let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
-    let connect_errors: Mutex<Vec<ClientError>> = Mutex::new(Vec::new());
     let start = Instant::now();
 
     std::thread::scope(|scope| {
         for c in 0..config.clients {
             let tallies = &tallies;
-            let connect_errors = &connect_errors;
             scope.spawn(move || {
                 let mut tally = Tally::default();
-                let mut client = match Client::connect(config.addr.as_str()) {
-                    Ok(client) => client,
-                    Err(e) => {
-                        connect_errors.lock().unwrap_or_else(|e| e.into_inner()).push(e);
-                        return;
-                    }
-                };
+                let timeout =
+                    (config.timeout_ms > 0).then(|| Duration::from_millis(config.timeout_ms));
+                let policy = RetryPolicy { attempts: config.retries, ..RetryPolicy::default() };
+                let mut client = RobustClient::new(config.addr.as_str(), timeout, policy);
                 for i in 0..config.requests {
                     let shape = (c + i) % config.distinct.max(1);
                     let request = request_shape(shape, config.seed, config.evals);
@@ -192,15 +198,12 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
                         }
                     }
                 }
+                tally.retries = client.retries();
                 tallies.lock().unwrap_or_else(|e| e.into_inner()).push(tally);
             });
         }
     });
     let elapsed = start.elapsed();
-
-    if let Some(e) = connect_errors.into_inner().unwrap_or_else(|e| e.into_inner()).pop() {
-        return Err(e);
-    }
 
     let tallies = tallies.into_inner().unwrap_or_else(|e| e.into_inner());
     let mut ok = 0;
@@ -208,6 +211,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
     let mut coalesced = 0;
     let mut busy = 0;
     let mut errors = 0;
+    let mut retries = 0;
     let mut latencies = Vec::new();
     for t in tallies {
         ok += t.ok;
@@ -215,6 +219,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
         coalesced += t.coalesced;
         busy += t.busy;
         errors += t.errors;
+        retries += t.retries;
         latencies.extend(t.latencies_ms);
     }
 
@@ -232,6 +237,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
         coalesced,
         busy,
         errors,
+        retries,
         elapsed,
         req_per_sec: ok as f64 / elapsed.as_secs_f64().max(1e-9),
         latency,

@@ -20,9 +20,16 @@
 //!   queued).
 //! * `ping` — liveness probe.
 //! * `shutdown` — stop accepting, drain the queue, exit.
+//! * `job.start` — start a **durable job**: the same fields as
+//!   `schedule` plus an optional `job` name and `checkpoint_gens`
+//!   cadence; the run executes detached, checkpoints to the daemon's
+//!   `--data-dir`, and survives daemon restarts (see
+//!   [`crate::jobs`]).
+//! * `job.status` / `job.log` / `job.stop` / `job.archive` — inspect,
+//!   tail, cancel, or archive a durable job by name.
 //!
 //! Responses: `result`, `busy` (backpressure: bounded queue full, or
-//! draining), `error`, `stats`, `ok`.
+//! draining), `error`, `stats`, `ok`, `job` (job status), `job_log`.
 
 use crate::json::Json;
 use etc_model::{
@@ -50,6 +57,64 @@ pub enum Request {
     Ping,
     /// Graceful drain.
     Shutdown,
+    /// Start a durable job.
+    JobStart(Box<JobStartRequest>),
+    /// Durable job status by name.
+    JobStatus {
+        /// Job name.
+        job: String,
+    },
+    /// Tail of a durable job's progress log.
+    JobLog {
+        /// Job name.
+        job: String,
+        /// Maximum lines from the end (default 20).
+        tail: usize,
+    },
+    /// Cancel a durable job.
+    JobStop {
+        /// Job name.
+        job: String,
+    },
+    /// Archive a finished durable job into the dated hierarchy.
+    JobArchive {
+        /// Job name.
+        job: String,
+    },
+}
+
+/// A decoded `job.start` request: a schedule spec plus job options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStartRequest {
+    /// Client-chosen job name (generated when absent). Restricted to
+    /// `[A-Za-z0-9_.-]`, max 64 chars, leading alphanumeric — job names
+    /// become directory names under `--data-dir`.
+    pub job: Option<String>,
+    /// Checkpoint cadence in generations (default: the daemon's
+    /// `--checkpoint-gens`).
+    pub checkpoint_gens: Option<u64>,
+    /// The embedded schedule spec (same fields as a `schedule` request).
+    pub spec: ScheduleRequest,
+    /// The raw request object, persisted verbatim in the job manifest so
+    /// a restarted daemon can re-decode the spec.
+    pub raw: Json,
+}
+
+/// Validates a client-chosen job name: these become directory names, so
+/// the alphabet is locked down (no separators, no dotfiles, no traversal).
+pub fn validate_job_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("job name must be 1..=64 characters".into());
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty");
+    if !first.is_ascii_alphanumeric() {
+        return Err("job name must start with an ASCII letter or digit".into());
+    }
+    if !name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')) {
+        return Err("job name may only contain [A-Za-z0-9_.-]".into());
+    }
+    Ok(())
 }
 
 /// Where the ETC instance comes from.
@@ -180,18 +245,49 @@ impl Request {
     /// Decodes a parsed JSON object.
     pub fn from_json(v: &Json) -> Result<Request, String> {
         let kind = field_str(v, "type")?.ok_or("request needs a \"type\" field")?;
+        let job_name = |v: &Json| -> Result<String, String> {
+            let name = field_str(v, "job")?.ok_or("job requests need a \"job\" field")?;
+            validate_job_name(&name)?;
+            Ok(name)
+        };
         match kind.as_str() {
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "schedule" => Ok(Request::Schedule(Box::new(ScheduleRequest::from_json(v)?))),
-            other => Err(format!("unknown request type {other:?} (schedule|stats|ping|shutdown)")),
+            "job.start" => {
+                let job = field_str(v, "job")?;
+                if let Some(name) = &job {
+                    validate_job_name(name)?;
+                }
+                let checkpoint_gens = field_u64(v, "checkpoint_gens")?;
+                if checkpoint_gens == Some(0) {
+                    return Err("\"checkpoint_gens\" must be positive".into());
+                }
+                Ok(Request::JobStart(Box::new(JobStartRequest {
+                    job,
+                    checkpoint_gens,
+                    spec: ScheduleRequest::from_json(v)?,
+                    raw: v.clone(),
+                })))
+            }
+            "job.status" => Ok(Request::JobStatus { job: job_name(v)? }),
+            "job.log" => Ok(Request::JobLog {
+                job: job_name(v)?,
+                tail: field_u64(v, "tail")?.unwrap_or(20).min(1_000) as usize,
+            }),
+            "job.stop" => Ok(Request::JobStop { job: job_name(v)? }),
+            "job.archive" => Ok(Request::JobArchive { job: job_name(v)? }),
+            other => Err(format!(
+                "unknown request type {other:?} \
+                 (schedule|stats|ping|shutdown|job.start|job.status|job.log|job.stop|job.archive)"
+            )),
         }
     }
 }
 
 impl ScheduleRequest {
-    fn from_json(v: &Json) -> Result<ScheduleRequest, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<ScheduleRequest, String> {
         let braun = field_str(v, "braun")?;
         let inline = v.get("etc");
         let spec = v.get("etc_model");
@@ -450,6 +546,41 @@ pub enum Response {
         /// Free-form detail (`"pong"`, `"draining"`).
         message: String,
     },
+    /// A durable job's status (`job.start`, `job.status`, `job.stop`,
+    /// `job.archive`).
+    Job(Box<JobStatusBody>),
+    /// Tail of a durable job's progress log (`job.log`).
+    JobLog {
+        /// Job name.
+        job: String,
+        /// The last lines of the progress log, oldest first.
+        lines: Vec<String>,
+    },
+}
+
+/// The body of a `job` response.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobStatusBody {
+    /// Job name.
+    pub job: String,
+    /// State machine position: `queued`, `running`, `checkpointed`,
+    /// `done`, `failed`, `stopped`, or `archived`.
+    pub state: String,
+    /// Generations completed (of the snapshotting thread).
+    pub generations: u64,
+    /// Evaluations accounted so far (summed across restarts).
+    pub evaluations: u64,
+    /// Best makespan observed so far, when any checkpoint or result
+    /// exists.
+    pub best_makespan: Option<f64>,
+    /// Live throughput (evaluations per second), when derivable.
+    pub evals_per_sec: Option<f64>,
+    /// Estimated seconds to completion, when derivable.
+    pub eta_s: Option<f64>,
+    /// Archive directory, once the job has been archived.
+    pub archived_to: Option<String>,
+    /// Free-form detail (failure message, stop acknowledgement).
+    pub message: Option<String>,
 }
 
 /// Server metrics returned by a `stats` request.
@@ -483,6 +614,16 @@ pub struct StatsSnapshot {
     pub evaluations: u64,
     /// Completed requests per second of uptime.
     pub req_per_sec: f64,
+    /// Durable jobs started (including resumed) since the daemon came up.
+    pub jobs_started: u64,
+    /// Durable jobs that reached `done`.
+    pub jobs_completed: u64,
+    /// Durable jobs that reached `failed`.
+    pub jobs_failed: u64,
+    /// Durable jobs resumed from a checkpoint at daemon startup.
+    pub jobs_resumed: u64,
+    /// Durable jobs currently queued or running.
+    pub jobs_active: u64,
 }
 
 impl Response {
@@ -557,6 +698,34 @@ impl Response {
                 ("max_batch", Json::num(s.max_batch as f64)),
                 ("evaluations", Json::num(s.evaluations as f64)),
                 ("req_per_sec", Json::num(s.req_per_sec)),
+                ("jobs_started", Json::num(s.jobs_started as f64)),
+                ("jobs_completed", Json::num(s.jobs_completed as f64)),
+                ("jobs_failed", Json::num(s.jobs_failed as f64)),
+                ("jobs_resumed", Json::num(s.jobs_resumed as f64)),
+                ("jobs_active", Json::num(s.jobs_active as f64)),
+            ]),
+            Response::Job(j) => {
+                let opt_num = |x: &Option<f64>| match x {
+                    Some(x) => Json::num(*x),
+                    None => Json::Null,
+                };
+                Json::obj(vec![
+                    ("type", Json::str("job")),
+                    ("job", Json::str(j.job.clone())),
+                    ("state", Json::str(j.state.clone())),
+                    ("generations", Json::num(j.generations as f64)),
+                    ("evaluations", Json::num(j.evaluations as f64)),
+                    ("best_makespan", opt_num(&j.best_makespan)),
+                    ("evals_per_sec", opt_num(&j.evals_per_sec)),
+                    ("eta_s", opt_num(&j.eta_s)),
+                    ("archived_to", opt_str(&j.archived_to)),
+                    ("message", opt_str(&j.message)),
+                ])
+            }
+            Response::JobLog { job, lines } => Json::obj(vec![
+                ("type", Json::str("job_log")),
+                ("job", Json::str(job.clone())),
+                ("lines", Json::Arr(lines.iter().map(|l| Json::str(l.clone())).collect())),
             ]),
         }
     }
@@ -735,6 +904,93 @@ mod tests {
         let v = r.to_json();
         assert!(v.get("assignment").is_none());
         assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn job_start_decodes_with_embedded_spec() {
+        let line = r#"{"type":"job.start","job":"night-run","checkpoint_gens":50,"etc_model":{"tasks":32,"machines":4},"gens":200,"seed":7}"#;
+        match Request::decode(line).unwrap() {
+            Request::JobStart(j) => {
+                assert_eq!(j.job.as_deref(), Some("night-run"));
+                assert_eq!(j.checkpoint_gens, Some(50));
+                assert_eq!(j.spec.termination, Termination::Generations(200));
+                assert_eq!(j.spec.seed, 7);
+                // The raw object is preserved for the manifest: it must
+                // re-decode to the same request.
+                match Request::from_json(&j.raw).unwrap() {
+                    Request::JobStart(again) => assert_eq!(again.spec, j.spec),
+                    other => panic!("raw re-decode produced {other:?}"),
+                }
+            }
+            other => panic!("expected job.start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_verbs_decode_and_validate_names() {
+        assert_eq!(
+            Request::decode(r#"{"type":"job.status","job":"a1"}"#).unwrap(),
+            Request::JobStatus { job: "a1".into() }
+        );
+        assert_eq!(
+            Request::decode(r#"{"type":"job.log","job":"a1","tail":5}"#).unwrap(),
+            Request::JobLog { job: "a1".into(), tail: 5 }
+        );
+        assert_eq!(
+            Request::decode(r#"{"type":"job.stop","job":"a1"}"#).unwrap(),
+            Request::JobStop { job: "a1".into() }
+        );
+        assert_eq!(
+            Request::decode(r#"{"type":"job.archive","job":"a1"}"#).unwrap(),
+            Request::JobArchive { job: "a1".into() }
+        );
+        // Names become directories: traversal and separator characters
+        // must be rejected at decode time.
+        for bad in ["../evil", "a/b", "", ".hidden", "-dash-first", "a b", "x\u{e9}"] {
+            let line = format!(r#"{{"type":"job.status","job":{:?}}}"#, bad);
+            assert!(Request::decode(&line).is_err(), "{bad:?} must be rejected");
+        }
+        let long = "a".repeat(65);
+        assert!(validate_job_name(&long).is_err());
+        assert!(validate_job_name("ok-name_1.2").is_ok());
+    }
+
+    #[test]
+    fn job_start_rejects_zero_cadence_and_bad_spec() {
+        let err = Request::decode(
+            r#"{"type":"job.start","checkpoint_gens":0,"etc_model":{"tasks":4,"machines":2}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("checkpoint_gens"), "{err}");
+        // The embedded spec is validated exactly like a schedule request.
+        let err = Request::decode(r#"{"type":"job.start"}"#).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn job_responses_encode_as_single_lines() {
+        let job = Response::Job(Box::new(JobStatusBody {
+            job: "j1".into(),
+            state: "running".into(),
+            generations: 12,
+            evaluations: 3_072,
+            best_makespan: Some(1234.5),
+            evals_per_sec: Some(100_000.0),
+            eta_s: Some(1.5),
+            archived_to: None,
+            message: None,
+        }));
+        let line = job.encode();
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("job"));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("running"));
+        assert_eq!(v.get("generations").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("archived_to"), Some(&Json::Null));
+
+        let log = Response::JobLog { job: "j1".into(), lines: vec!["a".into(), "b".into()] };
+        let v = Json::parse(&log.encode()).unwrap();
+        assert_eq!(v.get("lines").unwrap().as_arr().unwrap().len(), 2);
     }
 
     #[test]

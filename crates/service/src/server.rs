@@ -27,6 +27,7 @@
 //! [`ServeSummary`].
 
 use crate::cache::{CachedRun, ScheduleCache};
+use crate::jobs::JobManager;
 use crate::protocol::{Request, Response, ScheduleRequest, StatsSnapshot};
 use pa_cga_core::config::PaCgaConfig;
 use pa_cga_core::engine::PaCga;
@@ -56,6 +57,10 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Most requests coalesced into one portfolio submission.
     pub batch_max: usize,
+    /// Durable-job data directory; `None` disables the `job.*` verbs.
+    pub data_dir: Option<String>,
+    /// Default checkpoint cadence (generations) for durable jobs.
+    pub checkpoint_gens: u64,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +71,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             cache_cap: 128,
             batch_max: 16,
+            data_dir: None,
+            checkpoint_gens: 64,
         }
     }
 }
@@ -107,6 +114,8 @@ struct Shared {
     /// (their answer goes out on the write half).
     conn_streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// The durable-job subsystem, present when `--data-dir` was given.
+    jobs: Option<Arc<JobManager>>,
     start: Instant,
 }
 
@@ -132,6 +141,11 @@ impl Shared {
             return; // already draining
         }
         self.queue_cv.notify_all();
+        // Park every live job behind a final checkpoint so the next
+        // daemon incarnation can resume it.
+        if let Some(jobs) = &self.jobs {
+            jobs.begin_drain();
+        }
         // Poke the acceptor out of its blocking accept().
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         // Stop further intake at the socket level: idle connections see
@@ -148,6 +162,7 @@ impl Shared {
         };
         let uptime_s = self.start.elapsed().as_secs_f64();
         let completed = self.metrics.completed.load(Ordering::Relaxed);
+        let jobs = self.jobs.as_ref().map(|j| j.counters()).unwrap_or_default();
         StatsSnapshot {
             uptime_s,
             received: self.metrics.received.load(Ordering::Relaxed),
@@ -163,6 +178,11 @@ impl Shared {
             max_batch: self.metrics.max_batch.load(Ordering::Relaxed),
             evaluations: self.metrics.evaluations.load(Ordering::Relaxed),
             req_per_sec: completed as f64 / uptime_s.max(1e-9),
+            jobs_started: jobs.started,
+            jobs_completed: jobs.completed,
+            jobs_failed: jobs.failed,
+            jobs_resumed: jobs.resumed,
+            jobs_active: jobs.active,
         }
     }
 }
@@ -234,6 +254,11 @@ impl ServerHandle {
     pub fn join(self) -> ServeSummary {
         let _ = self.acceptor.join();
         let _ = self.scheduler.join();
+        // Job workers were cancelled by the drain trigger; wait for their
+        // final checkpoints to land before reporting.
+        if let Some(jobs) = &self.shared.jobs {
+            jobs.join_all();
+        }
         let grace = Duration::from_secs(10);
         let deadline = Instant::now() + grace;
         let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
@@ -268,6 +293,15 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let workers =
         if config.workers == 0 { resolve_workers(None, usize::MAX) } else { config.workers };
+    // Opening the job manager runs the recovery pass: every job left
+    // `queued`/`running`/`checkpointed` on disk is re-queued before the
+    // listener answers its first request.
+    let jobs = match &config.data_dir {
+        Some(dir) => {
+            Some(JobManager::open(std::path::Path::new(dir), workers, config.checkpoint_gens)?)
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
         addr,
         workers,
@@ -282,6 +316,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         conn_streams: Mutex::new(std::collections::HashMap::new()),
         next_conn: AtomicU64::new(0),
         conns_cv: Condvar::new(),
+        jobs,
         start: Instant::now(),
     });
 
@@ -386,11 +421,60 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     Response::Error { id: None, message: "scheduler unavailable".into() }
                 }),
             },
+            Ok(Request::JobStart(request)) => match &shared.jobs {
+                None => job_support_missing(shared),
+                Some(jobs) => match jobs.start(*request) {
+                    Ok(body) => Response::Job(Box::new(body)),
+                    Err(reason) if reason == "draining" => {
+                        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                        Response::Busy { reason }
+                    }
+                    Err(message) => job_error(shared, message),
+                },
+            },
+            Ok(Request::JobStatus { job }) => match &shared.jobs {
+                None => job_support_missing(shared),
+                Some(jobs) => match jobs.status(&job) {
+                    Ok(body) => Response::Job(Box::new(body)),
+                    Err(message) => job_error(shared, message),
+                },
+            },
+            Ok(Request::JobLog { job, tail }) => match &shared.jobs {
+                None => job_support_missing(shared),
+                Some(jobs) => match jobs.log(&job, tail) {
+                    Ok(lines) => Response::JobLog { job, lines },
+                    Err(message) => job_error(shared, message),
+                },
+            },
+            Ok(Request::JobStop { job }) => match &shared.jobs {
+                None => job_support_missing(shared),
+                Some(jobs) => match jobs.stop(&job) {
+                    Ok(body) => Response::Job(Box::new(body)),
+                    Err(message) => job_error(shared, message),
+                },
+            },
+            Ok(Request::JobArchive { job }) => match &shared.jobs {
+                None => job_support_missing(shared),
+                Some(jobs) => match jobs.archive(&job) {
+                    Ok(body) => Response::Job(Box::new(body)),
+                    Err(message) => job_error(shared, message),
+                },
+            },
         };
         if writeln!(writer, "{}", response.encode()).and_then(|_| writer.flush()).is_err() {
             break;
         }
     }
+}
+
+/// `job.*` request against a daemon started without `--data-dir`.
+fn job_support_missing(shared: &Arc<Shared>) -> Response {
+    job_error(shared, "durable jobs are disabled; start the daemon with --data-dir".into())
+}
+
+fn job_error(shared: &Arc<Shared>, message: String) -> Response {
+    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    Response::Error { id: None, message }
 }
 
 fn scheduler_loop(shared: &Arc<Shared>) {

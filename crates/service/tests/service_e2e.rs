@@ -247,6 +247,7 @@ fn load_generator_end_to_end_with_shutdown() {
         seed: 42,
         distinct: 2,
         shutdown_after: true,
+        ..LoadConfig::default()
     };
     let report = run_load(&config).unwrap();
     assert_eq!(report.ok, 24, "{report}");

@@ -13,6 +13,8 @@
 //! * [`series`] — aggregating per-generation traces across runs (Figure 6).
 //! * [`latency`] — request-latency percentile profiles (p50/p90/p99) for
 //!   the `pacga bench-serve` service load generator.
+//! * [`progress`] — job-level throughput / fraction / ETA derivation for
+//!   the durable job manager (`pacga job status`).
 //! * [`table`] — fixed-width ASCII tables for harness output.
 //! * [`render`] — ASCII box plots (Figure 5's visual, in a terminal).
 
@@ -22,6 +24,7 @@ pub mod descriptive;
 pub mod friedman;
 pub mod latency;
 pub mod mann_whitney;
+pub mod progress;
 pub mod quartiles;
 pub mod render;
 pub mod series;
@@ -33,6 +36,7 @@ pub use descriptive::Descriptive;
 pub use friedman::{friedman_test, FriedmanResult};
 pub use latency::LatencySummary;
 pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
+pub use progress::JobProgress;
 pub use quartiles::Quartiles;
 pub use series::TraceAggregator;
 pub use speedup::speedup_percentages;

@@ -1,0 +1,118 @@
+//! Job-level progress reporting for long-running scheduling sessions.
+//!
+//! The durable job manager (`pa_cga_service::jobs`) exposes each job's
+//! live counters over `job.status`; this module turns raw
+//! (done, budget, elapsed) triples into the derived figures clients
+//! display — throughput, completion fraction, and an ETA — with the edge
+//! cases (no budget, zero elapsed, overshoot past the budget) pinned
+//! down in one place instead of ad hoc in the service.
+
+/// A point-in-time progress reading of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProgress {
+    /// Units of work completed so far (evaluations for evaluation-budget
+    /// jobs, generations for generation-budget ones).
+    pub done: u64,
+    /// Total budgeted units, when the termination criterion has one
+    /// (wall-time jobs have `None` — fraction and ETA are undefined).
+    pub budget: Option<u64>,
+    /// Wall-clock seconds spent so far (summed across restarts).
+    pub elapsed_s: f64,
+}
+
+impl JobProgress {
+    /// Throughput in units per second; `None` until any time has been
+    /// observed (avoids a meaningless near-infinite rate at job start).
+    pub fn per_sec(&self) -> Option<f64> {
+        (self.elapsed_s > 1e-9).then(|| self.done as f64 / self.elapsed_s)
+    }
+
+    /// Completed fraction in `[0, 1]` (clamped: sharded accounting may
+    /// overshoot the budget slightly), or `None` without a budget.
+    pub fn fraction(&self) -> Option<f64> {
+        self.budget.filter(|&b| b > 0).map(|b| (self.done as f64 / b as f64).clamp(0.0, 1.0))
+    }
+
+    /// Estimated seconds to completion at the current rate; `None`
+    /// without a budget or before any throughput is observable. A job
+    /// at/past its budget reports `Some(0.0)`.
+    pub fn eta_s(&self) -> Option<f64> {
+        let budget = self.budget?;
+        let remaining = budget.saturating_sub(self.done);
+        if remaining == 0 {
+            return Some(0.0);
+        }
+        let rate = self.per_sec()?;
+        (rate > 0.0).then(|| remaining as f64 / rate)
+    }
+}
+
+impl std::fmt::Display for JobProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.budget {
+            Some(b) => write!(f, "{}/{b}", self.done)?,
+            None => write!(f, "{}", self.done)?,
+        }
+        if let Some(rate) = self.per_sec() {
+            write!(f, " ({rate:.0}/s")?;
+            if let Some(eta) = self.eta_s() {
+                write!(f, ", eta {eta:.0}s")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_figures() {
+        let p = JobProgress { done: 500, budget: Some(2_000), elapsed_s: 2.0 };
+        assert_eq!(p.per_sec(), Some(250.0));
+        assert_eq!(p.fraction(), Some(0.25));
+        assert_eq!(p.eta_s(), Some(6.0));
+        assert_eq!(p.to_string(), "500/2000 (250/s, eta 6s)");
+    }
+
+    #[test]
+    fn no_budget_has_no_fraction_or_eta() {
+        let p = JobProgress { done: 100, budget: None, elapsed_s: 1.0 };
+        assert_eq!(p.per_sec(), Some(100.0));
+        assert_eq!(p.fraction(), None);
+        assert_eq!(p.eta_s(), None);
+        assert_eq!(p.to_string(), "100 (100/s)");
+    }
+
+    #[test]
+    fn zero_elapsed_yields_no_rate() {
+        let p = JobProgress { done: 10, budget: Some(100), elapsed_s: 0.0 };
+        assert_eq!(p.per_sec(), None);
+        assert_eq!(p.eta_s(), None);
+        assert_eq!(p.to_string(), "10/100");
+    }
+
+    #[test]
+    fn overshoot_clamps_and_finishes() {
+        // Sharded evaluation accounting can overshoot the budget.
+        let p = JobProgress { done: 2_050, budget: Some(2_000), elapsed_s: 4.0 };
+        assert_eq!(p.fraction(), Some(1.0));
+        assert_eq!(p.eta_s(), Some(0.0));
+    }
+
+    #[test]
+    fn zero_budget_is_treated_as_budgetless() {
+        let p = JobProgress { done: 5, budget: Some(0), elapsed_s: 1.0 };
+        assert_eq!(p.fraction(), None);
+        assert_eq!(p.eta_s(), Some(0.0));
+    }
+
+    #[test]
+    fn stalled_job_has_no_eta() {
+        let p = JobProgress { done: 0, budget: Some(100), elapsed_s: 5.0 };
+        assert_eq!(p.per_sec(), Some(0.0));
+        assert_eq!(p.eta_s(), None, "zero rate cannot extrapolate");
+    }
+}

@@ -24,6 +24,10 @@
 #   6 serve  `pacga serve` boots, `pacga bench-serve` hammers it over
 #            loopback (deterministic seed), req/s and cache-hit lines are
 #            asserted, and the daemon must drain cleanly on shutdown
+#   6b jobs  durable-job gate: the SIGKILL-and-resume integration tests
+#            (release build, time-boxed) plus a shell-level
+#            `pacga job start → status → stop → archive` lifecycle smoke
+#            against a booted daemon with --data-dir
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,8 +113,9 @@ if [[ "$FAST" == 1 ]]; then
   skip "4:bench" "--fast"
   skip "5:sweep" "--fast"
   skip "6:serve" "--fast"
+  skip "6b:jobs" "--fast"
   print_summary
-  echo "==> CI green (--fast: stages 4-6 skipped)"
+  echo "==> CI green (--fast: stages 4-6b skipped)"
   exit 0
 fi
 
@@ -174,6 +179,77 @@ hits="$(sed -n 's/^server   : cache \([0-9]*\) hits.*/\1/p' <<<"$BENCH_OUT")"
   || { echo "serve smoke: repeated identical requests produced no cache hits" >&2; exit 1; }
 grep -q "drained cleanly" "$SERVE_LOG" \
   || { echo "serve smoke: daemon did not report a clean drain" >&2; exit 1; }
+rm -f "$SERVE_LOG"
+finish
+
+begin "6b:jobs" "durable jobs: kill-and-resume gate + CLI lifecycle smoke"
+# The fault-injection gate: SIGKILL the real daemon mid-job, restart,
+# require exact resume. Time-boxed — a hung recovery is a failure, not
+# a stall. The jobs e2e suite (lifecycle, stop, drain-resume) rides
+# along under the same box.
+timeout 300 cargo test -q -p pa_cga_service --test jobs_e2e
+timeout 300 cargo test -q -p pa-cga-cli --test job_kill_resume
+
+# Shell-level lifecycle smoke through the actual CLI verbs:
+# start → status → stop → (poll to stopped) → archive.
+JOBS_DIR="$(mktemp -d)"
+SERVE_LOG="$(mktemp)"
+"$PACGA" serve --addr 127.0.0.1:0 --workers 2 \
+  --data-dir "$JOBS_DIR" --checkpoint-gens 10 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+  SERVE_ADDR="$(sed -n 's/^pacga serve: listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")"
+  [[ -n "$SERVE_ADDR" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || {
+  echo "jobs smoke: daemon never announced its address" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+echo "==> jobs daemon listening on $SERVE_ADDR (data-dir $JOBS_DIR)"
+
+# A budget far too large to finish on its own: stop must end it.
+"$PACGA" job start --addr "$SERVE_ADDR" --job ci-smoke --braun u_c_hihi.0 \
+  --gens 50000000 --checkpoint-gens 10 --seed 7 --threads 1 --ls 1 \
+  | grep -Eq "state *: *(queued|running|checkpointed)" \
+  || { echo "jobs smoke: start did not report a live state" >&2; exit 1; }
+"$PACGA" job status --addr "$SERVE_ADDR" --job ci-smoke \
+  | grep -q "^job" || { echo "jobs smoke: status unreadable" >&2; exit 1; }
+"$PACGA" job stop --addr "$SERVE_ADDR" --job ci-smoke >/dev/null
+STOPPED=0
+for _ in $(seq 1 100); do
+  if "$PACGA" job status --addr "$SERVE_ADDR" --job ci-smoke \
+      | grep -Eq "state *: *stopped"; then
+    STOPPED=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$STOPPED" == 1 ]] || {
+  echo "jobs smoke: job never reached stopped after job stop" >&2
+  "$PACGA" job status --addr "$SERVE_ADDR" --job ci-smoke >&2 || true
+  exit 1
+}
+"$PACGA" job log --addr "$SERVE_ADDR" --job ci-smoke --tail 5 \
+  | grep -q "stop" || { echo "jobs smoke: log missing the stop event" >&2; exit 1; }
+ARCHIVE_OUT="$("$PACGA" job archive --addr "$SERVE_ADDR" --job ci-smoke)"
+grep -Eq "state *: *archived" <<<"$ARCHIVE_OUT" \
+  || { echo "jobs smoke: archive did not confirm: $ARCHIVE_OUT" >&2; exit 1; }
+ARCHIVED_TO="$(sed -n 's/^archived to: //p' <<<"$ARCHIVE_OUT")"
+[[ -n "$ARCHIVED_TO" && -f "$ARCHIVED_TO/manifest.json" ]] \
+  || { echo "jobs smoke: archived dir missing manifest: $ARCHIVED_TO" >&2; exit 1; }
+
+# Drain via the load driver's --shutdown (same path stage 6 exercises).
+"$PACGA" bench-serve --addr "$SERVE_ADDR" --clients 1 --requests 1 \
+  --evals 200 --seed 1 --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "drained cleanly" "$SERVE_LOG" \
+  || { echo "jobs smoke: daemon did not drain cleanly" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+rm -rf "$JOBS_DIR"
 rm -f "$SERVE_LOG"
 finish
 
