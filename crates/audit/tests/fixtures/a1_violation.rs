@@ -1,0 +1,11 @@
+// Fixture: rule A1 must fire twice — an unjustified ordering and an
+// unlisted SeqCst. Never compiled; consumed by tests/fixtures.rs.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst)
+}

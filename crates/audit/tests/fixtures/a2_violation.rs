@@ -1,0 +1,10 @@
+// Fixture: rule A2 must fire four times — unwrap, expect, panic!, and
+// slice indexing — when scoped under crates/service/src.
+pub fn brittle(input: Option<&str>, row: &[u8]) -> u8 {
+    let text = input.unwrap();
+    let parsed: u8 = text.parse().expect("not a number");
+    if parsed == 0 {
+        panic!("zero is not allowed");
+    }
+    row[0]
+}

@@ -1,0 +1,7 @@
+// Fixture: rule A3 must fire three times — bucket_tasks, bucket_start,
+// and pos (the file mentions Schedule, so the pos gate is open).
+use scheduling::Schedule;
+
+pub fn leak(s: &Schedule) -> (usize, u32, u32) {
+    (s.bucket_tasks.len(), s.bucket_start[0], s.pos[0])
+}

@@ -1,0 +1,8 @@
+// Fixture: rule A4 must fire twice — a raw fs::write and a raw
+// File::create — when scoped under crates/service.
+use std::fs::{self, File};
+
+pub fn save(path: &std::path::Path, body: &[u8]) -> std::io::Result<File> {
+    fs::write(path, body)?;
+    File::create(path.with_extension("bak"))
+}

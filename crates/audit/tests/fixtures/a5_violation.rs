@@ -1,0 +1,7 @@
+// Fixture: rule A5 must fire twice — a brace import and a fully
+// qualified std::sync::Mutex.
+use std::sync::{Arc, Mutex};
+
+pub fn build() -> Arc<Mutex<u32>> {
+    Arc::new(std::sync::Mutex::new(0))
+}

@@ -74,8 +74,8 @@ pub fn run_with_evals_ls(budget: &Budget, evaluations: u64, ls: usize) -> String
     let best: Vec<f64> = outcomes.iter().map(|o| o.best.makespan()).collect();
     let (async_best, sync_best) = best.split_at(budget.runs as usize);
 
-    let da = Descriptive::from_sample(&async_best);
-    let ds = Descriptive::from_sample(&sync_best);
+    let da = Descriptive::from_sample(async_best);
+    let ds = Descriptive::from_sample(sync_best);
     let mut table = Table::new(&["model", "mean best", "std", "min"]);
     table.row(&[
         "asynchronous".into(),
@@ -91,7 +91,7 @@ pub fn run_with_evals_ls(budget: &Budget, evaluations: u64, ls: usize) -> String
     ]);
     out.push_str(&table.render());
 
-    let mw = mann_whitney_u(&async_best, &sync_best);
+    let mw = mann_whitney_u(async_best, sync_best);
     out.push_str(&format!(
         "async mean {} sync by {:.2}% (Mann-Whitney p = {:.4})\n",
         if da.mean <= ds.mean { "≤" } else { ">" },

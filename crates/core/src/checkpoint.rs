@@ -107,7 +107,7 @@ pub fn save_population<W: Write>(w: &mut W, population: &[Individual]) -> io::Re
 }
 
 /// Writes a population checkpoint carrying run progress.
-pub fn save_population_meta<W: Write>(
+pub fn save_population_meta<W: Write + ?Sized>(
     w: &mut W,
     population: &[Individual],
     meta: &CheckpointMeta,
@@ -266,29 +266,7 @@ pub fn save_to_path(
     population: &[Individual],
     meta: &CheckpointMeta,
 ) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        let mut buf = io::BufWriter::new(&mut file);
-        save_population_meta(&mut buf, population, meta)?;
-        buf.flush()?;
-        drop(buf);
-        file.sync_all()?;
-    }
-    if let Some(prev) = rotate_to {
-        if path.exists() {
-            std::fs::rename(path, prev)?;
-        }
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        // Persist the rename: fsync the directory entry. Best-effort on
-        // filesystems that reject directory fsync.
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    crate::fsx::atomic_write_rotate(path, rotate_to, |w| save_population_meta(w, population, meta))
 }
 
 /// Loads and verifies the checkpoint at `path`.

@@ -210,6 +210,8 @@ impl<'a> PaCga<'a> {
         (
             RunOutcome {
                 best,
+                // ord: Relaxed — all worker threads have been joined, so
+                // their shard flushes happen-before this read.
                 evaluations: evaluations.load(Ordering::Relaxed),
                 generations,
                 replacements,
@@ -282,6 +284,9 @@ fn evolve_block(
                 // the fitness mirrors — no traffic on the cell locks.
                 snapshot.clear();
                 for &nb in table.neighbors(i) {
+                    // ord: Relaxed — single-word fitness mirror; staleness
+                    // is inherent to the asynchronous model and each load
+                    // is an internally consistent f64.
                     let fitness = f64::from_bits(fit[nb as usize].load(Ordering::Relaxed));
                     snapshot.push((nb, fitness));
                 }
@@ -379,6 +384,9 @@ fn evolve_block(
                             batch.materialize_into_deferred(instance, j, &mut current.schedule);
                             current.fitness = fitness;
                         }
+                        // ord: Relaxed — mirror write while still holding
+                        // the cell's write lock; the lock release publishes
+                        // it, readers tolerate stale values.
                         fit[i].store(fitness.to_bits(), Ordering::Relaxed);
                         replacements += 1;
                     }
@@ -393,6 +401,8 @@ fn evolve_block(
                 // bookkeeping and lets the boundary stop check end the
                 // run.
                 if pending >= EVAL_FLUSH_EVERY {
+                    // ord: Relaxed — monotonic shared counter; only the
+                    // count matters, never the data it orders.
                     let total = evals.fetch_add(pending, Ordering::Relaxed) + pending;
                     pending = 0;
                     if budget.is_some_and(|b| total >= b) && k + 1 < order.len() {
@@ -410,11 +420,13 @@ fn evolve_block(
         // runs. Consumes no randomness; each thread renormalizes only its
         // own block, one brief write lock at a time, republishing the
         // (possibly sharpened) fitness bits.
-        if cfg.renormalize_every > 0 && generations % cfg.renormalize_every == 0 {
+        if cfg.renormalize_every > 0 && generations.is_multiple_of(cfg.renormalize_every) {
             for i in block.clone() {
                 let mut ind = pop[i].write();
                 ind.schedule.renormalize(instance);
                 ind.evaluate();
+                // ord: Relaxed — republishing the mirror under the cell's
+                // write lock, same contract as the replacement store.
                 fit[i].store(ind.fitness_bits(), Ordering::Relaxed);
             }
         }
@@ -426,6 +438,8 @@ fn evolve_block(
             let mut sum = 0.0;
             let mut best = f64::INFINITY;
             for i in block.clone() {
+                // ord: Relaxed — trace statistics over the mirrors; stale
+                // reads only blur a plot point.
                 let f = f64::from_bits(fit[i].load(Ordering::Relaxed));
                 sum += f;
                 best = best.min(f);
@@ -435,10 +449,14 @@ fn evolve_block(
 
         // Flush before the per-sweep stop check so it sees our own work.
         if pending > 0 {
+            // ord: Relaxed — monotonic shared counter, same as mid-sweep
+            // flushes.
             evals.fetch_add(pending, Ordering::Relaxed);
             pending = 0;
         }
         // Algorithm 3 line 1: the stop check runs once per block sweep.
+        // ord: Relaxed — an undercounted budget check only delays the stop
+        // by at most one sweep; no data rides on this load.
         if cfg.termination.should_stop(start, generations, evals.load(Ordering::Relaxed)) {
             break;
         }
@@ -465,6 +483,9 @@ fn evolve_block(
                 }
                 let view = CheckpointView {
                     generation: generations,
+                    // ord: Relaxed — best-effort progress figure for the
+                    // checkpoint header; exactness is not part of its
+                    // contract.
                     evaluations: evals.load(Ordering::Relaxed) + pending,
                     population: &snap,
                 };

@@ -223,7 +223,7 @@ impl<'a> SyncCga<'a> {
 
             // Periodic drift correction (see the parallel engine): rebuild
             // cached CT vectors from scratch every K generations.
-            if cfg.renormalize_every > 0 && generations % cfg.renormalize_every == 0 {
+            if cfg.renormalize_every > 0 && generations.is_multiple_of(cfg.renormalize_every) {
                 for ind in &mut pop {
                     ind.schedule.renormalize(instance);
                     ind.evaluate();

@@ -71,9 +71,17 @@ impl<'a> RunHooks<'a> {
     }
 
     /// True once the cancel flag (if any) has been raised.
+    ///
+    /// Publication contract: raisers store `true` with `Release` after
+    /// writing any companion state (e.g. the job manager's `stop_kind`
+    /// discriminator); the `Acquire` load here makes that state visible
+    /// to whoever joins the wound-down run.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+        // ord: Acquire — pairs with the Release store in job stop/drain
+        // paths so state written before raising the flag (stop_kind) is
+        // visible after the engine observes the cancel.
+        self.cancel.is_some_and(|c| c.load(Ordering::Acquire))
     }
 
     /// True when a checkpoint is due at `generation` (which is 1-based:
@@ -82,7 +90,7 @@ impl<'a> RunHooks<'a> {
     pub fn checkpoint_due(&self, generation: u64) -> bool {
         self.checkpoint_every > 0
             && self.on_checkpoint.is_some()
-            && generation % self.checkpoint_every == 0
+            && generation.is_multiple_of(self.checkpoint_every)
     }
 }
 

@@ -52,6 +52,7 @@ pub mod config;
 pub mod crossover;
 pub mod diversity;
 pub mod engine;
+pub mod fsx;
 pub mod grid;
 pub mod hooks;
 pub mod individual;

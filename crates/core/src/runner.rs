@@ -65,9 +65,9 @@
 use crate::engine::{PaCga, SyncCga};
 use crate::hooks::RunHooks;
 use crate::trace::RunOutcome;
+use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A unit of portfolio work: one independent run producing a
@@ -223,16 +223,16 @@ impl Semaphore {
     /// Blocks until `n` slots are free, then takes them. Callers clamp
     /// `n` to the initial capacity (a larger `n` never admits).
     pub fn acquire(&self, n: usize) {
-        let mut p = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        let mut p = self.permits.lock();
         while *p < n {
-            p = self.freed.wait(p).unwrap_or_else(|e| e.into_inner());
+            p = self.freed.wait(p);
         }
         *p -= n;
     }
 
     /// Returns `n` slots to the pool.
     pub fn release(&self, n: usize) {
-        *self.permits.lock().unwrap_or_else(|e| e.into_inner()) += n;
+        *self.permits.lock() += n;
         self.freed.notify_all();
     }
 }
@@ -289,20 +289,22 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ord: Relaxed — claim ticket only; each index is handed
+                // out exactly once and the job itself is transferred
+                // through the slot Mutex, which provides the ordering.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
                 }
-                let job = slots[i]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take()
-                    .expect("each job is claimed exactly once");
+                let job = slots[i].lock().take().expect("each job is claimed exactly once");
                 capacity.acquire(weights[i]);
                 let result = catch_unwind(AssertUnwindSafe(job)).map_err(JobPanic::from_payload);
                 capacity.release(weights[i]);
-                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
-                let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+                *results[i].lock() = Some(result);
+                // ord: Relaxed — monotonic progress counter; fetch_add
+                // returns a globally unique count and the result slot was
+                // already published under its Mutex above.
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 if let Some(notify) = progress {
                     notify(ProgressEvent { index: i, completed: done, total });
                 }
@@ -312,11 +314,7 @@ where
 
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every claimed job stores a result")
-        })
+        .map(|slot| slot.into_inner().expect("every claimed job stores a result"))
         .collect()
 }
 
@@ -532,10 +530,10 @@ mod tests {
         let results = run_weighted_jobs(
             jobs.into_iter().map(|j| (1, j)).collect(),
             workers,
-            Some(&|e: ProgressEvent| seen.lock().unwrap().push(e)),
+            Some(&|e: ProgressEvent| seen.lock().push(e)),
         );
         assert_eq!(results.len(), 5);
-        let mut events = seen.into_inner().unwrap();
+        let mut events = seen.into_inner();
         assert_eq!(events.len(), 5);
         events.sort_by_key(|e| e.index);
         for (i, e) in events.iter().enumerate() {

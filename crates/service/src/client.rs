@@ -213,10 +213,11 @@ impl RobustClient {
     }
 
     fn connected(&mut self) -> Result<&mut Client, ClientError> {
-        if self.client.is_none() {
-            self.client = Some(Client::connect_with_timeout(self.addr.as_str(), self.timeout)?);
-        }
-        Ok(self.client.as_mut().expect("just connected"))
+        let client = match self.client.take() {
+            Some(client) => client,
+            None => Client::connect_with_timeout(self.addr.as_str(), self.timeout)?,
+        };
+        Ok(self.client.insert(client))
     }
 
     /// Sends `request`, retrying `busy` responses and retryable

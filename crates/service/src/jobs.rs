@@ -52,12 +52,13 @@ use pa_cga_core::hooks::{CheckpointView, RunHooks};
 use pa_cga_core::individual::Individual;
 use pa_cga_core::runner::Semaphore;
 use pa_cga_stats::JobProgress;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -215,22 +216,12 @@ impl Manifest {
     }
 }
 
-/// Writes `value` to `path` atomically: temp file + `fsync` + rename.
+/// Writes `value` to `path` atomically via the shared temp-file +
+/// `fsync` + rename helper ([`pa_cga_core::fsx`]).
 fn write_json_atomic(path: &Path, value: &Json) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(value.to_string().as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    let mut text = value.to_string();
+    text.push('\n');
+    pa_cga_core::fsx::atomic_write(path, text.as_bytes())
 }
 
 /// Appends one timestamped event line to the job's progress log.
@@ -283,28 +274,27 @@ impl JobEntry {
     }
 
     fn state(&self) -> JobState {
-        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+        *self.state.lock()
     }
 
     fn set_state(&self, s: JobState) {
-        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = s;
+        *self.state.lock() = s;
     }
 
     /// Total elapsed including the live incarnation, milliseconds.
     fn elapsed_ms(&self) -> u64 {
+        // ord: Relaxed — standalone counter; status readers tolerate a
+        // slightly stale figure.
         let base = self.elapsed_base_ms.load(Ordering::Relaxed);
-        let live = self
-            .run_started
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .map(|t| t.elapsed().as_millis() as u64)
-            .unwrap_or(0);
+        let live = self.run_started.lock().map(|t| t.elapsed().as_millis() as u64).unwrap_or(0);
         base + live
     }
 
     /// The wire-facing status body.
     fn status_body(&self) -> JobStatusBody {
         let state = self.state();
+        // ord: Relaxed — independent progress counters; a status body is
+        // a best-effort snapshot, not a consistent cut.
         let generations = self.generations.load(Ordering::Relaxed);
         let evaluations = self.evaluations.load(Ordering::Relaxed);
         let best_bits = self.best_bits.load(Ordering::Relaxed);
@@ -328,7 +318,7 @@ impl JobEntry {
             evals_per_sec: if state.is_terminal() { None } else { rate },
             eta_s: if state.is_terminal() { None } else { eta },
             archived_to: None,
-            message: self.error.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            message: self.error.lock().clone(),
         }
     }
 }
@@ -452,6 +442,8 @@ impl JobManager {
                             &dir,
                             &format!("recovered state={}", manifest.state.as_str()),
                         );
+                        // ord: Relaxed — stats counters, no data rides on
+                        // them.
                         self.resumed.fetch_add(1, Ordering::Relaxed);
                         self.started.fetch_add(1, Ordering::Relaxed);
                         resumed += 1;
@@ -468,7 +460,7 @@ impl JobManager {
                     }
                 }
             }
-            self.entries.lock().unwrap_or_else(|e| e.into_inner()).insert(name, entry);
+            self.entries.lock().insert(name, entry);
         }
         resumed
     }
@@ -476,7 +468,10 @@ impl JobManager {
     /// Starts a new durable job. `Err("draining")` maps to `busy` at the
     /// protocol layer; other errors are request errors.
     pub fn start(self: &Arc<Self>, req: JobStartRequest) -> Result<JobStatusBody, String> {
-        if self.draining.load(Ordering::SeqCst) {
+        // ord: Acquire — pairs with the AcqRel swap in begin_drain; a
+        // start racing the drain edge is safely rejected or admitted
+        // (admitted jobs still see the cancel flag).
+        if self.draining.load(Ordering::Acquire) {
             return Err("draining".into());
         }
         if req.spec.threads > self.workers {
@@ -503,6 +498,8 @@ impl JobManager {
                 (name.clone(), dir)
             }
             None => loop {
+                // ord: Relaxed — uniqueness comes from create_dir, the
+                // counter only de-duplicates candidate names.
                 let n = self.next_id.fetch_add(1, Ordering::Relaxed);
                 let candidate = format!("job-{}-{n}", now_ms());
                 let dir = self.jobs_dir.join(&candidate);
@@ -531,10 +528,8 @@ impl JobManager {
 
         let budget = BudgetKind::of(&req.spec.termination);
         let entry = Arc::new(JobEntry::new(&name, dir, &manifest, budget));
-        self.entries
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(name.clone(), Arc::clone(&entry));
+        self.entries.lock().insert(name.clone(), Arc::clone(&entry));
+        // ord: Relaxed — stats counter.
         self.started.fetch_add(1, Ordering::Relaxed);
         self.spawn_worker(Arc::clone(&entry), req, manifest, false);
         Ok(entry.status_body())
@@ -544,24 +539,31 @@ impl JobManager {
         self: &Arc<Self>,
         entry: Arc<JobEntry>,
         req: JobStartRequest,
-        manifest: Manifest,
+        mut manifest: Manifest,
         resumed: bool,
     ) {
         let mgr = Arc::clone(self);
-        let handle = std::thread::Builder::new()
+        let worker_entry = Arc::clone(&entry);
+        let worker_manifest = manifest.clone();
+        let spawned = std::thread::Builder::new()
             .name(format!("pacga-job-{}", entry.name))
-            .spawn(move || run_job(&mgr, &entry, req, manifest, resumed))
-            .expect("spawn job worker");
-        self.handles.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            .spawn(move || run_job(&mgr, &worker_entry, req, worker_manifest, resumed));
+        match spawned {
+            Ok(handle) => self.handles.lock().push(handle),
+            // Thread exhaustion is an environment failure, not a panic:
+            // the job lands terminal `failed` with the OS error recorded.
+            Err(e) => finalize(
+                self,
+                &entry,
+                &mut manifest,
+                JobState::Failed,
+                Some(format!("cannot spawn worker thread: {e}")),
+            ),
+        }
     }
 
     fn entry(&self, name: &str) -> Result<Arc<JobEntry>, String> {
-        self.entries
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(name)
-            .cloned()
-            .ok_or_else(|| format!("unknown job {name:?}"))
+        self.entries.lock().get(name).cloned().ok_or_else(|| format!("unknown job {name:?}"))
     }
 
     /// Status of one job.
@@ -575,7 +577,7 @@ impl JobManager {
         let text = std::fs::read_to_string(entry.dir.join("progress.log")).unwrap_or_default();
         let lines: Vec<&str> = text.lines().collect();
         let skip = lines.len().saturating_sub(tail);
-        Ok(lines[skip..].iter().map(|l| l.to_string()).collect())
+        Ok(lines.iter().skip(skip).map(|l| l.to_string()).collect())
     }
 
     /// Requests cancellation. Idempotent; already-terminal jobs answer
@@ -587,8 +589,14 @@ impl JobManager {
             body.message = Some(format!("job already {}", body.state));
             return Ok(body);
         }
-        entry.stop_kind.store(STOP_USER, Ordering::SeqCst);
-        entry.cancel.store(true, Ordering::SeqCst);
+        // ord: Relaxed — stop_kind is published by the Release store of
+        // the cancel flag just below; nothing reads it before observing
+        // cancel (or joining the worker).
+        entry.stop_kind.store(STOP_USER, Ordering::Relaxed);
+        // ord: Release — pairs with the engine's Acquire load in
+        // RunHooks::is_cancelled, making stop_kind visible to the
+        // wound-down run.
+        entry.cancel.store(true, Ordering::Release);
         append_progress(&entry.dir, "stop-requested");
         body.message = Some("stop requested".into());
         Ok(body)
@@ -609,7 +617,7 @@ impl JobManager {
             return Err(format!("archive destination {dest:?} already exists"));
         }
         std::fs::rename(&entry.dir, &dest).map_err(|e| format!("archive failed: {e}"))?;
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).remove(name);
+        self.entries.lock().remove(name);
         let mut body = entry.status_body();
         body.state = "archived".into();
         body.archived_to = Some(dest.to_string_lossy().into_owned());
@@ -618,25 +626,33 @@ impl JobManager {
 
     /// True once a drain has begun (new `job.start`s are rejected).
     pub fn draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
+        // ord: Acquire — pairs with the AcqRel swap in begin_drain.
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Begins the drain: every live job is asked to write a final
     /// checkpoint and park as `checkpointed` (resumed by the next daemon).
     pub fn begin_drain(&self) {
-        if self.draining.swap(true, Ordering::SeqCst) {
+        // ord: AcqRel — the winning swap orders the flag against the
+        // per-entry stop propagation below; later Acquire loads in
+        // start()/draining() observe the edge.
+        if self.draining.swap(true, Ordering::AcqRel) {
             return;
         }
-        for entry in self.entries.lock().unwrap_or_else(|e| e.into_inner()).values() {
+        for entry in self.entries.lock().values() {
             if !entry.state().is_terminal() {
                 // A user stop already in flight keeps its meaning.
+                // ord: Relaxed — single-variable CAS; the Release store
+                // of the cancel flag below publishes the outcome.
                 let _ = entry.stop_kind.compare_exchange(
                     STOP_NONE,
                     STOP_DRAIN,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
                 );
-                entry.cancel.store(true, Ordering::SeqCst);
+                // ord: Release — pairs with the Acquire load in
+                // RunHooks::is_cancelled; publishes stop_kind.
+                entry.cancel.store(true, Ordering::Release);
             }
         }
     }
@@ -645,8 +661,7 @@ impl JobManager {
     /// jobs must be finishing on their own).
     pub fn join_all(&self) {
         loop {
-            let drained: Vec<JoinHandle<()>> =
-                self.handles.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+            let drained: Vec<JoinHandle<()>> = self.handles.lock().drain(..).collect();
             if drained.is_empty() {
                 return;
             }
@@ -658,14 +673,11 @@ impl JobManager {
 
     /// Counter snapshot for the `stats` response.
     pub fn counters(&self) -> JobCounters {
-        let active = self
-            .entries
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .filter(|e| !e.state().is_terminal())
-            .count() as u64;
+        let active =
+            self.entries.lock().values().filter(|e| !e.state().is_terminal()).count() as u64;
         JobCounters {
+            // ord: Relaxed — stats counters; the snapshot needs no
+            // cross-counter consistency.
             started: self.started.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -694,23 +706,29 @@ fn finalize(
     error: Option<String>,
 ) {
     manifest.state = state;
+    // ord: Relaxed — the worker thread finalizing is the same thread
+    // that last stored these counters (or joined the one that did).
     manifest.generations = entry.generations.load(Ordering::Relaxed);
     manifest.evaluations = entry.evaluations.load(Ordering::Relaxed);
     manifest.elapsed_ms = entry.elapsed_ms();
+    // ord: Relaxed — same single-writer argument as above.
     let best = entry.best_bits.load(Ordering::Relaxed);
     manifest.best = (best != u64::MAX).then(|| f64::from_bits(best));
     manifest.error = error.clone();
+    // ord: Relaxed — status readers tolerate staleness.
     entry.elapsed_base_ms.store(manifest.elapsed_ms, Ordering::Relaxed);
-    *entry.run_started.lock().unwrap_or_else(|e| e.into_inner()) = None;
-    *entry.error.lock().unwrap_or_else(|e| e.into_inner()) = error.clone();
+    *entry.run_started.lock() = None;
+    *entry.error.lock() = error.clone();
     entry.set_state(state);
     let _ = write_json_atomic(&entry.dir.join("manifest.json"), &manifest.to_json(&entry.name));
     match state {
         JobState::Done => {
+            // ord: Relaxed — stats counter.
             mgr.completed.fetch_add(1, Ordering::Relaxed);
             append_progress(&entry.dir, "done");
         }
         JobState::Failed => {
+            // ord: Relaxed — stats counter.
             mgr.failed.fetch_add(1, Ordering::Relaxed);
             append_progress(
                 &entry.dir,
@@ -754,7 +772,7 @@ fn write_result(
             csv.push_str(&format!("{tid},{sweep},{mean},{best}\n"));
         }
     }
-    let _ = std::fs::write(entry.dir.join("trace.csv"), csv);
+    let _ = pa_cga_core::fsx::atomic_write(&entry.dir.join("trace.csv"), csv.as_bytes());
 }
 
 /// The detached worker: admission, checkpoint recovery, the hooked
@@ -789,7 +807,9 @@ fn run_job_inner(
     resumed: bool,
 ) {
     // Cancelled while queued?
-    match entry.stop_kind.load(Ordering::SeqCst) {
+    // ord: Relaxed — racing a concurrent stop is benign: a missed kind
+    // here is caught by the cancel flag at the first sweep boundary.
+    match entry.stop_kind.load(Ordering::Relaxed) {
         STOP_USER => return finalize(mgr, entry, manifest, JobState::Stopped, None),
         // Drain before we even started: leave the on-disk state as-is
         // (queued/checkpointed), the next daemon picks it up.
@@ -851,11 +871,14 @@ fn run_job_inner(
         Some((pop, meta)) => (Some(pop), meta),
         None => (None, CheckpointMeta::default()),
     };
+    // ord: Relaxed — single-writer progress mirrors; status queries read
+    // them without cross-field consistency requirements.
     entry.generations.store(base.generations, Ordering::Relaxed);
     entry.evaluations.store(base.evaluations, Ordering::Relaxed);
     entry.elapsed_base_ms.store(base.elapsed_ms, Ordering::Relaxed);
     if let Some(pop) = &initial {
         let best = pop.iter().map(|i| i.fitness).fold(f64::INFINITY, f64::min);
+        // ord: Relaxed — same mirror contract as above.
         entry.best_bits.store(best.to_bits(), Ordering::Relaxed);
     }
 
@@ -868,15 +891,17 @@ fn run_job_inner(
         Termination::Generations(g) => Some(Termination::Generations(g - base.generations)),
         Termination::WallTime(d) => {
             let left = d.saturating_sub(Duration::from_millis(base.elapsed_ms));
-            (!left.is_zero()).then(|| Termination::WallTime(left))
+            (!left.is_zero()).then_some(Termination::WallTime(left))
         }
     };
     let Some(remaining) = remaining else {
-        if let Some(pop) = &initial {
-            let best = pop
-                .iter()
-                .min_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
-                .expect("checkpoint population is non-empty");
+        // total_cmp keeps this panic-free even if a corrupt checkpoint
+        // smuggled a NaN fitness through; an empty population simply
+        // writes no result file.
+        if let Some(best) = initial
+            .as_ref()
+            .and_then(|pop| pop.iter().min_by(|a, b| a.fitness.total_cmp(&b.fitness)))
+        {
             write_result(
                 entry,
                 &instance,
@@ -895,7 +920,7 @@ fn run_job_inner(
     let _ = write_json_atomic(&entry.dir.join("manifest.json"), &manifest.to_json(&entry.name));
     entry.set_state(JobState::Running);
     let run_started = Instant::now();
-    *entry.run_started.lock().unwrap_or_else(|e| e.into_inner()) = Some(run_started);
+    *entry.run_started.lock() = Some(run_started);
     append_progress(&entry.dir, &format!("running resumed={resumed} threads={}", cfg.threads));
 
     // The checkpoint callback runs on engine thread 0: rotate + write
@@ -914,12 +939,14 @@ fn run_job_inner(
             return;
         }
         let best = view.best_fitness();
+        // ord: Relaxed — progress mirrors for status queries; the
+        // manifest write below is the durable record.
         entry.generations.store(meta.generations, Ordering::Relaxed);
         entry.evaluations.store(meta.evaluations, Ordering::Relaxed);
         entry.best_bits.store(best.to_bits(), Ordering::Relaxed);
         entry.set_state(JobState::Checkpointed);
         {
-            let mut m = manifest_cell.lock().unwrap_or_else(|e| e.into_inner());
+            let mut m = manifest_cell.lock();
             m.state = JobState::Checkpointed;
             m.generations = meta.generations;
             m.evaluations = meta.evaluations;
@@ -940,17 +967,22 @@ fn run_job_inner(
 
     let engine = PaCga::new(&instance, cfg.clone());
     let (outcome, population) = engine.run_hooked(initial, &hooks);
-    drop(hooks);
-    *manifest = manifest_cell.into_inner().unwrap_or_else(|e| e.into_inner());
+    *manifest = manifest_cell.into_inner();
 
     let total_gens = base.generations + outcome.generations.first().copied().unwrap_or(0);
     let total_evals = base.evaluations + outcome.evaluations;
     let total_elapsed = base.elapsed_ms + run_started.elapsed().as_millis() as u64;
+    // ord: Relaxed — post-run mirror updates; the engine threads are
+    // already joined.
     entry.generations.store(total_gens, Ordering::Relaxed);
     entry.evaluations.store(total_evals, Ordering::Relaxed);
     entry.best_bits.store(outcome.best.fitness.to_bits(), Ordering::Relaxed);
 
-    match entry.stop_kind.load(Ordering::SeqCst) {
+    // ord: Relaxed — run_hooked joined the engine threads, whose Acquire
+    // load of the cancel flag ordered the raiser's stop_kind store
+    // before this read (stop raised after the run wound down is caught
+    // here directly; either way the kind is coherent).
+    match entry.stop_kind.load(Ordering::Relaxed) {
         STOP_USER => finalize(mgr, entry, manifest, JobState::Stopped, None),
         STOP_DRAIN => {
             // Park resumable: one final snapshot so the next daemon
@@ -969,8 +1001,9 @@ fn run_job_inner(
                     manifest.elapsed_ms = total_elapsed;
                     manifest.best = Some(outcome.best.fitness);
                     entry.set_state(JobState::Checkpointed);
+                    // ord: Relaxed — status mirror.
                     entry.elapsed_base_ms.store(total_elapsed, Ordering::Relaxed);
-                    *entry.run_started.lock().unwrap_or_else(|e| e.into_inner()) = None;
+                    *entry.run_started.lock() = None;
                     let _ = write_json_atomic(
                         &entry.dir.join("manifest.json"),
                         &manifest.to_json(&entry.name),

@@ -215,7 +215,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -225,7 +225,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        if self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(text.as_bytes())) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -257,7 +257,7 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.enter()?;
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -283,7 +283,7 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.enter()?;
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -295,7 +295,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -313,7 +313,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -322,8 +322,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             if self.pos > start {
-                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                let bytes = self.bytes.get(start..self.pos).unwrap_or_default();
+                let chunk =
+                    std::str::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))?;
                 out.push_str(chunk);
             }
             match self.peek() {
@@ -359,7 +360,7 @@ impl<'a> Parser<'a> {
                     // High surrogate: a \uXXXX low surrogate must follow.
                     if self.peek() == Some(b'\\') {
                         self.pos += 1;
-                        self.expect(b'u')?;
+                        self.expect_byte(b'u')?;
                         let lo = self.hex4()?;
                         if !(0xDC00..0xE000).contains(&lo) {
                             return Err(self.err("invalid low surrogate"));
@@ -376,11 +377,10 @@ impl<'a> Parser<'a> {
     }
 
     fn hex4(&mut self) -> Result<u32, JsonError> {
-        if self.pos + 4 > self.bytes.len() {
+        let Some(bytes) = self.bytes.get(self.pos..self.pos + 4) else {
             return Err(self.err("truncated \\u escape"));
-        }
-        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| self.err("non-hex \\u escape"))?;
+        };
+        let text = std::str::from_utf8(bytes).map_err(|_| self.err("non-hex \\u escape"))?;
         let value = u32::from_str_radix(text, 16).map_err(|_| self.err("non-hex \\u escape"))?;
         self.pos += 4;
         Ok(value)
@@ -395,7 +395,11 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let bytes = self.bytes.get(start..self.pos).unwrap_or_default();
+        // The scanned run is ASCII sign/digit/exponent bytes, so UTF-8
+        // decoding cannot fail; an empty fallback parses to a bad-number
+        // error rather than a panic.
+        let text = std::str::from_utf8(bytes).unwrap_or_default();
         let n: f64 = text
             .parse()
             .map_err(|_| JsonError { message: format!("bad number {text:?}"), offset: start })?;

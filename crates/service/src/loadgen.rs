@@ -12,7 +12,7 @@
 use crate::client::{Client, ClientError, RetryPolicy, RobustClient};
 use crate::json::Json;
 use pa_cga_stats::LatencySummary;
-use std::sync::Mutex;
+use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
 /// Load-generator configuration (the `pacga bench-serve` flags).
@@ -123,7 +123,11 @@ impl std::fmt::Display for LoadReport {
 /// generator-spec instance, so the daemon exercises `etc_model`
 /// decoding and the cache digest end-to-end without 512×16 payloads.
 fn request_shape(k: usize, seed: u64, evals: u64) -> Json {
-    let consistency = ["i", "c", "s"][k % 3];
+    let consistency = match k % 3 {
+        0 => "i",
+        1 => "c",
+        _ => "s",
+    };
     Json::obj(vec![
         ("type", Json::str("schedule")),
         ("id", Json::str(format!("load-{k}"))),
@@ -133,7 +137,7 @@ fn request_shape(k: usize, seed: u64, evals: u64) -> Json {
                 ("tasks", Json::num(64.0)),
                 ("machines", Json::num(8.0)),
                 ("consistency", Json::str(consistency)),
-                ("task_het", Json::str(if k % 2 == 0 { "hi" } else { "lo" })),
+                ("task_het", Json::str(if k.is_multiple_of(2) { "hi" } else { "lo" })),
                 ("machine_het", Json::str("hi")),
                 ("seed", Json::num((seed + k as u64) as f64)),
             ]),
@@ -199,13 +203,13 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
                     }
                 }
                 tally.retries = client.retries();
-                tallies.lock().unwrap_or_else(|e| e.into_inner()).push(tally);
+                tallies.lock().push(tally);
             });
         }
     });
     let elapsed = start.elapsed();
 
-    let tallies = tallies.into_inner().unwrap_or_else(|e| e.into_inner());
+    let tallies = tallies.into_inner();
     let mut ok = 0;
     let mut cached = 0;
     let mut coalesced = 0;

@@ -106,8 +106,9 @@ pub fn validate_job_name(name: &str) -> Result<(), String> {
     if name.is_empty() || name.len() > 64 {
         return Err("job name must be 1..=64 characters".into());
     }
-    let mut chars = name.chars();
-    let first = chars.next().expect("non-empty");
+    let Some(first) = name.chars().next() else {
+        return Err("job name must be 1..=64 characters".into());
+    };
     if !first.is_ascii_alphanumeric() {
         return Err("job name must start with an ASCII letter or digit".into());
     }
@@ -350,10 +351,10 @@ impl ScheduleRequest {
             InstanceSource::Generator(params) => Ok(EtcGenerator::new(*params).generate()),
             InstanceSource::Inline { name, etc, ready } => {
                 let n_tasks = etc.len();
-                if n_tasks == 0 {
+                let Some(first_row) = etc.first() else {
                     return Err("inline etc matrix is empty".into());
-                }
-                let n_machines = etc[0].len();
+                };
+                let n_machines = first_row.len();
                 if n_machines == 0 {
                     return Err("inline etc matrix has zero machines".into());
                 }

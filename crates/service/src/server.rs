@@ -33,12 +33,13 @@ use pa_cga_core::config::PaCgaConfig;
 use pa_cga_core::engine::PaCga;
 use pa_cga_core::runner::{resolve_workers, Portfolio, RunSpec};
 use pa_cga_core::trace::RunOutcome;
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -95,6 +96,27 @@ struct Metrics {
     evaluations: AtomicU64,
 }
 
+impl Metrics {
+    /// Bumps a stats counter by one.
+    fn bump(counter: &AtomicU64) {
+        // ord: Relaxed — monotonic advisory counters; no data rides on
+        // them.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a stats counter.
+    fn add(counter: &AtomicU64, n: u64) {
+        // ord: Relaxed — same advisory-counter contract as `bump`.
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to at least `n`.
+    fn raise(counter: &AtomicU64, n: u64) {
+        // ord: Relaxed — same advisory-counter contract as `bump`.
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
+}
+
 struct Shared {
     addr: SocketAddr,
     workers: usize,
@@ -121,8 +143,11 @@ struct Shared {
 
 impl Shared {
     fn try_enqueue(&self, request: ScheduleRequest) -> Result<mpsc::Receiver<Response>, String> {
-        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        if self.shutdown.load(Ordering::SeqCst) {
+        let mut queue = self.queue.lock();
+        // ord: Relaxed — checked under the queue mutex; the drain
+        // trigger bridges the same mutex before notifying, so the flag
+        // and the queue state stay coherent.
+        if self.shutdown.load(Ordering::Relaxed) {
             return Err("draining".into());
         }
         if queue.len() >= self.queue_cap {
@@ -130,16 +155,23 @@ impl Shared {
         }
         let (tx, rx) = mpsc::channel();
         queue.push_back(Job { request, reply: tx });
-        self.metrics.received.fetch_add(1, Ordering::Relaxed);
+        Metrics::bump(&self.metrics.received);
         drop(queue);
         self.queue_cv.notify_one();
         Ok(rx)
     }
 
     fn trigger_shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        // ord: AcqRel — exactly one caller wins the drain edge and runs
+        // the teardown below; losers return immediately.
+        if self.shutdown.swap(true, Ordering::AcqRel) {
             return; // already draining
         }
+        // Bridge the queue mutex between raising the flag and notifying:
+        // a scheduler that checked the flag before the store is now
+        // either waiting (and gets the notify) or still holds the lock
+        // (and re-checks after this acquire succeeds) — no lost wakeup.
+        drop(self.queue.lock());
         self.queue_cv.notify_all();
         // Park every live job behind a final checkpoint so the next
         // daemon incarnation can resume it.
@@ -150,33 +182,42 @@ impl Shared {
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         // Stop further intake at the socket level: idle connections see
         // EOF now instead of holding join() to the grace deadline.
-        for stream in self.conn_streams.lock().unwrap_or_else(|e| e.into_inner()).values() {
+        for stream in self.conn_streams.lock().values() {
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
     }
 
     fn snapshot(&self) -> StatsSnapshot {
         let (cache_hits, cache_misses, cache_entries, cache_capacity) = {
-            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let cache = self.cache.lock();
             (cache.hits(), cache.misses(), cache.len(), cache.capacity())
         };
         let uptime_s = self.start.elapsed().as_secs_f64();
+        // ord: Relaxed — advisory stats counters; the snapshot needs no
+        // cross-counter consistency.
         let completed = self.metrics.completed.load(Ordering::Relaxed);
+        let received = self.metrics.received.load(Ordering::Relaxed);
+        let errors = self.metrics.errors.load(Ordering::Relaxed);
+        let busy = self.metrics.busy.load(Ordering::Relaxed);
+        let coalesced = self.metrics.coalesced.load(Ordering::Relaxed);
+        let batches = self.metrics.batches.load(Ordering::Relaxed);
+        let max_batch = self.metrics.max_batch.load(Ordering::Relaxed);
+        let evaluations = self.metrics.evaluations.load(Ordering::Relaxed);
         let jobs = self.jobs.as_ref().map(|j| j.counters()).unwrap_or_default();
         StatsSnapshot {
             uptime_s,
-            received: self.metrics.received.load(Ordering::Relaxed),
+            received,
             completed,
-            errors: self.metrics.errors.load(Ordering::Relaxed),
-            busy: self.metrics.busy.load(Ordering::Relaxed),
+            errors,
+            busy,
             cache_hits,
             cache_misses,
             cache_entries,
             cache_capacity,
-            coalesced: self.metrics.coalesced.load(Ordering::Relaxed),
-            batches: self.metrics.batches.load(Ordering::Relaxed),
-            max_batch: self.metrics.max_batch.load(Ordering::Relaxed),
-            evaluations: self.metrics.evaluations.load(Ordering::Relaxed),
+            coalesced,
+            batches,
+            max_batch,
+            evaluations,
             req_per_sec: completed as f64 / uptime_s.max(1e-9),
             jobs_started: jobs.started,
             jobs_completed: jobs.completed,
@@ -261,14 +302,13 @@ impl ServerHandle {
         }
         let grace = Duration::from_secs(10);
         let deadline = Instant::now() + grace;
-        let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        let mut conns = self.shared.conns.lock();
         while *conns > 0 {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
             }
-            let (guard, _) =
-                self.shared.conns_cv.wait_timeout(conns, left).unwrap_or_else(|e| e.into_inner());
+            let (guard, _) = self.shared.conns_cv.wait_timeout(conns, left);
             conns = guard;
         }
         drop(conns);
@@ -339,45 +379,44 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                // ord: Acquire — pairs with the AcqRel drain swap; seeing
+                // the flag means the read-shutdown sweep is underway.
+                if shared.shutdown.load(Ordering::Acquire) {
                     break; // the shutdown poke, or a late client
                 }
-                *shared.conns.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                *shared.conns.lock() += 1;
+                // ord: Relaxed — connection ids only need uniqueness.
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(read_half) = stream.try_clone() {
-                    shared
-                        .conn_streams
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(conn_id, read_half);
+                    shared.conn_streams.lock().insert(conn_id, read_half);
                 }
                 // Registration raced a concurrent drain trigger: apply
                 // the read-side shutdown this connection just missed.
-                if shared.shutdown.load(Ordering::SeqCst) {
+                // ord: Relaxed — the conn_streams mutex (held by both the
+                // insert above and the drain sweep) supplies the
+                // ordering; the flag is a mere re-check.
+                if shared.shutdown.load(Ordering::Relaxed) {
                     let _ = stream.shutdown(std::net::Shutdown::Read);
                 }
                 let conn_shared = Arc::clone(shared);
                 let spawned =
                     std::thread::Builder::new().name("pacga-conn".into()).spawn(move || {
                         handle_connection(&conn_shared, stream);
-                        conn_shared
-                            .conn_streams
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .remove(&conn_id);
-                        *conn_shared.conns.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+                        conn_shared.conn_streams.lock().remove(&conn_id);
+                        *conn_shared.conns.lock() -= 1;
                         conn_shared.conns_cv.notify_all();
                     });
                 if spawned.is_err() {
                     // Thread exhaustion: undo the bookkeeping and drop
                     // the connection rather than wedge the acceptor.
-                    shared.conn_streams.lock().unwrap_or_else(|e| e.into_inner()).remove(&conn_id);
-                    *shared.conns.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+                    shared.conn_streams.lock().remove(&conn_id);
+                    *shared.conns.lock() -= 1;
                     shared.conns_cv.notify_all();
                 }
             }
             Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                // ord: Relaxed — only the flag's own value matters here.
+                if shared.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
             }
@@ -402,7 +441,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         }
         let response = match Request::decode(&line) {
             Err(message) => {
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Metrics::bump(&shared.metrics.errors);
                 Response::Error { id: None, message }
             }
             Ok(Request::Ping) => Response::Ok { message: "pong".into() },
@@ -413,11 +452,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
             Ok(Request::Schedule(request)) => match shared.try_enqueue(*request) {
                 Err(reason) => {
-                    shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                    Metrics::bump(&shared.metrics.busy);
                     Response::Busy { reason }
                 }
                 Ok(rx) => rx.recv().unwrap_or_else(|_| {
-                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    Metrics::bump(&shared.metrics.errors);
                     Response::Error { id: None, message: "scheduler unavailable".into() }
                 }),
             },
@@ -426,7 +465,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 Some(jobs) => match jobs.start(*request) {
                     Ok(body) => Response::Job(Box::new(body)),
                     Err(reason) if reason == "draining" => {
-                        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                        Metrics::bump(&shared.metrics.busy);
                         Response::Busy { reason }
                     }
                     Err(message) => job_error(shared, message),
@@ -473,28 +512,31 @@ fn job_support_missing(shared: &Arc<Shared>) -> Response {
 }
 
 fn job_error(shared: &Arc<Shared>, message: String) -> Response {
-    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    Metrics::bump(&shared.metrics.errors);
     Response::Error { id: None, message }
 }
 
 fn scheduler_loop(shared: &Arc<Shared>) {
     loop {
         let batch: Vec<Job> = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut queue = shared.queue.lock();
             loop {
                 if !queue.is_empty() {
                     let take = queue.len().min(shared.batch_max);
                     break queue.drain(..take).collect();
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                // ord: Relaxed — checked under the queue mutex; the
+                // drain trigger bridges the same mutex before notifying,
+                // so an empty queue + raised flag is a settled state.
+                if shared.shutdown.load(Ordering::Relaxed) {
                     return; // drained: queue empty under the lock
                 }
-                queue = shared.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+                queue = shared.queue_cv.wait(queue);
             }
         };
         let size = batch.len() as u64;
-        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.max_batch.fetch_max(size, Ordering::Relaxed);
+        Metrics::bump(&shared.metrics.batches);
+        Metrics::raise(&shared.metrics.max_batch, size);
         process_batch(shared, batch);
     }
 }
@@ -519,7 +561,7 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         let instance = match job.request.resolve_instance() {
             Ok(i) => i,
             Err(message) => {
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Metrics::bump(&shared.metrics.errors);
                 let _ = job.reply.send(Response::Error { id: job.request.id.clone(), message });
                 continue;
             }
@@ -528,7 +570,7 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         // has slots: the weight would clamp but the engine would still
         // spawn every thread, oversubscribing the host.
         if job.request.threads > shared.workers {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Metrics::bump(&shared.metrics.errors);
             let _ = job.reply.send(Response::Error {
                 id: job.request.id.clone(),
                 message: format!(
@@ -541,9 +583,9 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         let digest = job.request.digest(&instance);
 
         // Cache pass: an identical earlier request already answered this.
-        let hit = shared.cache.lock().unwrap_or_else(|e| e.into_inner()).get(digest);
+        let hit = shared.cache.lock().get(digest);
         if let Some(run) = hit {
-            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            Metrics::bump(&shared.metrics.completed);
             let _ =
                 job.reply.send(result_response(&job.request, instance.name(), &run, true, false));
             continue;
@@ -586,7 +628,7 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
         match result {
             Err(panic) => {
                 for (job, _) in &p.jobs {
-                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    Metrics::bump(&shared.metrics.errors);
                     let _ = job.reply.send(Response::Error {
                         id: job.request.id.clone(),
                         message: format!("engine failed: {panic}"),
@@ -595,16 +637,12 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
             }
             Ok(outcome) => {
                 let run = cached_run(&p.instance, &outcome);
-                shared.metrics.evaluations.fetch_add(outcome.evaluations, Ordering::Relaxed);
-                shared
-                    .cache
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(p.digest, run.clone());
+                Metrics::add(&shared.metrics.evaluations, outcome.evaluations);
+                shared.cache.lock().insert(p.digest, run.clone());
                 for (k, (job, name)) in p.jobs.iter().enumerate() {
-                    shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    Metrics::bump(&shared.metrics.completed);
                     if k > 0 {
-                        shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                        Metrics::bump(&shared.metrics.coalesced);
                     }
                     let _ = job.reply.send(result_response(&job.request, name, &run, false, k > 0));
                 }

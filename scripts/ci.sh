@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The full local CI gate. Run from anywhere; operates on the repo root.
 #
-#   scripts/ci.sh          # all stages
-#   scripts/ci.sh --fast   # inner-loop gate: stages 0-3 only
+#   scripts/ci.sh                    # all stages
+#   scripts/ci.sh --fast             # inner-loop gate: stages 0-3 only
+#   scripts/ci.sh --self-test-audit  # prove the audit gate can fail:
+#                                    # seed a violation, expect exit != 0
 #
 # Named stages, each fatal on failure, each wall-clock timed (summary
 # table at the end):
@@ -10,12 +12,21 @@
 #            rustfmt component is unavailable in the build container)
 #   1 build  cargo build --release (every crate, every target — benches
 #            and experiment binaries must at least compile)
+#   1b audit pacga-audit, the in-tree invariant analyzer (DESIGN.md §11):
+#            rules A1-A5 over crates/ and src/, hard fail on any
+#            violation; the stage first self-tests by seeding a
+#            violation into a temp tree and requiring a non-zero exit
+#   1c clippy cargo clippy --workspace --all-targets -- -D warnings
+#            (soft-skip with a visible WARN when clippy is unavailable)
 #   2 test   cargo test -q (unit + property + integration + doc tests)
 #   2b delta delta-oracle differential gate: the incremental-evaluation
 #            suites (prop_delta, prop_operators, delta_toggle,
 #            stress_fitness) re-run under --release, where float codegen
 #            differs from debug — bit-identity must hold in the optimized
 #            build the benchmarks and production runs actually use
+#   2c miri  cargo miri test on the core concurrency subset, time-boxed
+#            to 120s (soft-skip with a visible WARN when the miri
+#            component is unavailable; skipped under --fast)
 #   3 doc    cargo doc --no-deps with warnings denied (doc rot fails fast)
 #   4 bench  bench smoke (every criterion bench body runs once) plus the
 #            perf-regression gate: scripts/bench_check.sh --self-test,
@@ -32,12 +43,44 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+SELF_TEST_AUDIT=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
-    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+    --self-test-audit) SELF_TEST_AUDIT=1 ;;
+    *) echo "usage: $0 [--fast|--self-test-audit]" >&2; exit 2 ;;
   esac
 done
+
+# Seeds one known violation into a throwaway tree and requires the
+# analyzer to (a) exit non-zero and (b) name the exact file:line rule.
+# Proves the audit gate is live — a gate that cannot fail gates nothing.
+audit_self_test() {
+  local tmp out
+  tmp="$(mktemp -d)"
+  mkdir -p "$tmp/crates/service/src"
+  printf 'pub fn f(v: &[u8]) -> u8 { v[0] }\n' >"$tmp/crates/service/src/seeded.rs"
+  if out="$(target/release/pacga-audit --root "$tmp" 2>&1)"; then
+    echo "audit self-test: seeded violation was NOT detected" >&2
+    echo "$out" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  grep -q "crates/service/src/seeded.rs:1 A2" <<<"$out" || {
+    echo "audit self-test: violation detected but report malformed:" >&2
+    echo "$out" >&2
+    rm -rf "$tmp"
+    return 1
+  }
+  rm -rf "$tmp"
+  echo "audit self-test: seeded A2 violation detected, exit non-zero, report well-formed"
+}
+
+if [[ "$SELF_TEST_AUDIT" == 1 ]]; then
+  cargo build --release -q -p pacga_audit
+  audit_self_test
+  exit 0
+fi
 
 SUMMARY=()
 CURRENT=""
@@ -95,6 +138,20 @@ begin "1:build" "cargo build --release (all targets)"
 cargo build --release --workspace --all-targets
 finish
 
+begin "1b:audit" "pacga-audit invariant analyzer (rules A1-A5)"
+audit_self_test
+target/release/pacga-audit --root .
+finish
+
+begin "1c:clippy" "cargo clippy --workspace (-D warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets --quiet -- -D warnings
+  finish
+else
+  echo "WARN: clippy component unavailable in this container — lint wall soft-skipped" >&2
+  finish "skipped (no clippy)"
+fi
+
 begin "2:test" "cargo test -q (includes service e2e + identity tests)"
 cargo test -q --workspace
 finish
@@ -104,6 +161,38 @@ cargo test -q --release -p scheduling --test prop_delta
 cargo test -q --release -p pa_cga_core \
   --test prop_operators --test delta_toggle --test stress_fitness
 finish
+
+if [[ "$FAST" == 1 ]]; then
+  skip "2c:miri" "--fast"
+else
+  begin "2c:miri" "cargo miri test (core concurrency subset, 120s box)"
+  if cargo miri --version >/dev/null 2>&1; then
+    # Subset only — the highest-UB-risk suites: the vendored rand stub
+    # (raw xorshift bit-fiddling), the scheduling property tests (CSR
+    # index arithmetic), and the checkpoint round-trip (byte-level
+    # parse of untrusted files). Full-suite miri is hours; this box
+    # keeps the stage bounded. Timeout (124) is a visible WARN, not a
+    # failure — miri throughput varies wildly across hosts and a slow
+    # run proves nothing about the code.
+    rc=0
+    timeout 120 env MIRIFLAGS="-Zmiri-disable-isolation" bash -c '
+      cargo miri test -q -p rand --lib &&
+      cargo miri test -q -p scheduling --test prop_schedule &&
+      cargo miri test -q -p pa_cga_core --test checkpoint_roundtrip
+    ' || rc=$?
+    if [[ "$rc" == 124 ]]; then
+      echo "WARN: miri subset exceeded the 120s box — result inconclusive" >&2
+      finish "TIMEOUT (120s box)"
+    elif [[ "$rc" != 0 ]]; then
+      exit "$rc"
+    else
+      finish
+    fi
+  else
+    echo "WARN: miri component unavailable on this toolchain — UB gate soft-skipped" >&2
+    finish "skipped (no miri)"
+  fi
+fi
 
 begin "3:doc" "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

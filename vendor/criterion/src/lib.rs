@@ -99,7 +99,7 @@ fn median(samples: &mut [f64]) -> f64 {
 
 fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--test")
-        || std::env::var("CRITERION_STUB_SMOKE").map_or(false, |v| v != "0")
+        || std::env::var("CRITERION_STUB_SMOKE").is_ok_and(|v| v != "0")
 }
 
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {

@@ -9,8 +9,9 @@
 //! `lock_overhead` bench exists to quantify exactly that.
 
 use std::sync::{self, PoisonError};
+use std::time::Duration;
 
-pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult};
 
 /// Reader-writer lock with `parking_lot`'s panic-free API.
 #[derive(Debug, Default)]
@@ -92,6 +93,48 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`].
+///
+/// API deviation from the real `parking_lot`: `wait` takes and returns
+/// the guard by value (std style) rather than `&mut` — the stand-in's
+/// guard *is* `std::sync::MutexGuard`, which cannot be re-acquired
+/// through a `&mut` borrow. Call sites migrating to the real crate
+/// change `guard = cv.wait(guard)` into `cv.wait(&mut guard)`.
+/// Poisoning is swallowed for the same reason as the locks above.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically releases the lock and blocks until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// [`Condvar::wait`] with a timeout; the result reports whether the
+    /// wait timed out (spurious wakeups still possible either way).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.inner.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +160,32 @@ mod tests {
         let _r = l.read();
         assert!(l.try_write().is_none());
         assert!(l.try_read().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+            })
+        };
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        waiter.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_timeout() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let (_guard, result) = cv.wait_timeout(lock.lock(), Duration::from_millis(10));
+        assert!(result.timed_out());
     }
 }
