@@ -71,14 +71,21 @@ USAGE:
                  [--workers W]
   pacga serve    [--addr HOST:PORT] [--workers W] [--queue-cap Q]
                  [--cache-cap C] [--batch-max B] [--data-dir DIR]
-                 [--checkpoint-gens N]
+                 [--checkpoint-gens N] [--archive-keep-days D]
   pacga bench-serve [--addr HOST:PORT] [--clients N] [--requests M]
-                 [--evals E] [--seed S] [--distinct D] [--shutdown]
-                 [--timeout MS] [--retries R]
+                 [--evals E] [--seed S] [--distinct D] [--tasks N]
+                 [--machines M] [--shutdown] [--timeout MS]
+                 [--retries R]
+  pacga chaos    [--addr HOST:PORT] [--storm burst|flap|drift|mixed]
+                 [--events N] [--evals E] [--seed S] [--tasks N]
+                 [--machines M] [--grid G] [--session NAME] [--resume]
+                 [--reschedule-baseline H] [--no-probes]
+                 [--assert-warm-wins] [--shutdown] [--timeout MS]
   pacga job start --braun NAME [--job NAME] [--checkpoint-gens N]
                  [--evals E | --gens G | --time-ms T] [--seed S]
                  [--threads N] [--ls N] [--crossover opx|tpx|ux]
   pacga job (status|log|stop|archive) --job NAME [--tail N]
+  pacga job list
      (all job verbs also take [--addr HOST:PORT] [--timeout MS]
       [--retries R])
   pacga list
@@ -98,6 +105,14 @@ when done.
 With --data-dir, `serve` also runs the durable job manager: `pacga job
 start` submits a named crash-safe run that checkpoints every N
 generations and survives daemon restarts (see README \"Durable jobs\").
+`pacga job list` shows live and archived jobs; --archive-keep-days
+prunes archive buckets older than D days at daemon boot.
+
+`chaos` drives a seeded fault-injection storm through a schedule-stream
+session on the daemon and checks the dynamic-rescheduling invariants
+after every event (see README \"Dynamic rescheduling\"). With --session
+(against a --data-dir daemon) the session survives daemon kills and
+--resume continues it.
 ";
 
 /// Loads an instance from `--braun NAME` or `--instance FILE`.
@@ -466,6 +481,10 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         batch_max: args.get_parse("batch-max", 16usize, "usize")?,
         data_dir: args.get("data-dir").map(String::from),
         checkpoint_gens: args.get_parse("checkpoint-gens", 64u64, "u64")?,
+        archive_keep_days: match args.get("archive-keep-days") {
+            Some(_) => Some(args.get_parse("archive-keep-days", 0u64, "u64")?),
+            None => None,
+        },
     };
     if config.batch_max == 0 {
         return Err(CliError::Other("--batch-max must be positive".into()));
@@ -508,6 +527,8 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
         evals: args.get_parse("evals", 1_000u64, "u64")?,
         seed: args.get_parse("seed", 0u64, "u64")?,
         distinct: args.get_parse("distinct", 4usize, "usize")?,
+        tasks: args.get_parse("tasks", 64usize, "usize")?,
+        machines: args.get_parse("machines", 8usize, "usize")?,
         shutdown_after: args.get_bool("shutdown")?,
         timeout_ms: args.get_parse("timeout", 0u64, "u64")?,
         retries: args.get_parse("retries", 0u32, "u32")?,
@@ -518,6 +539,9 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
     if config.evals == 0 {
         return Err(CliError::Other("--evals must be positive".into()));
     }
+    if config.tasks == 0 || config.machines == 0 {
+        return Err(CliError::Other("--tasks and --machines must be positive".into()));
+    }
     let report = run_load(&config)
         .map_err(|e| CliError::Other(format!("bench-serve against {}: {e}", config.addr)))?;
     Ok(format!(
@@ -527,6 +551,53 @@ pub fn cmd_bench_serve(args: &Args) -> Result<String, CliError> {
         config.addr,
         if config.shutdown_after { "daemon shutdown requested (drained)\n" } else { "" },
     ))
+}
+
+/// `pacga chaos` — seeded fault-injection harness against a running
+/// daemon's schedule-stream sessions. Exits non-zero when any
+/// dynamic-rescheduling invariant was violated.
+pub fn cmd_chaos(args: &Args) -> Result<String, CliError> {
+    use pa_cga_service::{run_chaos, ChaosConfig, Storm};
+
+    let storm_name = args.get("storm").unwrap_or("mixed");
+    let storm = Storm::parse(storm_name).ok_or_else(|| {
+        CliError::Other(format!("unknown storm {storm_name:?}; expected burst|flap|drift|mixed"))
+    })?;
+    let config = ChaosConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7413").to_string(),
+        tasks: args.get_parse("tasks", 64usize, "usize")?,
+        machines: args.get_parse("machines", 8usize, "usize")?,
+        events: args.get_parse("events", 12usize, "usize")?,
+        evals: args.get_parse("evals", 2_000u64, "u64")?,
+        seed: args.get_parse("seed", 0u64, "u64")?,
+        grid_side: args.get_parse("grid", 5usize, "usize")?,
+        storm,
+        session: args.get("session").map(String::from),
+        resume: args.get_bool("resume")?,
+        baseline: args.get("reschedule-baseline").map(String::from),
+        probes: !args.get_bool("no-probes")?,
+        assert_warm_wins: args.get_bool("assert-warm-wins")?,
+        shutdown_after: args.get_bool("shutdown")?,
+        timeout_ms: args.get_parse("timeout", 0u64, "u64")?,
+    };
+    if config.tasks < 2 || config.machines < 2 {
+        return Err(CliError::Other("--tasks and --machines must be at least 2".into()));
+    }
+    if config.events == 0 || config.evals == 0 {
+        return Err(CliError::Other("--events and --evals must be positive".into()));
+    }
+    if config.resume && config.session.is_none() {
+        return Err(CliError::Other("--resume needs --session NAME".into()));
+    }
+    let report = run_chaos(&config)
+        .map_err(|e| CliError::Other(format!("chaos against {}: {e}", config.addr)))?;
+    let text =
+        format!("chaos: storm={} seed={} → {}\n{report}", storm.name(), config.seed, config.addr);
+    if report.clean() {
+        Ok(text)
+    } else {
+        Err(CliError::Other(format!("{text}chaos: INVARIANT VIOLATIONS — see above")))
+    }
 }
 
 /// `pacga job <verb>` — client for the daemon's durable-job verbs.
@@ -578,9 +649,10 @@ pub fn cmd_job(verb: &str, args: &Args) -> Result<String, CliError> {
             ("job", Json::str(args.require("job")?)),
             ("tail", Json::num(args.get_parse("tail", 20u64, "u64")? as f64)),
         ]),
+        "list" => Json::obj(vec![("type", Json::str("job.list"))]),
         other => {
             return Err(CliError::Other(format!(
-                "unknown job verb {other:?}; expected start|status|log|stop|archive\n\n{USAGE}"
+                "unknown job verb {other:?}; expected start|status|log|stop|archive|list\n\n{USAGE}"
             )))
         }
     };
@@ -629,6 +701,42 @@ pub fn cmd_job(verb: &str, args: &Args) -> Result<String, CliError> {
             }
             if out.is_empty() {
                 out.push_str("(empty log)\n");
+            }
+            Ok(out)
+        }
+        Some("job_list") => {
+            let jobs = v.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+            if jobs.is_empty() {
+                return Ok("(no jobs)\n".into());
+            }
+            let mut out = format!(
+                "{:<20} {:<9} {:<8} {:>12} {:>14} {:>12}\n",
+                "JOB", "STATE", "WHERE", "GENERATIONS", "EVALUATIONS", "BEST"
+            );
+            for j in jobs.iter() {
+                let s = |k: &str| j.get(k).and_then(Json::as_str).unwrap_or("-").to_string();
+                let n = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let place = match (
+                    j.get("live").and_then(Json::as_bool),
+                    j.get("archived_date").and_then(Json::as_str),
+                ) {
+                    (Some(true), _) => "live".to_string(),
+                    (_, Some(date)) => date.to_string(),
+                    _ => "archived".to_string(),
+                };
+                let best = match j.get("best_makespan").and_then(Json::as_f64) {
+                    Some(b) => format!("{b:.3}"),
+                    None => "-".into(),
+                };
+                out.push_str(&format!(
+                    "{:<20} {:<9} {:<8} {:>12} {:>14} {:>12}\n",
+                    s("job"),
+                    s("state"),
+                    place,
+                    n("generations"),
+                    n("evaluations"),
+                    best,
+                ));
             }
             Ok(out)
         }
@@ -728,6 +836,7 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
                     "batch-max",
                     "data-dir",
                     "checkpoint-gens",
+                    "archive-keep-days",
                 ],
             )?;
             cmd_serve(&args)
@@ -736,11 +845,34 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
             let args = Args::parse(
                 tokens,
                 &[
-                    "addr", "clients", "requests", "evals", "seed", "distinct", "shutdown",
-                    "timeout", "retries",
+                    "addr", "clients", "requests", "evals", "seed", "distinct", "tasks",
+                    "machines", "shutdown", "timeout", "retries",
                 ],
             )?;
             cmd_bench_serve(&args)
+        }
+        "chaos" => {
+            let args = Args::parse(
+                tokens,
+                &[
+                    "addr",
+                    "tasks",
+                    "machines",
+                    "events",
+                    "evals",
+                    "seed",
+                    "grid",
+                    "storm",
+                    "session",
+                    "resume",
+                    "reschedule-baseline",
+                    "no-probes",
+                    "assert-warm-wins",
+                    "shutdown",
+                    "timeout",
+                ],
+            )?;
+            cmd_chaos(&args)
         }
         "job" => {
             // The verb is positional: `pacga job status --job x`.
@@ -748,7 +880,7 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
                 Some(v) if !v.starts_with("--") => v.clone(),
                 _ => {
                     return Err(CliError::Other(format!(
-                        "job needs a verb: start|status|log|stop|archive\n\n{USAGE}"
+                        "job needs a verb: start|status|log|stop|archive|list\n\n{USAGE}"
                     )))
                 }
             };
@@ -859,6 +991,7 @@ mod tests {
             "sweep",
             "serve",
             "bench-serve",
+            "chaos",
             "job",
             "list",
         ] {
@@ -972,6 +1105,23 @@ mod unknown_flag_tests {
     #[test]
     fn bench_serve_rejects_unknown_flag() {
         assert_rejects_unknown("bench-serve --bogus 1", "bench-serve");
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_flag() {
+        assert_rejects_unknown("chaos --bogus 1", "chaos");
+    }
+
+    #[test]
+    fn chaos_validates_before_connecting() {
+        let err = dispatch(toks("chaos --storm tornado")).unwrap_err();
+        assert!(err.to_string().contains("unknown storm"), "{err}");
+        let err = dispatch(toks("chaos --tasks 1")).unwrap_err();
+        assert!(err.to_string().contains("at least 2"), "{err}");
+        let err = dispatch(toks("chaos --events 0")).unwrap_err();
+        assert!(err.to_string().contains("must be positive"), "{err}");
+        let err = dispatch(toks("chaos --resume")).unwrap_err();
+        assert!(err.to_string().contains("--resume needs --session"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Fault-injected stream-session recovery, driven end to end through
+//! the real binaries: `pacga chaos` leg 1 builds a durable session,
+//! the daemon is SIGKILLed while a *live* resumed connection holds the
+//! session (no drain, no final persist), and after a restart
+//! `pacga chaos --resume` leg 2 must pick the session up exactly where
+//! the per-event persist left it:
+//!
+//! * the session directory survives the kill with a parseable
+//!   `session.json`, and `next_seq` reflects every acknowledged event,
+//! * a ghost connection on the new daemon gets `no_session` (sessions
+//!   are connection-scoped; durability is opt-in via `--resume`),
+//! * the resumed chaos leg reports `resumed session` and holds every
+//!   invariant, and sequence numbering continues without a gap.
+
+use pa_cga_service::{Client, Json};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::Duration;
+
+const SEED: &str = "11";
+const EVENTS_PER_LEG: u64 = 4;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns the real binary and parses the announced address.
+    fn spawn(data_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pacga"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--data-dir",
+                &data_dir.to_string_lossy(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pacga serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read announce line");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unparseable announce line: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// SIGKILL — no drain, no final persist, mid-write is fair game.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+/// One `pacga chaos` leg against the session `storm`.
+fn chaos_leg(addr: &str, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pacga"))
+        .args([
+            "chaos",
+            "--addr",
+            addr,
+            "--session",
+            "storm",
+            "--tasks",
+            "24",
+            "--machines",
+            "4",
+            "--grid",
+            "4",
+            "--events",
+            "4",
+            "--evals",
+            "300",
+            "--seed",
+            SEED,
+        ])
+        .args(extra)
+        .output()
+        .expect("run pacga chaos")
+}
+
+fn session_meta(dir: &Path) -> Json {
+    let text = std::fs::read_to_string(dir.join("sessions/storm/session.json"))
+        .expect("session.json survives the kill");
+    Json::parse(text.trim()).expect("session.json parses")
+}
+
+fn request(client: &mut Client, line: &str) -> Json {
+    Json::parse(client.send_line(line).unwrap().trim()).unwrap()
+}
+
+#[test]
+fn sigkill_mid_session_then_chaos_resume_continues_the_stream() {
+    let dir = std::env::temp_dir().join(format!("pacga-stream-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Incarnation 1, leg 1: a clean chaos run builds the durable
+    // session (close() persists without deleting).
+    let daemon = Daemon::spawn(&dir);
+    let leg1 = chaos_leg(&daemon.addr, &[]);
+    let out1 = String::from_utf8_lossy(&leg1.stdout);
+    assert!(
+        leg1.status.success(),
+        "leg 1 failed:\n{out1}\n{}",
+        String::from_utf8_lossy(&leg1.stderr)
+    );
+    assert!(out1.contains("fresh session"), "leg 1 must open fresh: {out1}");
+    assert!(out1.contains("invariants: held on every event"), "{out1}");
+    let meta = session_meta(&dir);
+    assert_eq!(meta.get("next_seq").and_then(Json::as_u64), Some(EVENTS_PER_LEG), "{meta}");
+    assert!(dir.join("sessions/storm/checkpoint.ckpt").is_file());
+    assert!(dir.join("sessions/storm/instance.etc").is_file());
+
+    // Re-open the session on a held connection and land one more event,
+    // then SIGKILL the daemon while that connection is live: the only
+    // thing leg 2 can resume from is the per-event persist.
+    let mut client =
+        Client::connect_retry(daemon.addr.as_str(), Duration::from_secs(10)).expect("connect");
+    let opened = request(&mut client, r#"{"type":"stream.open","session":"storm","resume":true}"#);
+    assert_eq!(opened.get("type").and_then(Json::as_str), Some("stream_opened"), "{opened}");
+    assert_eq!(opened.get("resumed").and_then(Json::as_bool), Some(true), "{opened}");
+    assert_eq!(opened.get("next_seq").and_then(Json::as_u64), Some(EVENTS_PER_LEG), "{opened}");
+    let reply = request(
+        &mut client,
+        &format!(
+            r#"{{"type":"stream.event","seq":{EVENTS_PER_LEG},"event":{{"kind":"etc.drift","epsilon":0.25,"seed":5}}}}"#
+        ),
+    );
+    assert_eq!(reply.get("type").and_then(Json::as_str), Some("stream_result"), "{reply}");
+    daemon.kill();
+    drop(client);
+
+    // The acknowledged event is on disk even though the daemon died
+    // with the connection open.
+    let meta = session_meta(&dir);
+    assert_eq!(meta.get("next_seq").and_then(Json::as_u64), Some(EVENTS_PER_LEG + 1), "{meta}");
+
+    // Incarnation 2: a ghost connection has no session (they are
+    // connection-scoped), but `--resume` gets everything back.
+    let daemon = Daemon::spawn(&dir);
+    let mut ghost =
+        Client::connect_retry(daemon.addr.as_str(), Duration::from_secs(10)).expect("connect");
+    let err = request(
+        &mut ghost,
+        &format!(
+            r#"{{"type":"stream.event","seq":{},"event":{{"kind":"machine.up","machine":0}}}}"#,
+            EVENTS_PER_LEG + 1
+        ),
+    );
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("no_session"), "{err}");
+    drop(ghost);
+
+    let leg2 = chaos_leg(&daemon.addr, &["--resume", "--shutdown"]);
+    let out2 = String::from_utf8_lossy(&leg2.stdout);
+    assert!(
+        leg2.status.success(),
+        "leg 2 failed:\n{out2}\n{}",
+        String::from_utf8_lossy(&leg2.stderr)
+    );
+    assert!(out2.contains("resumed session"), "leg 2 must resume: {out2}");
+    assert!(out2.contains("invariants: held on every event"), "{out2}");
+
+    // Sequence numbering continued without a gap across the kill:
+    // 4 (leg 1) + 1 (held connection) + 4 (leg 2).
+    let meta = session_meta(&dir);
+    assert_eq!(meta.get("next_seq").and_then(Json::as_u64), Some(2 * EVENTS_PER_LEG + 1), "{meta}");
+
+    // Leg 2's --shutdown drains the daemon cleanly.
+    let mut child = daemon.child;
+    let reaped = (0..500).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        matches!(child.try_wait(), Ok(Some(_)))
+    });
+    if !reaped {
+        child.kill().ok();
+        child.wait().ok();
+        panic!("daemon did not drain after chaos --shutdown");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -39,6 +39,38 @@ pub(crate) fn init_population(instance: &EtcInstance, config: &PaCgaConfig) -> V
     pop
 }
 
+/// Builds a population for a **warm start**: the supplied assignment
+/// vectors (e.g. a repaired previous population after a grid event) fill
+/// the first cells in order, truncated to the configured population
+/// size; any remainder is filled with seeded random schedules so a
+/// too-small carry-over still yields a full grid. This is the repair
+/// counterpart of the engine's internal cold-start seeding — feed the result to
+/// [`PaCga::run_hooked`]/[`PaCga::run_seeded`] to resume evolution
+/// instead of restarting.
+///
+/// # Panics
+///
+/// Panics if an assignment has the wrong length or names an
+/// out-of-range machine (the same contract as
+/// [`Schedule::from_assignment`]) — callers repair genes *before*
+/// warm-starting.
+pub fn warm_population(
+    instance: &EtcInstance,
+    config: &PaCgaConfig,
+    assignments: &[Vec<u32>],
+) -> Vec<Individual> {
+    let mut rng = stream_rng(config.seed, INIT_STREAM);
+    let size = config.population_size();
+    let mut pop = Vec::with_capacity(size);
+    for genes in assignments.iter().take(size) {
+        pop.push(Individual::new(Schedule::from_assignment(instance, genes.clone())));
+    }
+    while pop.len() < size {
+        pop.push(Individual::new(Schedule::random(instance, &mut rng)));
+    }
+    pop
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +106,41 @@ mod tests {
         let minmin = heuristics::min_min(&inst);
         // Vanishingly unlikely that a random individual equals Min-min.
         assert_ne!(pop[0].schedule, minmin);
+    }
+
+    #[test]
+    fn warm_population_carries_assignments_then_pads_randomly() {
+        let inst = EtcInstance::toy(8, 3);
+        let config = PaCgaConfig::builder()
+            .grid(3, 3)
+            .threads(1)
+            .termination(Termination::Generations(1))
+            .seed(11)
+            .build();
+        let carried = vec![vec![0u32; 8], vec![1u32; 8]];
+        let pop = warm_population(&inst, &config, &carried);
+        assert_eq!(pop.len(), 9);
+        assert_eq!(pop[0].schedule.assignment(), &[0u32; 8]);
+        assert_eq!(pop[1].schedule.assignment(), &[1u32; 8]);
+        // Padding is the seeded init stream: deterministic per config seed.
+        let again = warm_population(&inst, &config, &carried);
+        assert_eq!(pop, again);
+    }
+
+    #[test]
+    fn warm_population_truncates_oversized_carry() {
+        let inst = EtcInstance::toy(4, 2);
+        let config = PaCgaConfig::builder()
+            .grid(2, 2)
+            .threads(1)
+            .termination(Termination::Generations(1))
+            .build();
+        let carried: Vec<Vec<u32>> = (0..9).map(|i| vec![(i % 2) as u32; 4]).collect();
+        let pop = warm_population(&inst, &config, &carried);
+        assert_eq!(pop.len(), 4);
+        for (i, ind) in pop.iter().enumerate() {
+            assert_eq!(ind.schedule.assignment(), carried[i].as_slice());
+        }
     }
 
     #[test]

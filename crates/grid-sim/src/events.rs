@@ -1,0 +1,635 @@
+//! Dynamic-grid events and the session-level grid state they mutate.
+//!
+//! The paper schedules one static ETC snapshot; a real grid loses
+//! machines, regains them, drifts its runtime estimates, and sees tasks
+//! arrive and leave. [`DynamicGrid`] is the authoritative world state a
+//! schedule-stream session holds between events: the *base* instance
+//! (every machine ever known, current task set) plus a down-mask.
+//! [`GridEvent`]s are validated **before** any mutation — a rejected
+//! event leaves the grid byte-identical, which is what lets the service
+//! answer malformed or impossible events with a typed error and keep
+//! the session alive.
+//!
+//! Repair is the other half: after an event, assignments optimized for
+//! the previous world may name dead machines or have the wrong length.
+//! [`DynamicGrid::repair_assignment`] normalizes them — the task remap
+//! first, then every orphan re-placed onto a live machine through a
+//! [`Rescheduler`] policy — driving [`Schedule::evacuate_machine`] so
+//! the canonical-CT invariant holds through the repair itself.
+
+use crate::reschedule::Rescheduler;
+use crate::NoiseModel;
+use etc_model::{EtcInstance, EtcMatrix};
+use scheduling::Schedule;
+
+/// One explicit ETC perturbation: `etc[task][machine] *= factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtcDelta {
+    /// Task row.
+    pub task: usize,
+    /// Machine column (a down machine may drift too).
+    pub machine: usize,
+    /// Multiplicative factor, finite and > 0.
+    pub factor: f64,
+}
+
+/// An event a schedule-stream client injects into the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridEvent {
+    /// `machine` fails: its tasks become orphans, it accepts no work.
+    MachineDown {
+        /// Global machine id.
+        machine: usize,
+    },
+    /// A previously-down `machine` rejoins the grid.
+    MachineUp {
+        /// Global machine id.
+        machine: usize,
+    },
+    /// Noise-model drift: every ETC entry is multiplied by the
+    /// deterministic log-uniform factor of a [`NoiseModel`] world.
+    EtcDrift {
+        /// Relative half-width ε > 0 (factors span `[1/(1+ε), 1+ε]`).
+        epsilon: f64,
+        /// World seed for the factor draws.
+        seed: u64,
+    },
+    /// Explicit per-entry drift.
+    EtcDeltas {
+        /// The perturbations, applied in order.
+        deltas: Vec<EtcDelta>,
+    },
+    /// A new task arrives; its ETC row (one entry per *base* machine,
+    /// down machines included) is appended as the highest task index.
+    TaskArrive {
+        /// `etc[machine]`, finite and > 0, length = base machine count.
+        etc: Vec<f64>,
+    },
+    /// `task` is cancelled; higher task indices shift down by one.
+    TaskCancel {
+        /// Global task id (current numbering).
+        task: usize,
+    },
+}
+
+impl GridEvent {
+    /// The wire verb of this event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GridEvent::MachineDown { .. } => "machine.down",
+            GridEvent::MachineUp { .. } => "machine.up",
+            GridEvent::EtcDrift { .. } | GridEvent::EtcDeltas { .. } => "etc.drift",
+            GridEvent::TaskArrive { .. } => "task.arrive",
+            GridEvent::TaskCancel { .. } => "task.cancel",
+        }
+    }
+}
+
+/// Why an event was rejected. The grid is untouched in every case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventError {
+    /// Machine id out of range.
+    UnknownMachine {
+        /// The offending id.
+        machine: usize,
+        /// Machines the grid knows.
+        n_machines: usize,
+    },
+    /// `machine.down` for a machine that is already down.
+    MachineAlreadyDown {
+        /// The offending id.
+        machine: usize,
+    },
+    /// `machine.up` for a machine that is not down.
+    MachineNotDown {
+        /// The offending id.
+        machine: usize,
+    },
+    /// `machine.down` would leave zero live machines.
+    LastMachine {
+        /// The machine whose failure was rejected.
+        machine: usize,
+    },
+    /// Task id out of range.
+    UnknownTask {
+        /// The offending id.
+        task: usize,
+        /// Tasks the grid currently holds.
+        n_tasks: usize,
+    },
+    /// `task.cancel` would leave zero tasks.
+    LastTask,
+    /// A numeric field was non-finite, non-positive, or the wrong shape.
+    BadValue(String),
+}
+
+impl EventError {
+    /// Stable machine-readable code for the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EventError::UnknownMachine { .. } => "unknown_machine",
+            EventError::MachineAlreadyDown { .. } => "machine_already_down",
+            EventError::MachineNotDown { .. } => "machine_not_down",
+            EventError::LastMachine { .. } => "last_machine",
+            EventError::UnknownTask { .. } => "unknown_task",
+            EventError::LastTask => "last_task",
+            EventError::BadValue(_) => "bad_value",
+        }
+    }
+}
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventError::UnknownMachine { machine, n_machines } => {
+                write!(f, "machine {machine} out of range (grid has {n_machines})")
+            }
+            EventError::MachineAlreadyDown { machine } => {
+                write!(f, "machine {machine} is already down")
+            }
+            EventError::MachineNotDown { machine } => {
+                write!(f, "machine {machine} is not down")
+            }
+            EventError::LastMachine { machine } => {
+                write!(f, "machine {machine} is the last live machine")
+            }
+            EventError::UnknownTask { task, n_tasks } => {
+                write!(f, "task {task} out of range (grid has {n_tasks})")
+            }
+            EventError::LastTask => write!(f, "cannot cancel the last task"),
+            EventError::BadValue(m) => write!(f, "bad value: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+/// How task indices moved when an event was applied — what a caller
+/// needs to migrate assignments recorded against the previous world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskRemap {
+    /// Task set unchanged.
+    Identity,
+    /// The task at this (old) index was removed; later indices shift
+    /// down by one.
+    Removed(usize),
+    /// One task was appended at the new highest index.
+    Appended,
+}
+
+impl TaskRemap {
+    /// Migrates an old-numbering assignment vector. An appended task
+    /// gets the `u32::MAX` placeholder — not yet placed, to be repaired.
+    pub fn apply(self, old: &[u32]) -> Vec<u32> {
+        match self {
+            TaskRemap::Identity => old.to_vec(),
+            TaskRemap::Removed(t) => {
+                old.iter().enumerate().filter(|&(i, _)| i != t).map(|(_, &g)| g).collect()
+            }
+            TaskRemap::Appended => {
+                let mut v = old.to_vec();
+                v.push(u32::MAX);
+                v
+            }
+        }
+    }
+}
+
+/// The grid state one schedule-stream session evolves.
+#[derive(Debug, Clone)]
+pub struct DynamicGrid {
+    name: String,
+    base: EtcInstance,
+    down: Vec<bool>,
+    version: u64,
+}
+
+impl DynamicGrid {
+    /// Wraps a starting instance; every machine is initially up.
+    pub fn new(base: EtcInstance) -> Self {
+        let down = vec![false; base.n_machines()];
+        let name = base.name().to_string();
+        Self { name, base, down, version: 0 }
+    }
+
+    /// The full base instance: all machines (down ones included),
+    /// current task set, current (possibly drifted) ETC values.
+    pub fn base(&self) -> &EtcInstance {
+        &self.base
+    }
+
+    /// Applied-event count; bumps on every successful [`DynamicGrid::apply`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Is `machine` currently down? Out-of-range ids read as up.
+    pub fn is_down(&self, machine: usize) -> bool {
+        self.down.get(machine).copied().unwrap_or(false)
+    }
+
+    /// Global ids of the machines currently down, ascending.
+    pub fn down_machines(&self) -> Vec<usize> {
+        (0..self.down.len()).filter(|&m| self.down[m]).collect()
+    }
+
+    /// Global ids of the live machines, ascending.
+    pub fn alive(&self) -> Vec<usize> {
+        (0..self.down.len()).filter(|&m| !self.down[m]).collect()
+    }
+
+    /// Number of live machines.
+    pub fn n_alive(&self) -> usize {
+        self.down.iter().filter(|&&d| !d).count()
+    }
+
+    /// Validates and applies one event. On `Err`, the grid is unchanged.
+    /// On `Ok`, returns how task indices moved.
+    pub fn apply(&mut self, event: &GridEvent) -> Result<TaskRemap, EventError> {
+        let n_machines = self.base.n_machines();
+        let n_tasks = self.base.n_tasks();
+        let remap = match event {
+            GridEvent::MachineDown { machine } => {
+                let m = *machine;
+                if m >= n_machines {
+                    return Err(EventError::UnknownMachine { machine: m, n_machines });
+                }
+                if self.down[m] {
+                    return Err(EventError::MachineAlreadyDown { machine: m });
+                }
+                if self.n_alive() == 1 {
+                    return Err(EventError::LastMachine { machine: m });
+                }
+                self.down[m] = true;
+                TaskRemap::Identity
+            }
+            GridEvent::MachineUp { machine } => {
+                let m = *machine;
+                if m >= n_machines {
+                    return Err(EventError::UnknownMachine { machine: m, n_machines });
+                }
+                if !self.down[m] {
+                    return Err(EventError::MachineNotDown { machine: m });
+                }
+                self.down[m] = false;
+                TaskRemap::Identity
+            }
+            GridEvent::EtcDrift { epsilon, seed } => {
+                if !epsilon.is_finite() || *epsilon <= 0.0 {
+                    return Err(EventError::BadValue(format!("drift epsilon {epsilon}")));
+                }
+                let noise = NoiseModel::new(*epsilon, *seed);
+                let etc = EtcMatrix::from_fn(n_tasks, n_machines, |t, m| {
+                    self.base.etc().etc(t, m) * noise.factor(t, m)
+                });
+                self.rebuild(etc, self.base.ready_times().to_vec());
+                TaskRemap::Identity
+            }
+            GridEvent::EtcDeltas { deltas } => {
+                if deltas.is_empty() {
+                    return Err(EventError::BadValue("empty delta list".into()));
+                }
+                for d in deltas {
+                    if d.machine >= n_machines {
+                        return Err(EventError::UnknownMachine { machine: d.machine, n_machines });
+                    }
+                    if d.task >= n_tasks {
+                        return Err(EventError::UnknownTask { task: d.task, n_tasks });
+                    }
+                    if !d.factor.is_finite() || d.factor <= 0.0 {
+                        return Err(EventError::BadValue(format!(
+                            "delta factor {} for task {} machine {}",
+                            d.factor, d.task, d.machine
+                        )));
+                    }
+                }
+                let mut data = self.base.etc().task_major_data().to_vec();
+                for d in deltas {
+                    let idx = d.task * n_machines + d.machine;
+                    let v = data[idx] * d.factor;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(EventError::BadValue(format!(
+                            "drifted etc[{}][{}] = {v}",
+                            d.task, d.machine
+                        )));
+                    }
+                    data[idx] = v;
+                }
+                let etc = EtcMatrix::from_task_major(n_tasks, n_machines, data);
+                self.rebuild(etc, self.base.ready_times().to_vec());
+                TaskRemap::Identity
+            }
+            GridEvent::TaskArrive { etc: row } => {
+                if row.len() != n_machines {
+                    return Err(EventError::BadValue(format!(
+                        "arrival row has {} entries, grid has {n_machines} machines",
+                        row.len()
+                    )));
+                }
+                if let Some(v) = row.iter().find(|v| !v.is_finite() || **v <= 0.0) {
+                    return Err(EventError::BadValue(format!("arrival etc {v}")));
+                }
+                let etc = EtcMatrix::from_fn(n_tasks + 1, n_machines, |t, m| {
+                    if t < n_tasks {
+                        self.base.etc().etc(t, m)
+                    } else {
+                        row[m]
+                    }
+                });
+                self.rebuild(etc, self.base.ready_times().to_vec());
+                TaskRemap::Appended
+            }
+            GridEvent::TaskCancel { task } => {
+                let t0 = *task;
+                if t0 >= n_tasks {
+                    return Err(EventError::UnknownTask { task: t0, n_tasks });
+                }
+                if n_tasks == 1 {
+                    return Err(EventError::LastTask);
+                }
+                let etc = EtcMatrix::from_fn(n_tasks - 1, n_machines, |t, m| {
+                    let src = if t < t0 { t } else { t + 1 };
+                    self.base.etc().etc(src, m)
+                });
+                self.rebuild(etc, self.base.ready_times().to_vec());
+                TaskRemap::Removed(t0)
+            }
+        };
+        self.version += 1;
+        Ok(remap)
+    }
+
+    fn rebuild(&mut self, etc: EtcMatrix, ready: Vec<f64>) {
+        // A stable name per version; never the unbounded
+        // `name+noise(..)+noise(..)` concatenation repeated drift would
+        // otherwise accrete.
+        let name = format!("{}@v{}", self.name, self.version + 1);
+        self.base = EtcInstance::with_ready_times(name, etc, ready);
+    }
+
+    /// The *live* instance: the base restricted to live machine columns,
+    /// in ascending global order — what evolution runs on. Column `j`
+    /// is global machine `alive()[j]`.
+    pub fn sub_instance(&self) -> EtcInstance {
+        let alive = self.alive();
+        let etc = EtcMatrix::from_fn(self.base.n_tasks(), alive.len(), |t, j| {
+            self.base.etc().etc(t, alive[j])
+        });
+        let ready: Vec<f64> = alive.iter().map(|&m| self.base.ready(m)).collect();
+        let name = format!("{}@v{}/alive{}", self.name, self.version, alive.len());
+        EtcInstance::with_ready_times(name, etc, ready)
+    }
+
+    /// Maps a global-machine assignment to sub-instance (live-column)
+    /// space. `None` if any gene names a down or unknown machine —
+    /// i.e. the assignment needs [`DynamicGrid::repair_assignment`] first.
+    pub fn to_local(&self, global: &[u32]) -> Option<Vec<u32>> {
+        let mut local_of = vec![u32::MAX; self.base.n_machines()];
+        for (j, &m) in self.alive().iter().enumerate() {
+            local_of[m] = j as u32;
+        }
+        global
+            .iter()
+            .map(|&g| match local_of.get(g as usize) {
+                Some(&l) if l != u32::MAX => Some(l),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Maps a sub-instance assignment back to global machine ids.
+    /// `None` if a gene exceeds the live-machine count.
+    pub fn to_global(&self, local: &[u32]) -> Option<Vec<u32>> {
+        let alive = self.alive();
+        local.iter().map(|&l| alive.get(l as usize).map(|&m| m as u32)).collect()
+    }
+
+    /// Repairs tasks stranded on down machines in `schedule` (a global-
+    /// space schedule over [`DynamicGrid::base`]): one `rescheduler` pass
+    /// decides every orphan's destination, then each down machine is
+    /// drained through [`Schedule::evacuate_machine`] so completion
+    /// times stay canonical move by move. Returns the number of tasks
+    /// reassigned.
+    pub fn repair_schedule(&self, schedule: &mut Schedule, rescheduler: &dyn Rescheduler) -> usize {
+        let alive = self.alive();
+        let down = self.down_machines();
+        let mut orphans: Vec<usize> = Vec::new();
+        for &m in &down {
+            orphans.extend(schedule.tasks_on(m).iter().map(|&t| t as usize));
+        }
+        if orphans.is_empty() {
+            return 0;
+        }
+        // Live machines' completion times are exactly their committed
+        // load (no orphan sits on a live machine), the ready-time
+        // quantity the rescheduler contract wants.
+        let ready = schedule.completion_times().to_vec();
+        let targets = rescheduler.reschedule(&self.base, &orphans, &alive, &ready);
+        let mut target_of = vec![u32::MAX; self.base.n_tasks()];
+        for (&t, &m) in orphans.iter().zip(&targets) {
+            target_of[t] = m as u32;
+        }
+        for &m in &down {
+            schedule.evacuate_machine(&self.base, m, |task, _| target_of[task] as usize);
+        }
+        orphans.len()
+    }
+
+    /// Normalizes an assignment recorded against the *previous* world:
+    /// applies the task `remap`, then re-places every orphan (a task on
+    /// a down machine, or a just-arrived task) via `rescheduler`. The
+    /// result always has the current task count and only live genes.
+    pub fn repair_assignment(
+        &self,
+        old: &[u32],
+        remap: TaskRemap,
+        rescheduler: &dyn Rescheduler,
+    ) -> Vec<u32> {
+        let mut genes = remap.apply(old);
+        debug_assert_eq!(genes.len(), self.base.n_tasks(), "remap/assignment length mismatch");
+        let n_machines = self.base.n_machines();
+        if genes.iter().all(|&g| (g as usize) < n_machines) {
+            // Structurally valid: repair through the canonical-CT path.
+            let mut s = Schedule::from_assignment(&self.base, genes);
+            self.repair_schedule(&mut s, rescheduler);
+            return s.assignment().to_vec();
+        }
+        // Placeholder genes (arrivals): compute live loads by hand, then
+        // one rescheduler pass over every orphan.
+        let alive = self.alive();
+        let mut loads: Vec<f64> = self.base.ready_times().to_vec();
+        let mut orphans: Vec<usize> = Vec::new();
+        for (t, &g) in genes.iter().enumerate() {
+            let m = g as usize;
+            if m >= n_machines || self.down[m] {
+                orphans.push(t);
+            } else {
+                loads[m] += self.base.etc().etc(t, m);
+            }
+        }
+        let targets = rescheduler.reschedule(&self.base, &orphans, &alive, &loads);
+        for (&t, &m) in orphans.iter().zip(&targets) {
+            genes[t] = m as u32;
+        }
+        genes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reschedule::MctRescheduler;
+    use scheduling::check_schedule;
+
+    fn grid() -> DynamicGrid {
+        DynamicGrid::new(EtcInstance::toy(12, 4))
+    }
+
+    #[test]
+    fn down_then_up_round_trips() {
+        let mut g = grid();
+        assert_eq!(g.apply(&GridEvent::MachineDown { machine: 2 }), Ok(TaskRemap::Identity));
+        assert!(g.is_down(2));
+        assert_eq!(g.alive(), vec![0, 1, 3]);
+        assert_eq!(g.apply(&GridEvent::MachineUp { machine: 2 }), Ok(TaskRemap::Identity));
+        assert_eq!(g.n_alive(), 4);
+        assert_eq!(g.version(), 2);
+    }
+
+    #[test]
+    fn invalid_events_leave_grid_untouched() {
+        let mut g = grid();
+        let before = g.base().etc().task_major_data().to_vec();
+        let cases = [
+            (GridEvent::MachineDown { machine: 9 }, "unknown_machine"),
+            (GridEvent::MachineUp { machine: 1 }, "machine_not_down"),
+            (GridEvent::EtcDrift { epsilon: -1.0, seed: 0 }, "bad_value"),
+            (GridEvent::EtcDrift { epsilon: f64::NAN, seed: 0 }, "bad_value"),
+            (GridEvent::TaskCancel { task: 99 }, "unknown_task"),
+            (GridEvent::TaskArrive { etc: vec![1.0; 3] }, "bad_value"),
+            (GridEvent::TaskArrive { etc: vec![1.0, -2.0, 1.0, 1.0] }, "bad_value"),
+            (
+                GridEvent::EtcDeltas {
+                    deltas: vec![EtcDelta { task: 0, machine: 0, factor: 0.0 }],
+                },
+                "bad_value",
+            ),
+        ];
+        for (event, code) in cases {
+            let err = g.apply(&event).unwrap_err();
+            assert_eq!(err.code(), code, "{event:?}");
+        }
+        assert_eq!(g.version(), 0);
+        assert_eq!(g.base().etc().task_major_data(), before.as_slice());
+    }
+
+    #[test]
+    fn double_down_and_last_machine_rejected() {
+        let mut g = DynamicGrid::new(EtcInstance::toy(6, 2));
+        g.apply(&GridEvent::MachineDown { machine: 0 }).unwrap();
+        assert_eq!(
+            g.apply(&GridEvent::MachineDown { machine: 0 }).unwrap_err().code(),
+            "machine_already_down"
+        );
+        assert_eq!(
+            g.apply(&GridEvent::MachineDown { machine: 1 }).unwrap_err().code(),
+            "last_machine"
+        );
+    }
+
+    #[test]
+    fn drift_composes_deterministically() {
+        let mut a = grid();
+        let mut b = grid();
+        for g in [&mut a, &mut b] {
+            g.apply(&GridEvent::EtcDrift { epsilon: 0.2, seed: 5 }).unwrap();
+            g.apply(&GridEvent::EtcDrift { epsilon: 0.1, seed: 9 }).unwrap();
+        }
+        assert_eq!(a.base().etc().task_major_data(), b.base().etc().task_major_data());
+        // And matches the hand-composed factors bitwise.
+        let n0 = NoiseModel::new(0.2, 5);
+        let n1 = NoiseModel::new(0.1, 9);
+        let toy = EtcInstance::toy(12, 4);
+        for t in 0..12 {
+            for m in 0..4 {
+                let expect = toy.etc().etc(t, m) * n0.factor(t, m) * n1.factor(t, m);
+                assert_eq!(a.base().etc().etc(t, m).to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arrive_and_cancel_reshape_tasks() {
+        let mut g = grid();
+        assert_eq!(
+            g.apply(&GridEvent::TaskArrive { etc: vec![2.0, 3.0, 4.0, 5.0] }),
+            Ok(TaskRemap::Appended)
+        );
+        assert_eq!(g.base().n_tasks(), 13);
+        assert_eq!(g.base().etc().etc(12, 1), 3.0);
+        assert_eq!(g.apply(&GridEvent::TaskCancel { task: 0 }), Ok(TaskRemap::Removed(0)));
+        assert_eq!(g.base().n_tasks(), 12);
+        // Old task 1 is the new task 0.
+        let toy = EtcInstance::toy(12, 4);
+        assert_eq!(g.base().etc().etc(0, 2), toy.etc().etc(1, 2));
+    }
+
+    #[test]
+    fn remap_apply_shapes() {
+        assert_eq!(TaskRemap::Identity.apply(&[1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(TaskRemap::Removed(1).apply(&[1, 2, 3]), vec![1, 3]);
+        assert_eq!(TaskRemap::Appended.apply(&[1, 2]), vec![1, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn repair_schedule_moves_every_orphan_to_live_machines() {
+        let mut g = grid();
+        g.apply(&GridEvent::MachineDown { machine: 1 }).unwrap();
+        g.apply(&GridEvent::MachineDown { machine: 3 }).unwrap();
+        let mut s = Schedule::round_robin(g.base());
+        let orphans = s.count_on(1) + s.count_on(3);
+        let moved = g.repair_schedule(&mut s, &MctRescheduler);
+        assert_eq!(moved, orphans);
+        assert_eq!(s.count_on(1), 0);
+        assert_eq!(s.count_on(3), 0);
+        check_schedule(g.base(), &s).unwrap();
+        assert_eq!(s.makespan().to_bits(), s.makespan_full().to_bits());
+    }
+
+    #[test]
+    fn repair_assignment_handles_arrival_placeholder() {
+        let mut g = grid();
+        let old: Vec<u32> = (0..12).map(|t| (t % 4) as u32).collect();
+        g.apply(&GridEvent::MachineDown { machine: 0 }).unwrap();
+        let remap = g.apply(&GridEvent::TaskArrive { etc: vec![1.0; 4] }).unwrap();
+        let repaired = g.repair_assignment(&old, remap, &MctRescheduler);
+        assert_eq!(repaired.len(), 13);
+        assert!(repaired.iter().all(|&m| !g.is_down(m as usize) && (m as usize) < 4));
+    }
+
+    #[test]
+    fn local_global_round_trip() {
+        let mut g = grid();
+        g.apply(&GridEvent::MachineDown { machine: 1 }).unwrap();
+        let global = vec![0u32, 2, 3, 0, 2, 3, 0, 2, 3, 0, 2, 3];
+        let local = g.to_local(&global).unwrap();
+        assert_eq!(local, vec![0u32, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        assert_eq!(g.to_global(&local).unwrap(), global);
+        // A gene on the down machine cannot be localized.
+        assert!(g.to_local(&[1u32; 12]).is_none());
+    }
+
+    #[test]
+    fn sub_instance_restricts_columns_and_ready() {
+        let mut g = grid();
+        g.apply(&GridEvent::MachineDown { machine: 0 }).unwrap();
+        let sub = g.sub_instance();
+        assert_eq!(sub.n_machines(), 3);
+        assert_eq!(sub.n_tasks(), 12);
+        for t in 0..12 {
+            for (j, &m) in g.alive().iter().enumerate() {
+                assert_eq!(sub.etc().etc(t, j), g.base().etc().etc(t, m));
+            }
+        }
+    }
+}

@@ -25,8 +25,14 @@
 //! * [`batch`] drives multi-batch arrival scenarios (the "batch scheduling
 //!   in grids" mode of the title): each arriving batch is scheduled
 //!   against the ready times left by its predecessors.
+//! * [`events`] is the *session* counterpart the schedule-stream service
+//!   builds on: a [`events::DynamicGrid`] holds the authoritative world
+//!   state between client-injected [`events::GridEvent`]s (machine
+//!   down/up, ETC drift, task arrival/cancellation) and repairs stale
+//!   assignments onto the surviving machines.
 
 pub mod batch;
+pub mod events;
 pub mod failures;
 pub mod noise;
 pub mod report;
@@ -34,6 +40,7 @@ pub mod reschedule;
 pub mod simulator;
 
 pub use batch::{BatchArrival, BatchSimulator};
+pub use events::{DynamicGrid, EtcDelta, EventError, GridEvent, TaskRemap};
 pub use failures::FailureTrace;
 pub use noise::{run_under_noise, NoiseModel};
 pub use report::{SimReport, TaskRecord};

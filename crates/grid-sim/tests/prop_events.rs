@@ -1,0 +1,226 @@
+//! Property tests on the dynamic-grid event layer: any sequence of
+//! events leaves the world pricable (`check_schedule` passes on the
+//! sub-instance), repair never places a task on a down machine, the
+//! local/global gene mappings round-trip, rejected events mutate
+//! nothing, and drift is bit-deterministic.
+
+use etc_model::{Consistency, EtcGenerator, EtcInstance, GeneratorParams, Heterogeneity};
+use grid_sim::{
+    DynamicGrid, EtcDelta, GridEvent, MctRescheduler, NoiseModel, PaCgaRescheduler, Rescheduler,
+};
+use proptest::prelude::*;
+use scheduling::{check_schedule, Schedule};
+
+const N_TASKS: usize = 20;
+const N_MACHINES: usize = 5;
+
+fn instance(seed: u64) -> EtcInstance {
+    EtcGenerator::new(GeneratorParams {
+        n_tasks: N_TASKS,
+        n_machines: N_MACHINES,
+        task_heterogeneity: Heterogeneity::High,
+        machine_heterogeneity: Heterogeneity::High,
+        consistency: Consistency::Inconsistent,
+        seed,
+    })
+    .generate()
+}
+
+/// A compact event descriptor the strategy can enumerate; realized
+/// against the live world so indices stay plausible (but not always
+/// valid — invalid realizations exercise the rejection path).
+#[derive(Debug, Clone)]
+enum Ev {
+    Down(usize),
+    Up(usize),
+    Drift(u8, u64),
+    Deltas(usize, usize, u8),
+    Arrive(u64),
+    Cancel(usize),
+}
+
+fn event_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0..N_MACHINES * 2).prop_map(Ev::Down),
+        (0..N_MACHINES * 2).prop_map(Ev::Up),
+        (1u8..10, 0u64..u64::MAX).prop_map(|(e, s)| Ev::Drift(e, s)),
+        (0..N_TASKS * 2, 0..N_MACHINES * 2, 1u8..30).prop_map(|(t, m, f)| Ev::Deltas(t, m, f)),
+        (0u64..u64::MAX).prop_map(Ev::Arrive),
+        (0..N_TASKS * 2).prop_map(Ev::Cancel),
+    ]
+}
+
+/// Realizes a descriptor against the current world dimensions.
+fn realize(ev: &Ev, grid: &DynamicGrid) -> GridEvent {
+    let n_machines = grid.base().n_machines();
+    match *ev {
+        Ev::Down(m) => GridEvent::MachineDown { machine: m },
+        Ev::Up(m) => GridEvent::MachineUp { machine: m },
+        Ev::Drift(e, s) => GridEvent::EtcDrift { epsilon: e as f64 / 16.0, seed: s },
+        Ev::Deltas(t, m, f) => GridEvent::EtcDeltas {
+            deltas: vec![EtcDelta { task: t, machine: m, factor: f as f64 / 8.0 }],
+        },
+        Ev::Arrive(seed) => GridEvent::TaskArrive {
+            etc: (0..n_machines).map(|m| 1.0 + ((seed >> (m % 16)) % 97) as f64).collect(),
+        },
+        Ev::Cancel(t) => GridEvent::TaskCancel { task: t },
+    }
+}
+
+/// A valid global assignment for the current world: every task on the
+/// first alive machine.
+fn aligned_assignment(grid: &DynamicGrid) -> Vec<u32> {
+    let m = grid.alive()[0] as u32;
+    vec![m; grid.base().n_tasks()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The workhorse: any event stream, applied with per-event repair,
+    /// keeps every schedule invariant intact.
+    #[test]
+    fn event_streams_preserve_schedule_invariants(
+        seed in 0u64..20,
+        evs in proptest::collection::vec(event_strategy(), 1..24),
+    ) {
+        let mut grid = DynamicGrid::new(instance(seed));
+        let mut assignment = aligned_assignment(&grid);
+
+        for ev in &evs {
+            let event = realize(ev, &grid);
+            let version_before = grid.version();
+            let down_before = grid.down_machines();
+            match grid.apply(&event) {
+                Err(_) => {
+                    // Rejected events must be no-ops.
+                    prop_assert_eq!(grid.version(), version_before);
+                    prop_assert_eq!(grid.down_machines(), down_before);
+                    continue;
+                }
+                Ok(remap) => {
+                    prop_assert_eq!(grid.version(), version_before + 1);
+                    assignment = grid.repair_assignment(&assignment, remap, &MctRescheduler);
+                }
+            }
+
+            // Repaired assignment: right length, only alive machines.
+            prop_assert_eq!(assignment.len(), grid.base().n_tasks());
+            for &g in &assignment {
+                prop_assert!(!grid.is_down(g as usize), "task on down machine {g}");
+                prop_assert!((g as usize) < grid.base().n_machines());
+            }
+
+            // The sub-instance prices it: canonical CTs and the tracked
+            // argmax must agree with the full fold, and the full
+            // invariant suite must pass.
+            let sub = grid.sub_instance();
+            prop_assert_eq!(sub.n_machines(), grid.n_alive());
+            prop_assert_eq!(sub.n_tasks(), grid.base().n_tasks());
+            let local = grid.to_local(&assignment);
+            prop_assert!(local.is_some(), "repaired assignment must localize");
+            if let Some(local) = local {
+                // Local/global mapping round-trips exactly.
+                let back = grid.to_global(&local);
+                prop_assert_eq!(back.as_deref(), Some(assignment.as_slice()));
+
+                let schedule = Schedule::from_assignment(&sub, local);
+                prop_assert!(check_schedule(&sub, &schedule).is_ok());
+                prop_assert_eq!(
+                    schedule.makespan().to_bits(),
+                    schedule.makespan_full().to_bits(),
+                    "tracked argmax diverged from the O(M) fold"
+                );
+                prop_assert!(schedule.makespan().is_finite() && schedule.makespan() > 0.0);
+            }
+
+            // The ETC matrix itself stays physical after drift/deltas.
+            for t in 0..sub.n_tasks() {
+                for m in 0..sub.n_machines() {
+                    let v = sub.etc().etc(t, m);
+                    prop_assert!(v.is_finite() && v > 0.0, "etc({t},{m}) = {v}");
+                }
+            }
+        }
+    }
+
+    /// The same event stream applied twice produces bit-identical
+    /// worlds — the contract the chaos harness's client-side mirror
+    /// stands on.
+    #[test]
+    fn event_application_is_deterministic(
+        seed in 0u64..20,
+        evs in proptest::collection::vec(event_strategy(), 1..16),
+    ) {
+        let mut a = DynamicGrid::new(instance(seed));
+        let mut b = DynamicGrid::new(instance(seed));
+        for ev in &evs {
+            let ra = a.apply(&realize(ev, &a));
+            let rb = b.apply(&realize(ev, &b));
+            prop_assert_eq!(ra.is_ok(), rb.is_ok());
+        }
+        prop_assert_eq!(a.version(), b.version());
+        prop_assert_eq!(a.down_machines(), b.down_machines());
+        let (sa, sb) = (a.sub_instance(), b.sub_instance());
+        prop_assert_eq!(sa.n_tasks(), sb.n_tasks());
+        for t in 0..sa.n_tasks() {
+            for m in 0..sa.n_machines() {
+                prop_assert_eq!(sa.etc().etc(t, m).to_bits(), sb.etc().etc(t, m).to_bits());
+            }
+        }
+    }
+
+    /// Noise realization keeps the matrix physical and within the
+    /// advertised half-width band.
+    #[test]
+    fn noise_realization_stays_in_band(
+        seed in 0u64..20,
+        noise_seed in 0u64..u64::MAX,
+        eps_16ths in 1u8..15,
+    ) {
+        let epsilon = eps_16ths as f64 / 16.0;
+        let base = instance(seed);
+        let noisy = NoiseModel::new(epsilon, noise_seed).realize(&base);
+        prop_assert_eq!(noisy.n_tasks(), base.n_tasks());
+        prop_assert_eq!(noisy.n_machines(), base.n_machines());
+        for t in 0..base.n_tasks() {
+            for m in 0..base.n_machines() {
+                let (b, n) = (base.etc().etc(t, m), noisy.etc().etc(t, m));
+                prop_assert!(n.is_finite() && n > 0.0);
+                prop_assert!(n >= b * (1.0 - epsilon) - 1e-9, "below band: {n} vs {b}");
+                prop_assert!(n <= b * (1.0 + epsilon) + 1e-9, "above band: {n} vs {b}");
+            }
+        }
+    }
+
+    /// Both reschedulers only ever place orphans on alive machines and
+    /// return one placement per orphan.
+    #[test]
+    fn reschedulers_place_only_on_alive_machines(
+        seed in 0u64..10,
+        downs in proptest::collection::vec(0..N_MACHINES, 1..N_MACHINES - 1),
+        orphan_mask in 1u32..(1 << N_TASKS),
+    ) {
+        let inst = instance(seed);
+        // `downs` holds at most N_MACHINES - 2 machines, so at least
+        // two always survive.
+        let mut alive: Vec<usize> = (0..N_MACHINES).collect();
+        alive.retain(|m| !downs.contains(m));
+        prop_assert!(!alive.is_empty());
+        let orphans: Vec<usize> =
+            (0..N_TASKS).filter(|t| orphan_mask & (1 << t) != 0).collect();
+        let ready = vec![0.0; N_MACHINES];
+
+        let policies: [&dyn Rescheduler; 2] = [
+            &MctRescheduler,
+            &PaCgaRescheduler { evaluations: 64, grid_side: 2, ls_iterations: 1, seed: 5 },
+        ];
+        for policy in policies {
+            let placed = policy.reschedule(&inst, &orphans, &alive, &ready);
+            prop_assert_eq!(placed.len(), orphans.len(), "{}", policy.name());
+            for &m in &placed {
+                prop_assert!(alive.contains(&m), "{} placed on dead machine {m}", policy.name());
+            }
+        }
+    }
+}

@@ -434,6 +434,37 @@ impl Schedule {
         self.rescan_max();
     }
 
+    /// Machine-removal repair: moves **every** task off `machine`, one
+    /// [`Schedule::move_task`] per task, so the canonical-CT invariant and
+    /// the tracked makespan argmax hold after each step exactly as they
+    /// would for any other sequence of moves. `choose(task, schedule)`
+    /// picks the destination for each evacuated task and sees the
+    /// schedule *as repaired so far* (earlier evacuations already
+    /// landed), which lets greedy policies account for the load they are
+    /// adding. Returns the number of tasks moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choose` returns `machine` itself (the evacuation would
+    /// never terminate) or an out-of-range machine.
+    pub fn evacuate_machine(
+        &mut self,
+        instance: &EtcInstance,
+        machine: usize,
+        mut choose: impl FnMut(usize, &Schedule) -> usize,
+    ) -> usize {
+        let mut moved = 0;
+        while let Some(&t) = self.tasks_on(machine).first() {
+            let task = t as usize;
+            let target = choose(task, self);
+            assert!(target != machine, "task {task} evacuated onto the evacuated machine");
+            assert!(target < self.completion.len(), "task {task} evacuated to machine {target}");
+            self.move_task(instance, task, target);
+            moved += 1;
+        }
+        moved
+    }
+
     /// Swaps the machines of two tasks, incrementally.
     pub fn swap_tasks(&mut self, instance: &EtcInstance, a: usize, b: usize) {
         if a == b {
@@ -851,6 +882,61 @@ mod tests {
         assert_eq!(s.makespan().to_bits(), fresh.makespan().to_bits());
         assert_eq!(s.makespan().to_bits(), s.makespan_full().to_bits());
         assert!(s.validate_index().is_ok());
+    }
+
+    #[test]
+    fn evacuate_machine_empties_it_and_stays_canonical() {
+        let inst = EtcInstance::toy(24, 5);
+        let mut s = Schedule::round_robin(&inst);
+        // Greedy least-loaded among the survivors of machine 2.
+        let moved = s.evacuate_machine(&inst, 2, |_, sched| {
+            (0..5)
+                .filter(|&m| m != 2)
+                .min_by(|&a, &b| sched.completion(a).partial_cmp(&sched.completion(b)).unwrap())
+                .unwrap()
+        });
+        assert!(moved > 0);
+        assert_eq!(s.count_on(2), 0);
+        assert!(s.assignment().iter().all(|&m| m != 2));
+        assert!(s.validate_index().is_ok());
+        // Canonical CT + tracked argmax survive the repair bitwise.
+        let fresh = Schedule::from_assignment(&inst, s.assignment().to_vec());
+        for m in 0..5 {
+            assert_eq!(s.completion(m).to_bits(), fresh.completion(m).to_bits());
+        }
+        assert_eq!(s.makespan().to_bits(), s.makespan_full().to_bits());
+    }
+
+    #[test]
+    fn evacuate_machine_of_empty_machine_is_noop() {
+        let inst = EtcInstance::toy(4, 4);
+        let mut s = Schedule::from_assignment(&inst, vec![0, 0, 1, 1]);
+        let before = s.clone();
+        assert_eq!(s.evacuate_machine(&inst, 3, |_, _| unreachable!()), 0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn evacuate_choose_sees_partial_repair() {
+        let inst = EtcInstance::toy(6, 3);
+        let mut s = Schedule::from_assignment(&inst, vec![0, 0, 0, 1, 1, 2]);
+        let mut seen = Vec::new();
+        s.evacuate_machine(&inst, 0, |task, sched| {
+            seen.push((task, sched.count_on(0)));
+            1
+        });
+        // Three tasks evacuated; the callback watched machine 0 drain.
+        assert_eq!(seen.iter().map(|&(_, c)| c).collect::<Vec<_>>(), vec![3, 2, 1]);
+        assert_eq!(s.count_on(0), 0);
+        assert_eq!(s.count_on(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "onto the evacuated machine")]
+    fn evacuate_onto_self_panics() {
+        let inst = EtcInstance::toy(4, 2);
+        let mut s = Schedule::from_assignment(&inst, vec![0, 0, 1, 1]);
+        s.evacuate_machine(&inst, 0, |_, _| 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //!   included), keeping the live jobs dir small.
 
 use crate::json::Json;
-use crate::protocol::{JobStartRequest, JobStatusBody, Request};
+use crate::protocol::{JobListEntry, JobStartRequest, JobStatusBody, Request};
 use pa_cga_core::checkpoint::{self, CheckpointMeta};
 use pa_cga_core::config::Termination;
 use pa_cga_core::engine::PaCga;
@@ -143,6 +143,31 @@ fn civil_from_days(days: i64) -> (i64, u32, u32) {
 fn today_bucket() -> String {
     let (y, m, d) = civil_from_days((now_ms() / 86_400_000) as i64);
     format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days since 1970-01-01 from a civil date (the [`civil_from_days`]
+/// inverse, same source) — ages archive buckets without a date crate.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mm = m as u64;
+    let doy = (153 * (if mm > 2 { mm - 3 } else { mm + 9 }) + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Parses an archive bucket name (`YYYY-MM-DD`) into days since the
+/// epoch; `None` for anything that is not a bucket.
+fn bucket_days(name: &str) -> Option<i64> {
+    let mut parts = name.splitn(3, '-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
 }
 
 /// What the job's budget counts, for progress/ETA derivation.
@@ -376,11 +401,15 @@ impl JobManager {
         data_dir: &Path,
         workers: usize,
         default_checkpoint_gens: u64,
+        archive_keep_days: Option<u64>,
     ) -> std::io::Result<Arc<JobManager>> {
         let jobs_dir = data_dir.join("jobs");
         let archive_dir = data_dir.join("archive");
         std::fs::create_dir_all(&jobs_dir)?;
         std::fs::create_dir_all(&archive_dir)?;
+        if let Some(keep) = archive_keep_days {
+            sweep_archive(&archive_dir, keep);
+        }
         let workers = workers.max(1);
         let mgr = Arc::new(JobManager {
             jobs_dir,
@@ -624,6 +653,65 @@ impl JobManager {
         Ok(body)
     }
 
+    /// Every job the daemon knows about: live entries first (sorted by
+    /// name), then the archive hierarchy (newest bucket first, names
+    /// sorted within a bucket). Archived rows report the manifest's
+    /// terminal state plus the bucket date.
+    pub fn list(&self) -> Vec<JobListEntry> {
+        let mut live: Vec<JobListEntry> = self
+            .entries
+            .lock()
+            .values()
+            .map(|e| {
+                let body = e.status_body();
+                JobListEntry {
+                    job: body.job,
+                    state: body.state,
+                    live: true,
+                    generations: body.generations,
+                    evaluations: body.evaluations,
+                    best_makespan: body.best_makespan,
+                    archived_date: None,
+                }
+            })
+            .collect();
+        live.sort_by(|a, b| a.job.cmp(&b.job));
+
+        let mut buckets: Vec<String> = match std::fs::read_dir(&self.archive_dir) {
+            Ok(dirents) => dirents
+                .flatten()
+                .filter(|d| d.path().is_dir())
+                .filter_map(|d| d.file_name().into_string().ok())
+                .filter(|name| bucket_days(name).is_some())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        buckets.sort_by(|a, b| b.cmp(a));
+        for bucket in buckets {
+            let dir = self.archive_dir.join(&bucket);
+            let Ok(dirents) = std::fs::read_dir(&dir) else { continue };
+            let mut names: Vec<String> =
+                dirents.flatten().filter_map(|d| d.file_name().into_string().ok()).collect();
+            names.sort();
+            for name in names {
+                let manifest_path = dir.join(&name).join("manifest.json");
+                let Ok(text) = std::fs::read_to_string(&manifest_path) else { continue };
+                let Ok(parsed) = Json::parse(&text) else { continue };
+                let Ok(manifest) = Manifest::from_json(&parsed) else { continue };
+                live.push(JobListEntry {
+                    job: name,
+                    state: manifest.state.as_str().to_string(),
+                    live: false,
+                    generations: manifest.generations,
+                    evaluations: manifest.evaluations,
+                    best_makespan: manifest.best,
+                    archived_date: Some(bucket.clone()),
+                });
+            }
+        }
+        live
+    }
+
     /// True once a drain has begun (new `job.start`s are rejected).
     pub fn draining(&self) -> bool {
         // ord: Acquire — pairs with the AcqRel swap in begin_drain.
@@ -683,6 +771,23 @@ impl JobManager {
             failed: self.failed.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             active,
+        }
+    }
+}
+
+/// Boot-time retention sweep: every archive bucket strictly older than
+/// `keep_days` (by its `YYYY-MM-DD` name, not file mtime) is removed
+/// wholesale. Best-effort — an undeletable bucket is skipped, never
+/// fatal to daemon startup. Non-bucket entries are left alone.
+fn sweep_archive(archive_dir: &Path, keep_days: u64) {
+    let today = (now_ms() / 86_400_000) as i64;
+    let Ok(dirents) = std::fs::read_dir(archive_dir) else { return };
+    for dirent in dirents.flatten() {
+        let name = dirent.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(days) = bucket_days(name) else { continue };
+        if today - days > keep_days as i64 && dirent.path().is_dir() {
+            let _ = std::fs::remove_dir_all(dirent.path());
         }
     }
 }
@@ -1051,6 +1156,21 @@ mod tests {
         assert_eq!(civil_from_days(19_723 + 59), (2024, 2, 29));
         assert_eq!(civil_from_days(20_673), (2026, 8, 8));
         assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn bucket_days_inverts_civil_from_days() {
+        // The retention sweep compares `now_ms() / 86_400_000` (Unix
+        // epoch days) against `bucket_days`; both must share the epoch.
+        assert_eq!(bucket_days("1970-01-01"), Some(0));
+        assert_eq!(bucket_days("2026-08-08"), Some(20_673));
+        for days in [0i64, 59, 19_723, 20_673, 40_000] {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(bucket_days(&format!("{y:04}-{m:02}-{d:02}")), Some(days));
+        }
+        assert_eq!(bucket_days("not-a-date"), None);
+        assert_eq!(bucket_days("2026-13-01"), None);
+        assert_eq!(bucket_days("relic"), None);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   lifecycle ([`jobs`]).
 //! * **Observability** — a `stats` request returns uptime, throughput,
 //!   cache hit/miss counters and batch shape ([`protocol`]).
+//! * **Schedule streams** — a connection can open a session bound to an
+//!   instance and feed it grid events (machine failures, ETC drift,
+//!   task churn); each event is answered by an incremental reschedule
+//!   from a warm-started PA-CGA, measured against a cold restart
+//!   ([`stream`]).
 //!
 //! The load-generator side ([`loadgen`], surfaced as
 //! `pacga bench-serve`) hammers a daemon over loopback and reports
@@ -36,17 +41,21 @@
 //! because the vendored `serde` is a no-op stand-in.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod jobs;
 pub mod json;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod stream;
 
 pub use cache::{CachedRun, ScheduleCache};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, Storm};
 pub use client::{Client, ClientError, RetryPolicy, RobustClient};
 pub use jobs::{JobCounters, JobManager, JobState};
 pub use json::Json;
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use protocol::{Request, Response, ScheduleRequest, StatsSnapshot};
 pub use server::{serve, ServeConfig, ServeSummary, ServerHandle};
+pub use stream::StreamSession;

@@ -31,6 +31,11 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Distinct request shapes cycled by every client.
     pub distinct: usize,
+    /// Tasks per generated instance (the paper's benchmark is 512; the
+    /// scaling mixes go to 4096).
+    pub tasks: usize,
+    /// Machines per generated instance (up to 64 in the scaling mixes).
+    pub machines: usize,
     /// Send `shutdown` after the load and wait for the drain ack.
     pub shutdown_after: bool,
     /// Socket read/write timeout in milliseconds (0 = block forever).
@@ -49,6 +54,8 @@ impl Default for LoadConfig {
             evals: 1_000,
             seed: 0,
             distinct: 4,
+            tasks: 64,
+            machines: 8,
             shutdown_after: false,
             timeout_ms: 0,
             retries: 0,
@@ -119,10 +126,13 @@ impl std::fmt::Display for LoadReport {
     }
 }
 
-/// The request line for shape `k` of a run seeded with `seed`: a small
-/// generator-spec instance, so the daemon exercises `etc_model`
-/// decoding and the cache digest end-to-end without 512×16 payloads.
-fn request_shape(k: usize, seed: u64, evals: u64) -> Json {
+/// The request line for shape `k` of a run seeded with `seed`: a
+/// generator-spec instance of the configured dimensions, so the daemon
+/// exercises `etc_model` decoding and the cache digest end-to-end. The
+/// default 64×8 keeps the protocol-bound smoke cheap; `--tasks 4096
+/// --machines 64` turns the same mix into the large-instance scaling
+/// demo.
+fn request_shape(k: usize, config: &LoadConfig) -> Json {
     let consistency = match k % 3 {
         0 => "i",
         1 => "c",
@@ -134,16 +144,16 @@ fn request_shape(k: usize, seed: u64, evals: u64) -> Json {
         (
             "etc_model",
             Json::obj(vec![
-                ("tasks", Json::num(64.0)),
-                ("machines", Json::num(8.0)),
+                ("tasks", Json::num(config.tasks.max(1) as f64)),
+                ("machines", Json::num(config.machines.max(1) as f64)),
                 ("consistency", Json::str(consistency)),
                 ("task_het", Json::str(if k.is_multiple_of(2) { "hi" } else { "lo" })),
                 ("machine_het", Json::str("hi")),
-                ("seed", Json::num((seed + k as u64) as f64)),
+                ("seed", Json::num((config.seed + k as u64) as f64)),
             ]),
         ),
-        ("evals", Json::num(evals as f64)),
-        ("seed", Json::num(seed as f64)),
+        ("evals", Json::num(config.evals as f64)),
+        ("seed", Json::num(config.seed as f64)),
         ("ls", Json::num(2.0)),
     ])
 }
@@ -180,7 +190,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
                 let mut client = RobustClient::new(config.addr.as_str(), timeout, policy);
                 for i in 0..config.requests {
                     let shape = (c + i) % config.distinct.max(1);
-                    let request = request_shape(shape, config.seed, config.evals);
+                    let request = request_shape(shape, config);
                     let sent = Instant::now();
                     match client.request(&request) {
                         Err(_) => tally.errors += 1,

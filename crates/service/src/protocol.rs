@@ -27,15 +27,34 @@
 //!   [`crate::jobs`]).
 //! * `job.status` / `job.log` / `job.stop` / `job.archive` — inspect,
 //!   tail, cancel, or archive a durable job by name.
+//! * `job.list` — enumerate durable jobs, live and archived.
+//! * `stream.open` — bind a **schedule-stream session** to this
+//!   connection: the same instance/budget fields as `schedule` (the
+//!   `evals` budget becomes the *per-event* reschedule budget), plus an
+//!   optional durable `session` name, `resume: true` to reload a
+//!   persisted session, `baseline` (a heuristic name re-run from
+//!   scratch on every event for comparison) and `grid` (population
+//!   side). See [`crate::stream`].
+//! * `stream.event` — inject one grid event into the open session:
+//!   `{"seq": N, "event": {"kind": ..., ...}}` where `kind` is one of
+//!   `machine.down` / `machine.up` (`machine`), `etc.drift` (`epsilon`
+//!   plus `seed`, or explicit `deltas: [[task, machine, factor], ...]`),
+//!   `task.arrive` (`etc` row), `task.cancel` (`task`). A malformed
+//!   event body decodes *successfully* into a typed error payload so
+//!   the session answers `stream_error` and stays alive.
+//! * `stream.close` — end the session, get its recovery summary.
 //!
 //! Responses: `result`, `busy` (backpressure: bounded queue full, or
-//! draining), `error`, `stats`, `ok`, `job` (job status), `job_log`.
+//! draining), `error`, `stats`, `ok`, `job` (job status), `job_log`,
+//! `job_list`, `stream_opened`, `stream_result`, `stream_error`
+//! (typed: `code` + `message` + `expected_seq`), `stream_closed`.
 
 use crate::json::Json;
 use etc_model::{
     braun_instance, braun_instance_names, Consistency, EtcGenerator, EtcInstance, EtcMatrix,
     GeneratorParams, Heterogeneity,
 };
+use grid_sim::{EtcDelta, GridEvent};
 use pa_cga_core::config::{PaCgaConfig, Termination};
 use pa_cga_core::crossover::CrossoverOp;
 
@@ -81,6 +100,46 @@ pub enum Request {
         /// Job name.
         job: String,
     },
+    /// Enumerate durable jobs, live and archived.
+    JobList,
+    /// Open (or resume) a schedule-stream session on this connection.
+    StreamOpen(Box<StreamOpenRequest>),
+    /// Inject one grid event into the connection's open session.
+    StreamEvent(Box<StreamEventRequest>),
+    /// Close the connection's session and report its recovery summary.
+    StreamClose,
+}
+
+/// A decoded `stream.open` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOpenRequest {
+    /// Durable session name (same alphabet as job names). Named
+    /// sessions persist their instance + population under the daemon's
+    /// `--data-dir` and can be resumed; anonymous sessions die with the
+    /// connection.
+    pub session: Option<String>,
+    /// Resume the named persisted session instead of starting fresh.
+    pub resume: bool,
+    /// Heuristic re-run from scratch on every event as a reschedule
+    /// baseline (`--reschedule-baseline`): one of the portfolio names.
+    pub baseline: Option<String>,
+    /// Population grid side (population = side²). Ignored on resume —
+    /// the persisted population fixes the size.
+    pub grid_side: usize,
+    /// The embedded instance/budget spec. `None` exactly when
+    /// `resume` — a resumed session takes everything from disk.
+    pub spec: Option<ScheduleRequest>,
+}
+
+/// A decoded `stream.event` request. Malformed event *bodies* decode
+/// into `event: Err(message)` rather than failing the request, so the
+/// server can answer a typed `stream_error` and keep the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEventRequest {
+    /// Client sequence number; `None` when absent or malformed.
+    pub seq: Option<u64>,
+    /// The decoded grid event, or why it did not decode.
+    pub event: Result<GridEvent, String>,
 }
 
 /// A decoded `job.start` request: a schedule spec plus job options.
@@ -236,6 +295,127 @@ fn generator_spec(v: &Json) -> Result<GeneratorParams, String> {
     })
 }
 
+/// Decodes the `event` object of a `stream.event` request. Errors here
+/// are carried as data (see [`StreamEventRequest::event`]), never as a
+/// request-decode failure.
+fn stream_event_body(v: &Json) -> Result<GridEvent, String> {
+    let ev = match v.get("event") {
+        Some(ev @ Json::Obj(_)) => ev,
+        Some(other) => return Err(format!("\"event\" must be an object, got {other}")),
+        None => return Err("stream.event needs an \"event\" object".into()),
+    };
+    let kind = field_str(ev, "kind")?.ok_or("event needs a \"kind\"")?;
+    let machine = |ev: &Json| -> Result<usize, String> {
+        Ok(field_u64(ev, "machine")?.ok_or("event needs a \"machine\" id")? as usize)
+    };
+    match kind.as_str() {
+        "machine.down" => Ok(GridEvent::MachineDown { machine: machine(ev)? }),
+        "machine.up" => Ok(GridEvent::MachineUp { machine: machine(ev)? }),
+        "etc.drift" => match ev.get("deltas") {
+            Some(d) => {
+                let rows = d.as_arr().ok_or("\"deltas\" must be an array of triples")?;
+                let mut deltas = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let triple =
+                        row.as_arr().ok_or_else(|| format!("deltas[{i}] must be an array"))?;
+                    let [task, machine, factor] = triple else {
+                        return Err(format!("deltas[{i}] must be [task, machine, factor]"));
+                    };
+                    let task = task
+                        .as_u64()
+                        .ok_or_else(|| format!("deltas[{i}] task must be an integer"))?;
+                    let machine = machine
+                        .as_u64()
+                        .ok_or_else(|| format!("deltas[{i}] machine must be an integer"))?;
+                    let factor = factor
+                        .as_f64()
+                        .ok_or_else(|| format!("deltas[{i}] factor must be a number"))?;
+                    deltas.push(EtcDelta {
+                        task: task as usize,
+                        machine: machine as usize,
+                        factor,
+                    });
+                }
+                if deltas.is_empty() {
+                    return Err("\"deltas\" must not be empty".into());
+                }
+                Ok(GridEvent::EtcDeltas { deltas })
+            }
+            None => {
+                let epsilon = ev
+                    .get("epsilon")
+                    .and_then(Json::as_f64)
+                    .ok_or("etc.drift needs \"epsilon\" (or explicit \"deltas\")")?;
+                Ok(GridEvent::EtcDrift { epsilon, seed: field_u64(ev, "seed")?.unwrap_or(0) })
+            }
+        },
+        "task.arrive" => {
+            let row = ev.get("etc").ok_or("task.arrive needs an \"etc\" row")?;
+            let cells = row.as_arr().ok_or("task.arrive \"etc\" must be an array of numbers")?;
+            let mut etc = Vec::with_capacity(cells.len());
+            for (m, cell) in cells.iter().enumerate() {
+                etc.push(cell.as_f64().ok_or_else(|| format!("etc[{m}] must be a number"))?);
+            }
+            Ok(GridEvent::TaskArrive { etc })
+        }
+        "task.cancel" => {
+            let task = field_u64(ev, "task")?.ok_or("task.cancel needs a \"task\" id")?;
+            Ok(GridEvent::TaskCancel { task: task as usize })
+        }
+        other => Err(format!(
+            "unknown event kind {other:?} \
+             (machine.down|machine.up|etc.drift|task.arrive|task.cancel)"
+        )),
+    }
+}
+
+impl StreamOpenRequest {
+    fn from_json(v: &Json) -> Result<StreamOpenRequest, String> {
+        let session = field_str(v, "session")?;
+        if let Some(name) = &session {
+            validate_job_name(name).map_err(|e| format!("session {e}"))?;
+        }
+        let resume = field_bool(v, "resume")?;
+        if resume && session.is_none() {
+            return Err("stream.open with \"resume\" needs a \"session\" name".into());
+        }
+        let baseline = field_str(v, "baseline")?;
+        if let Some(name) = &baseline {
+            if !heuristics::Heuristic::all().iter().any(|h| h.name() == name) {
+                let names: Vec<&str> =
+                    heuristics::Heuristic::all().iter().map(|h| h.name()).collect();
+                return Err(format!("unknown baseline {name:?} ({})", names.join("|")));
+            }
+        }
+        let grid_side = field_u64(v, "grid")?.unwrap_or(8) as usize;
+        if !(2..=32).contains(&grid_side) {
+            return Err("\"grid\" must be in 2..=32".into());
+        }
+        let spec = if resume {
+            if v.get("braun").is_some() || v.get("etc").is_some() || v.get("etc_model").is_some() {
+                return Err("resume takes the instance from the persisted session; \
+                     drop \"braun\"/\"etc\"/\"etc_model\""
+                    .into());
+            }
+            None
+        } else {
+            let spec = ScheduleRequest::from_json(v)?;
+            if !matches!(spec.termination, Termination::Evaluations(_)) {
+                return Err(
+                    "stream sessions take a per-event \"evals\" budget (not gens/time_ms)".into()
+                );
+            }
+            if spec.threads != 1 {
+                return Err(
+                    "stream sessions run single-threaded for determinism; drop \"threads\"".into(),
+                );
+            }
+            Some(spec)
+        };
+        Ok(StreamOpenRequest { session, resume, baseline, grid_side, spec })
+    }
+}
+
 impl Request {
     /// Decodes one wire line (already framed by the caller).
     pub fn decode(line: &str) -> Result<Request, String> {
@@ -279,9 +459,23 @@ impl Request {
             }),
             "job.stop" => Ok(Request::JobStop { job: job_name(v)? }),
             "job.archive" => Ok(Request::JobArchive { job: job_name(v)? }),
+            "job.list" => Ok(Request::JobList),
+            "stream.open" => Ok(Request::StreamOpen(Box::new(StreamOpenRequest::from_json(v)?))),
+            "stream.event" => {
+                // A bad `seq` or event body is carried as typed data so
+                // the server answers `stream_error` without tearing the
+                // session down.
+                let (seq, event) = match field_u64(v, "seq") {
+                    Ok(seq) => (seq, stream_event_body(v)),
+                    Err(e) => (None, Err(e)),
+                };
+                Ok(Request::StreamEvent(Box::new(StreamEventRequest { seq, event })))
+            }
+            "stream.close" => Ok(Request::StreamClose),
             other => Err(format!(
                 "unknown request type {other:?} \
-                 (schedule|stats|ping|shutdown|job.start|job.status|job.log|job.stop|job.archive)"
+                 (schedule|stats|ping|shutdown|job.start|job.status|job.log|job.stop|job.archive\
+                 |job.list|stream.open|stream.event|stream.close)"
             )),
         }
     }
@@ -557,6 +751,142 @@ pub enum Response {
         /// The last lines of the progress log, oldest first.
         lines: Vec<String>,
     },
+    /// Durable job listing (`job.list`).
+    JobList {
+        /// One entry per job, live first, then archived, each sorted by
+        /// name.
+        jobs: Vec<JobListEntry>,
+    },
+    /// A schedule-stream session is open (`stream.open`).
+    StreamOpened(Box<StreamOpenedBody>),
+    /// One grid event applied and rescheduled (`stream.event`).
+    StreamResult(Box<StreamResultBody>),
+    /// A stream request was rejected; the session (if any) is intact.
+    StreamError {
+        /// Machine-readable code: `no_session`, `session_exists`,
+        /// `session_busy`, `no_data_dir`, `out_of_order`, `bad_event`,
+        /// or a [`grid_sim::EventError`] code such as
+        /// `unknown_machine` / `last_machine` / `bad_value`.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+        /// The sequence number the session expects next, when one is
+        /// open.
+        expected_seq: Option<u64>,
+    },
+    /// The session closed; its recovery summary (`stream.close`).
+    StreamClosed(Box<StreamSummaryBody>),
+}
+
+/// One row of a `job_list` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobListEntry {
+    /// Job name.
+    pub job: String,
+    /// State machine position; archived jobs report the terminal state
+    /// their manifest recorded (`done`, `failed`, or `stopped`).
+    pub state: String,
+    /// Whether the job is live under the data dir (vs archived).
+    pub live: bool,
+    /// Generations completed.
+    pub generations: u64,
+    /// Evaluations accounted.
+    pub evaluations: u64,
+    /// Best makespan observed, when any.
+    pub best_makespan: Option<f64>,
+    /// Archive date bucket (`YYYY-MM-DD`) for archived jobs.
+    pub archived_date: Option<String>,
+}
+
+/// The body of a `stream_opened` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOpenedBody {
+    /// Durable session name, when one was given.
+    pub session: Option<String>,
+    /// Whether the session was resumed from disk.
+    pub resumed: bool,
+    /// Resolved instance name.
+    pub instance: String,
+    /// Current task count.
+    pub n_tasks: usize,
+    /// Base machine count (down machines included).
+    pub n_machines: usize,
+    /// Machines currently alive.
+    pub alive: usize,
+    /// Machines currently down, ascending (resume needs the world's
+    /// failure state, not just its size).
+    pub down: Vec<usize>,
+    /// Best makespan of the (possibly resumed) population.
+    pub makespan: f64,
+    /// The sequence number the first/next event must carry.
+    pub next_seq: u64,
+}
+
+/// The body of a `stream_result` response: one event, applied and
+/// rescheduled, with the warm-vs-cold recovery measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamResultBody {
+    /// Echo of the event's sequence number.
+    pub seq: u64,
+    /// The applied event verb (`machine.down`, ...).
+    pub kind: String,
+    /// Task count after the event.
+    pub n_tasks: usize,
+    /// Base machine count.
+    pub n_machines: usize,
+    /// Machines alive after the event.
+    pub alive: usize,
+    /// Down machine ids, ascending.
+    pub down: Vec<usize>,
+    /// Best makespan *before* the event (previous world).
+    pub makespan_before: f64,
+    /// Best makespan right after repair, before resumed evolution.
+    pub repair_makespan: f64,
+    /// Best makespan after the warm path spent the event budget.
+    pub makespan: f64,
+    /// Wall-clock from event receipt to this response, ms.
+    pub recovery_ms: f64,
+    /// Post-repair evaluations until the warm best first reached the
+    /// cold restart's final best (= `budget_evals` if never).
+    pub recovery_evals: u64,
+    /// Per-event evaluation budget (both paths).
+    pub budget_evals: u64,
+    /// Cold-restart best makespan after the same budget.
+    pub cold_makespan: f64,
+    /// `makespan - cold_makespan` (negative = warm found better).
+    pub delta_vs_cold: f64,
+    /// Whether the warm start recovered strictly under the cold budget.
+    pub warm_beats_cold: bool,
+    /// Baseline heuristic name, when configured.
+    pub baseline: Option<String>,
+    /// The baseline's from-scratch makespan on the new world.
+    pub baseline_makespan: Option<f64>,
+    /// Task→machine assignment in *base* machine ids (when the open
+    /// request asked for assignments).
+    pub assignment: Option<Vec<u32>>,
+}
+
+/// The body of a `stream_closed` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummaryBody {
+    /// Durable session name, when one was given.
+    pub session: Option<String>,
+    /// Events applied successfully.
+    pub events: u64,
+    /// Requests rejected with `stream_error`.
+    pub rejected: u64,
+    /// Events where the warm start beat the cold budget.
+    pub warm_wins: u64,
+    /// Events where it did not.
+    pub warm_losses: u64,
+    /// Mean evaluations saved versus the cold budget.
+    pub mean_evals_saved: f64,
+    /// Best makespan of the final population.
+    pub best_makespan: f64,
+    /// Recovery wall-clock median, ms (absent with zero events).
+    pub recovery_p50_ms: Option<f64>,
+    /// Recovery wall-clock p99, ms (absent with zero events).
+    pub recovery_p99_ms: Option<f64>,
 }
 
 /// The body of a `job` response.
@@ -728,6 +1058,102 @@ impl Response {
                 ("job", Json::str(job.clone())),
                 ("lines", Json::Arr(lines.iter().map(|l| Json::str(l.clone())).collect())),
             ]),
+            Response::JobList { jobs } => {
+                let opt_num = |x: &Option<f64>| match x {
+                    Some(x) => Json::num(*x),
+                    None => Json::Null,
+                };
+                let rows = jobs
+                    .iter()
+                    .map(|j| {
+                        Json::obj(vec![
+                            ("job", Json::str(j.job.clone())),
+                            ("state", Json::str(j.state.clone())),
+                            ("live", Json::Bool(j.live)),
+                            ("generations", Json::num(j.generations as f64)),
+                            ("evaluations", Json::num(j.evaluations as f64)),
+                            ("best_makespan", opt_num(&j.best_makespan)),
+                            ("archived_date", opt_str(&j.archived_date)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![("type", Json::str("job_list")), ("jobs", Json::Arr(rows))])
+            }
+            Response::StreamOpened(b) => Json::obj(vec![
+                ("type", Json::str("stream_opened")),
+                ("session", opt_str(&b.session)),
+                ("resumed", Json::Bool(b.resumed)),
+                ("instance", Json::str(b.instance.clone())),
+                ("n_tasks", Json::num(b.n_tasks as f64)),
+                ("n_machines", Json::num(b.n_machines as f64)),
+                ("alive", Json::num(b.alive as f64)),
+                ("down", Json::Arr(b.down.iter().map(|&m| Json::num(m as f64)).collect())),
+                ("makespan", Json::num(b.makespan)),
+                ("next_seq", Json::num(b.next_seq as f64)),
+            ]),
+            Response::StreamResult(b) => {
+                let mut fields = vec![
+                    ("type", Json::str("stream_result")),
+                    ("seq", Json::num(b.seq as f64)),
+                    ("kind", Json::str(b.kind.clone())),
+                    ("n_tasks", Json::num(b.n_tasks as f64)),
+                    ("n_machines", Json::num(b.n_machines as f64)),
+                    ("alive", Json::num(b.alive as f64)),
+                    ("down", Json::Arr(b.down.iter().map(|&m| Json::num(m as f64)).collect())),
+                    ("makespan_before", Json::num(b.makespan_before)),
+                    ("repair_makespan", Json::num(b.repair_makespan)),
+                    ("makespan", Json::num(b.makespan)),
+                    ("recovery_ms", Json::num(b.recovery_ms)),
+                    ("recovery_evals", Json::num(b.recovery_evals as f64)),
+                    ("budget_evals", Json::num(b.budget_evals as f64)),
+                    ("cold_makespan", Json::num(b.cold_makespan)),
+                    ("delta_vs_cold", Json::num(b.delta_vs_cold)),
+                    ("warm_beats_cold", Json::Bool(b.warm_beats_cold)),
+                ];
+                if let Some(name) = &b.baseline {
+                    fields.push(("baseline", Json::str(name.clone())));
+                    if let Some(m) = b.baseline_makespan {
+                        fields.push(("baseline_makespan", Json::num(m)));
+                    }
+                }
+                if let Some(a) = &b.assignment {
+                    fields.push((
+                        "assignment",
+                        Json::Arr(a.iter().map(|&m| Json::num(m as f64)).collect()),
+                    ));
+                }
+                Json::obj(fields)
+            }
+            Response::StreamError { code, message, expected_seq } => Json::obj(vec![
+                ("type", Json::str("stream_error")),
+                ("code", Json::str(code.clone())),
+                ("message", Json::str(message.clone())),
+                (
+                    "expected_seq",
+                    match expected_seq {
+                        Some(s) => Json::num(*s as f64),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+            Response::StreamClosed(b) => {
+                let opt_num = |x: &Option<f64>| match x {
+                    Some(x) => Json::num(*x),
+                    None => Json::Null,
+                };
+                Json::obj(vec![
+                    ("type", Json::str("stream_closed")),
+                    ("session", opt_str(&b.session)),
+                    ("events", Json::num(b.events as f64)),
+                    ("rejected", Json::num(b.rejected as f64)),
+                    ("warm_wins", Json::num(b.warm_wins as f64)),
+                    ("warm_losses", Json::num(b.warm_losses as f64)),
+                    ("mean_evals_saved", Json::num(b.mean_evals_saved)),
+                    ("best_makespan", Json::num(b.best_makespan)),
+                    ("recovery_p50_ms", opt_num(&b.recovery_p50_ms)),
+                    ("recovery_p99_ms", opt_num(&b.recovery_p99_ms)),
+                ])
+            }
         }
     }
 }
@@ -992,6 +1418,250 @@ mod tests {
         let log = Response::JobLog { job: "j1".into(), lines: vec!["a".into(), "b".into()] };
         let v = Json::parse(&log.encode()).unwrap();
         assert_eq!(v.get("lines").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn job_list_decodes_and_encodes() {
+        assert_eq!(Request::decode(r#"{"type":"job.list"}"#).unwrap(), Request::JobList);
+        let r = Response::JobList {
+            jobs: vec![JobListEntry {
+                job: "j1".into(),
+                state: "archived".into(),
+                live: false,
+                generations: 7,
+                evaluations: 700,
+                best_makespan: Some(9.5),
+                archived_date: Some("2026-08-08".into()),
+            }],
+        };
+        let v = Json::parse(&r.encode()).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("job_list"));
+        let rows = v.get("jobs").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("archived_date").unwrap().as_str(), Some("2026-08-08"));
+        assert_eq!(rows[0].get("live").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn stream_open_decodes_with_defaults() {
+        let line = r#"{"type":"stream.open","etc":[[1,2],[3,4],[5,6]],"evals":500}"#;
+        match Request::decode(line).unwrap() {
+            Request::StreamOpen(o) => {
+                assert_eq!(o.session, None);
+                assert!(!o.resume);
+                assert_eq!(o.baseline, None);
+                assert_eq!(o.grid_side, 8);
+                let spec = o.spec.expect("fresh open carries a spec");
+                assert_eq!(spec.termination, Termination::Evaluations(500));
+            }
+            other => panic!("expected stream.open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_open_validates_session_resume_and_budget() {
+        // Resume without a session name.
+        let err = Request::decode(r#"{"type":"stream.open","resume":true}"#).unwrap_err();
+        assert!(err.contains("session"), "{err}");
+        // Resume with an instance source.
+        let err = Request::decode(
+            r#"{"type":"stream.open","session":"s1","resume":true,"braun":"u_c_hihi.0"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("persisted session"), "{err}");
+        // Resume proper: no spec.
+        match Request::decode(r#"{"type":"stream.open","session":"s1","resume":true}"#).unwrap() {
+            Request::StreamOpen(o) => {
+                assert_eq!(o.session.as_deref(), Some("s1"));
+                assert!(o.resume && o.spec.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Streams budget in evaluations only, single-threaded only.
+        let err = Request::decode(r#"{"type":"stream.open","etc":[[1,2]],"gens":5}"#).unwrap_err();
+        assert!(err.contains("evals"), "{err}");
+        let err =
+            Request::decode(r#"{"type":"stream.open","etc":[[1,2]],"threads":2}"#).unwrap_err();
+        assert!(err.contains("single-threaded"), "{err}");
+        // Bad session alphabet and bad baseline.
+        assert!(
+            Request::decode(r#"{"type":"stream.open","session":"../x","etc":[[1,2]]}"#).is_err()
+        );
+        let err = Request::decode(r#"{"type":"stream.open","etc":[[1,2]],"baseline":"frob"}"#)
+            .unwrap_err();
+        assert!(err.contains("unknown baseline"), "{err}");
+        // Known baseline accepted.
+        match Request::decode(r#"{"type":"stream.open","etc":[[1,2]],"baseline":"min-min"}"#)
+            .unwrap()
+        {
+            Request::StreamOpen(o) => assert_eq!(o.baseline.as_deref(), Some("min-min")),
+            other => panic!("{other:?}"),
+        }
+        // Grid bounds.
+        assert!(Request::decode(r#"{"type":"stream.open","etc":[[1,2]],"grid":1}"#).is_err());
+        assert!(Request::decode(r#"{"type":"stream.open","etc":[[1,2]],"grid":33}"#).is_err());
+    }
+
+    #[test]
+    fn stream_event_kinds_decode() {
+        let ev = |line: &str| match Request::decode(line).unwrap() {
+            Request::StreamEvent(e) => *e,
+            other => panic!("expected stream.event, got {other:?}"),
+        };
+        let e =
+            ev(r#"{"type":"stream.event","seq":0,"event":{"kind":"machine.down","machine":3}}"#);
+        assert_eq!(e.seq, Some(0));
+        assert_eq!(e.event, Ok(GridEvent::MachineDown { machine: 3 }));
+        let e = ev(r#"{"type":"stream.event","seq":1,"event":{"kind":"machine.up","machine":3}}"#);
+        assert_eq!(e.event, Ok(GridEvent::MachineUp { machine: 3 }));
+        let e = ev(
+            r#"{"type":"stream.event","seq":2,"event":{"kind":"etc.drift","epsilon":0.25,"seed":7}}"#,
+        );
+        assert_eq!(e.event, Ok(GridEvent::EtcDrift { epsilon: 0.25, seed: 7 }));
+        let e = ev(
+            r#"{"type":"stream.event","seq":3,"event":{"kind":"etc.drift","deltas":[[0,1,1.5]]}}"#,
+        );
+        assert_eq!(
+            e.event,
+            Ok(GridEvent::EtcDeltas {
+                deltas: vec![EtcDelta { task: 0, machine: 1, factor: 1.5 }]
+            })
+        );
+        let e = ev(r#"{"type":"stream.event","seq":4,"event":{"kind":"task.arrive","etc":[1,2]}}"#);
+        assert_eq!(e.event, Ok(GridEvent::TaskArrive { etc: vec![1.0, 2.0] }));
+        let e = ev(r#"{"type":"stream.event","seq":5,"event":{"kind":"task.cancel","task":9}}"#);
+        assert_eq!(e.event, Ok(GridEvent::TaskCancel { task: 9 }));
+    }
+
+    #[test]
+    fn malformed_stream_events_decode_into_typed_payloads() {
+        // The *request* decodes fine; the error rides in `event` so the
+        // session can answer stream_error and stay alive.
+        let cases = [
+            (r#"{"type":"stream.event","seq":1}"#, "\"event\" object"),
+            (r#"{"type":"stream.event","seq":1,"event":{}}"#, "kind"),
+            (r#"{"type":"stream.event","seq":1,"event":{"kind":"frob"}}"#, "unknown event kind"),
+            (r#"{"type":"stream.event","seq":1,"event":{"kind":"machine.down"}}"#, "machine"),
+            (r#"{"type":"stream.event","seq":1,"event":{"kind":"etc.drift"}}"#, "epsilon"),
+            (
+                r#"{"type":"stream.event","seq":1,"event":{"kind":"etc.drift","deltas":[[1,2]]}}"#,
+                "deltas[0]",
+            ),
+            (
+                r#"{"type":"stream.event","seq":1,"event":{"kind":"etc.drift","deltas":[]}}"#,
+                "empty",
+            ),
+            (r#"{"type":"stream.event","seq":1,"event":{"kind":"task.arrive"}}"#, "etc"),
+            (r#"{"type":"stream.event","seq":1,"event":{"kind":"task.cancel"}}"#, "task"),
+            (r#"{"type":"stream.event","seq":1,"event":"nope"}"#, "must be an object"),
+        ];
+        for (line, needle) in cases {
+            match Request::decode(line).unwrap() {
+                Request::StreamEvent(e) => {
+                    assert_eq!(e.seq, Some(1), "{line}");
+                    let err = e.event.unwrap_err();
+                    assert!(err.contains(needle), "{line}: {err}");
+                }
+                other => panic!("{line}: expected stream.event, got {other:?}"),
+            }
+        }
+        // A malformed seq is carried too (as None), never a decode error.
+        match Request::decode(
+            r#"{"type":"stream.event","seq":"x","event":{"kind":"machine.up","machine":0}}"#,
+        )
+        .unwrap()
+        {
+            Request::StreamEvent(e) => {
+                assert_eq!(e.seq, None);
+                assert!(e.event.is_err());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_responses_encode_as_single_lines() {
+        let responses = vec![
+            Response::StreamOpened(Box::new(StreamOpenedBody {
+                session: Some("s1".into()),
+                resumed: true,
+                instance: "toy".into(),
+                n_tasks: 8,
+                n_machines: 4,
+                alive: 3,
+                down: vec![2],
+                makespan: 12.0,
+                next_seq: 5,
+            })),
+            Response::StreamResult(Box::new(StreamResultBody {
+                seq: 5,
+                kind: "machine.down".into(),
+                n_tasks: 8,
+                n_machines: 4,
+                alive: 2,
+                down: vec![1, 3],
+                makespan_before: 12.0,
+                repair_makespan: 15.0,
+                makespan: 13.0,
+                recovery_ms: 4.2,
+                recovery_evals: 320,
+                budget_evals: 1000,
+                cold_makespan: 13.5,
+                delta_vs_cold: -0.5,
+                warm_beats_cold: true,
+                baseline: Some("min-min".into()),
+                baseline_makespan: Some(14.0),
+                assignment: Some(vec![0, 2, 0, 2, 2, 0, 0, 2]),
+            })),
+            Response::StreamError {
+                code: "out_of_order".into(),
+                message: "expected seq 5".into(),
+                expected_seq: Some(5),
+            },
+            Response::StreamClosed(Box::new(StreamSummaryBody {
+                session: None,
+                events: 6,
+                rejected: 2,
+                warm_wins: 5,
+                warm_losses: 1,
+                mean_evals_saved: 512.0,
+                best_makespan: 11.0,
+                recovery_p50_ms: Some(3.0),
+                recovery_p99_ms: Some(9.0),
+            })),
+        ];
+        for r in responses {
+            let line = r.encode();
+            assert!(!line.contains('\n'), "{line}");
+            let v = Json::parse(&line).unwrap();
+            let ty = v.get("type").unwrap().as_str().unwrap().to_string();
+            assert!(ty.starts_with("stream_"), "{line}");
+        }
+        // Anonymous stream_result omits baseline/assignment fields.
+        let bare = Response::StreamResult(Box::new(StreamResultBody {
+            seq: 0,
+            kind: "etc.drift".into(),
+            n_tasks: 2,
+            n_machines: 2,
+            alive: 2,
+            down: vec![],
+            makespan_before: 1.0,
+            repair_makespan: 1.0,
+            makespan: 1.0,
+            recovery_ms: 0.1,
+            recovery_evals: 0,
+            budget_evals: 10,
+            cold_makespan: 1.0,
+            delta_vs_cold: 0.0,
+            warm_beats_cold: true,
+            baseline: None,
+            baseline_makespan: None,
+            assignment: None,
+        }));
+        let v = bare.to_json();
+        assert!(v.get("baseline").is_none());
+        assert!(v.get("assignment").is_none());
+        // stream.close decodes.
+        assert_eq!(Request::decode(r#"{"type":"stream.close"}"#).unwrap(), Request::StreamClose);
     }
 
     #[test]

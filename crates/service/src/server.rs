@@ -28,7 +28,8 @@
 
 use crate::cache::{CachedRun, ScheduleCache};
 use crate::jobs::JobManager;
-use crate::protocol::{Request, Response, ScheduleRequest, StatsSnapshot};
+use crate::protocol::{Request, Response, ScheduleRequest, StatsSnapshot, StreamOpenRequest};
+use crate::stream::StreamSession;
 use pa_cga_core::config::PaCgaConfig;
 use pa_cga_core::engine::PaCga;
 use pa_cga_core::runner::{resolve_workers, Portfolio, RunSpec};
@@ -58,10 +59,14 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Most requests coalesced into one portfolio submission.
     pub batch_max: usize,
-    /// Durable-job data directory; `None` disables the `job.*` verbs.
+    /// Durable-job data directory; `None` disables the `job.*` verbs
+    /// and named (durable) stream sessions.
     pub data_dir: Option<String>,
     /// Default checkpoint cadence (generations) for durable jobs.
     pub checkpoint_gens: u64,
+    /// Retention horizon for archived jobs: buckets older than this many
+    /// days are swept on boot. `None` keeps archives forever.
+    pub archive_keep_days: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +79,7 @@ impl Default for ServeConfig {
             batch_max: 16,
             data_dir: None,
             checkpoint_gens: 64,
+            archive_keep_days: None,
         }
     }
 }
@@ -138,6 +144,11 @@ struct Shared {
     next_conn: AtomicU64,
     /// The durable-job subsystem, present when `--data-dir` was given.
     jobs: Option<Arc<JobManager>>,
+    /// The data directory itself, for durable stream sessions.
+    data_dir: Option<std::path::PathBuf>,
+    /// Named stream sessions currently open on SOME connection: at most
+    /// one connection may drive a given durable session at a time.
+    stream_names: Mutex<std::collections::HashSet<String>>,
     start: Instant,
 }
 
@@ -337,9 +348,12 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     // `queued`/`running`/`checkpointed` on disk is re-queued before the
     // listener answers its first request.
     let jobs = match &config.data_dir {
-        Some(dir) => {
-            Some(JobManager::open(std::path::Path::new(dir), workers, config.checkpoint_gens)?)
-        }
+        Some(dir) => Some(JobManager::open(
+            std::path::Path::new(dir),
+            workers,
+            config.checkpoint_gens,
+            config.archive_keep_days,
+        )?),
         None => None,
     };
     let shared = Arc::new(Shared {
@@ -357,6 +371,8 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         next_conn: AtomicU64::new(0),
         conns_cv: Condvar::new(),
         jobs,
+        data_dir: config.data_dir.as_ref().map(std::path::PathBuf::from),
+        stream_names: Mutex::new(std::collections::HashSet::new()),
         start: Instant::now(),
     });
 
@@ -431,6 +447,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         Err(_) => return,
     };
     let mut writer = BufWriter::new(stream);
+    // The connection's schedule-stream session, if one is open. Sessions
+    // are connection-local: the engine runs inline on this thread, so a
+    // session never touches the batching queue or the worker pool.
+    let mut session: Option<StreamSession> = None;
     for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
@@ -499,11 +519,107 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     Err(message) => job_error(shared, message),
                 },
             },
+            Ok(Request::JobList) => match &shared.jobs {
+                None => job_support_missing(shared),
+                Some(jobs) => Response::JobList { jobs: jobs.list() },
+            },
+            Ok(Request::StreamOpen(request)) => handle_stream_open(shared, *request, &mut session),
+            Ok(Request::StreamEvent(request)) => match session.as_mut() {
+                None => stream_error(shared, "no_session", "no open stream session", None),
+                Some(s) => match s.handle_event(*request) {
+                    Ok(body) => Response::StreamResult(body),
+                    Err((code, message)) => {
+                        let expected = Some(s.expected_seq());
+                        stream_error(shared, &code, message, expected)
+                    }
+                },
+            },
+            Ok(Request::StreamClose) => match session.take() {
+                None => stream_error(shared, "no_session", "no open stream session", None),
+                Some(s) => {
+                    release_stream_name(shared, &s);
+                    Response::StreamClosed(s.close())
+                }
+            },
         };
         if writeln!(writer, "{}", response.encode()).and_then(|_| writer.flush()).is_err() {
             break;
         }
     }
+    // Disconnect without a `stream.close`: suspend the session. Durable
+    // sessions persist and stay resumable; anonymous ones are gone.
+    if let Some(s) = session.take() {
+        release_stream_name(shared, &s);
+        s.suspend();
+    }
+}
+
+/// Opens a stream session for this connection, enforcing the one-session
+/// -per-connection and one-connection-per-named-session rules.
+fn handle_stream_open(
+    shared: &Arc<Shared>,
+    request: StreamOpenRequest,
+    session: &mut Option<StreamSession>,
+) -> Response {
+    if session.is_some() {
+        return stream_error(
+            shared,
+            "session_exists",
+            "this connection already has an open session; stream.close it first",
+            None,
+        );
+    }
+    // ord: Relaxed — advisory intake gate, same contract as try_enqueue;
+    // a session that slips past a concurrent drain just finishes its
+    // open and is torn down when the socket sees EOF.
+    if shared.shutdown.load(Ordering::Relaxed) {
+        Metrics::bump(&shared.metrics.busy);
+        return Response::Busy { reason: "draining".into() };
+    }
+    // Reserve the durable name before touching disk so two connections
+    // racing on one session cannot interleave writes.
+    let reserved = match &request.session {
+        None => None,
+        Some(name) => {
+            if !shared.stream_names.lock().insert(name.clone()) {
+                return stream_error(
+                    shared,
+                    "session_busy",
+                    format!("session {name:?} is open on another connection"),
+                    None,
+                );
+            }
+            Some(name.clone())
+        }
+    };
+    match StreamSession::open(request, shared.data_dir.as_deref()) {
+        Ok((s, body)) => {
+            *session = Some(s);
+            Response::StreamOpened(Box::new(body))
+        }
+        Err((code, message)) => {
+            if let Some(name) = reserved {
+                shared.stream_names.lock().remove(&name);
+            }
+            stream_error(shared, &code, message, None)
+        }
+    }
+}
+
+fn release_stream_name(shared: &Arc<Shared>, session: &StreamSession) {
+    if let Some(name) = session.name() {
+        shared.stream_names.lock().remove(name);
+    }
+}
+
+fn stream_error(
+    shared: &Arc<Shared>,
+    code: &str,
+    message: impl Into<String>,
+    expected_seq: Option<u64>,
+) -> Response {
+    Metrics::bump(&shared.metrics.errors);
+    Response::StreamError { code: code.into(), message: message.into(), expected_seq }
 }
 
 /// `job.*` request against a daemon started without `--data-dir`.

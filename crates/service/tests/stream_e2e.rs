@@ -1,0 +1,302 @@
+//! End-to-end schedule-stream tests over real sockets: session
+//! lifecycle on one held connection, typed error codes, the
+//! connection-scoped session guarantee, durable resume across a
+//! graceful daemon restart, `job.list`, and the `--archive-keep-days`
+//! retention sweep. (The SIGKILL half of the crash story lives in
+//! `crates/cli/tests/stream_kill_resume.rs`.)
+
+use pa_cga_service::json::Json;
+use pa_cga_service::{serve, Client, ServeConfig, ServerHandle};
+use std::path::PathBuf;
+
+fn data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pacga-stream-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn(dir: Option<&std::path::Path>) -> ServerHandle {
+    serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        data_dir: dir.map(|d| d.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn request(client: &mut Client, line: &str) -> Json {
+    Json::parse(client.send_line(line).unwrap().trim()).unwrap()
+}
+
+fn open_line(session: Option<&str>) -> String {
+    let session = match session {
+        Some(name) => format!(r#""session":"{name}","#),
+        None => String::new(),
+    };
+    format!(
+        r#"{{"type":"stream.open",{session}"etc_model":{{"tasks":16,"machines":4,"seed":3}},"evals":200,"seed":1,"grid":3,"ls":1,"assignment":true}}"#
+    )
+}
+
+fn event_line(seq: u64, body: &str) -> String {
+    format!(r#"{{"type":"stream.event","seq":{seq},"event":{body}}}"#)
+}
+
+fn ty(v: &Json) -> &str {
+    v.get("type").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn code(v: &Json) -> &str {
+    v.get("code").and_then(Json::as_str).unwrap_or("?")
+}
+
+#[test]
+fn session_lifecycle_and_typed_errors() {
+    let handle = spawn(None);
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+
+    // Event before open: typed no_session.
+    let v = request(&mut c, &event_line(0, r#"{"kind":"machine.down","machine":0}"#));
+    assert_eq!(ty(&v), "stream_error");
+    assert_eq!(code(&v), "no_session");
+
+    let v = request(&mut c, &open_line(None));
+    assert_eq!(ty(&v), "stream_opened", "{v}");
+    assert_eq!(v.get("next_seq").and_then(Json::as_u64), Some(0));
+    assert_eq!(v.get("alive").and_then(Json::as_u64), Some(4));
+
+    // Double open on the same connection: typed session_exists.
+    let v = request(&mut c, &open_line(None));
+    assert_eq!(ty(&v), "stream_error");
+    assert_eq!(code(&v), "session_exists");
+
+    // A valid failure event.
+    let v = request(&mut c, &event_line(0, r#"{"kind":"machine.down","machine":1}"#));
+    assert_eq!(ty(&v), "stream_result", "{v}");
+    assert_eq!(v.get("seq").and_then(Json::as_u64), Some(0));
+    assert_eq!(v.get("alive").and_then(Json::as_u64), Some(3));
+    let assignment = v.get("assignment").and_then(Json::as_arr).expect("assignment");
+    assert_eq!(assignment.len(), 16);
+    assert!(assignment.iter().all(|g| g.as_u64() != Some(1)), "task on down machine: {v}");
+    assert!(v.get("warm_beats_cold").and_then(Json::as_bool).is_some());
+
+    // Out-of-order seq: typed, echoes the expected seq, applies nothing.
+    let v = request(&mut c, &event_line(5, r#"{"kind":"etc.drift","epsilon":0.25,"seed":1}"#));
+    assert_eq!(code(&v), "out_of_order");
+    assert_eq!(v.get("expected_seq").and_then(Json::as_u64), Some(1));
+
+    // Semantic rejections pass the grid's typed codes through.
+    let v = request(&mut c, &event_line(1, r#"{"kind":"machine.down","machine":1}"#));
+    assert_eq!(code(&v), "machine_already_down");
+    let v = request(&mut c, &event_line(1, r#"{"kind":"machine.down","machine":99}"#));
+    assert_eq!(code(&v), "unknown_machine");
+    let v = request(&mut c, &event_line(1, r#"{"kind":"machine.teleport"}"#));
+    assert_eq!(code(&v), "bad_event");
+
+    // The session is intact after every rejection: the next valid event
+    // still applies at the expected seq.
+    let v = request(&mut c, &event_line(1, r#"{"kind":"machine.up","machine":1}"#));
+    assert_eq!(ty(&v), "stream_result", "{v}");
+    assert_eq!(v.get("alive").and_then(Json::as_u64), Some(4));
+
+    let v = request(&mut c, r#"{"type":"stream.close"}"#);
+    assert_eq!(ty(&v), "stream_closed", "{v}");
+    assert_eq!(v.get("events").and_then(Json::as_u64), Some(2));
+    assert_eq!(v.get("rejected").and_then(Json::as_u64), Some(4));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn sessions_are_connection_scoped() {
+    let handle = spawn(None);
+    let addr = handle.addr().to_string();
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+
+    let v = request(&mut a, &open_line(None));
+    assert_eq!(ty(&v), "stream_opened");
+
+    // Connection B has no session — and plain schedule requests still
+    // work while A's session is open.
+    let v = request(&mut b, &event_line(0, r#"{"kind":"etc.drift","epsilon":0.5,"seed":2}"#));
+    assert_eq!(code(&v), "no_session");
+    let v = request(
+        &mut b,
+        r#"{"type":"schedule","etc_model":{"tasks":8,"machines":2,"seed":1},"evals":50}"#,
+    );
+    assert_eq!(ty(&v), "result", "{v}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn named_sessions_need_a_data_dir_and_exclusive_names() {
+    // No data dir: typed no_data_dir.
+    let handle = spawn(None);
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+    let v = request(&mut c, &open_line(Some("night-shift")));
+    assert_eq!(code(&v), "no_data_dir", "{v}");
+    handle.shutdown();
+    handle.join();
+
+    // With a data dir: the name is held exclusively while the first
+    // connection is alive.
+    let dir = data_dir("exclusive");
+    let handle = spawn(Some(&dir));
+    let addr = handle.addr().to_string();
+    let mut a = Client::connect(&addr).unwrap();
+    let v = request(&mut a, &open_line(Some("night-shift")));
+    assert_eq!(ty(&v), "stream_opened", "{v}");
+
+    let mut b = Client::connect(&addr).unwrap();
+    let v = request(&mut b, &open_line(Some("night-shift")));
+    assert_eq!(ty(&v), "stream_error");
+    assert_eq!(code(&v), "session_busy", "{v}");
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_session_resumes_across_daemon_restart() {
+    let dir = data_dir("resume");
+    let handle = spawn(Some(&dir));
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+
+    let v = request(&mut c, &open_line(Some("storm")));
+    assert_eq!(ty(&v), "stream_opened", "{v}");
+    let v = request(&mut c, &event_line(0, r#"{"kind":"machine.down","machine":2}"#));
+    assert_eq!(ty(&v), "stream_result", "{v}");
+    let v = request(&mut c, &event_line(1, r#"{"kind":"etc.drift","epsilon":0.25,"seed":9}"#));
+    assert_eq!(ty(&v), "stream_result", "{v}");
+    let best_before = v.get("makespan").and_then(Json::as_f64).unwrap();
+    // Drop the connection without stream.close: the suspend path must
+    // persist the session. Then restart the daemon entirely.
+    drop(c);
+    handle.shutdown();
+    handle.join();
+
+    let handle = spawn(Some(&dir));
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+
+    // Resuming a ghost is a typed error.
+    let v = request(&mut c, r#"{"type":"stream.open","session":"ghost","resume":true}"#);
+    assert_eq!(code(&v), "no_session", "{v}");
+
+    let v = request(&mut c, r#"{"type":"stream.open","session":"storm","resume":true}"#);
+    assert_eq!(ty(&v), "stream_opened", "{v}");
+    assert_eq!(v.get("resumed").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("next_seq").and_then(Json::as_u64), Some(2));
+    let down = v.get("down").and_then(Json::as_arr).expect("down list");
+    assert_eq!(down.iter().filter_map(Json::as_u64).collect::<Vec<_>>(), vec![2]);
+    let resumed_best = v.get("makespan").and_then(Json::as_f64).unwrap();
+    assert!(
+        (resumed_best - best_before).abs() <= 1e-9 * best_before.abs(),
+        "resume lost the best: {resumed_best} vs {best_before}"
+    );
+
+    // The resumed session keeps sequencing where it left off.
+    let v = request(&mut c, &event_line(2, r#"{"kind":"machine.up","machine":2}"#));
+    assert_eq!(ty(&v), "stream_result", "{v}");
+    assert_eq!(v.get("alive").and_then(Json::as_u64), Some(4));
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn job_list_spans_live_and_archived_and_retention_prunes() {
+    let dir = data_dir("joblist");
+    let handle = spawn(Some(&dir));
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+
+    // A quick job, run to completion and archived.
+    let v = request(
+        &mut c,
+        r#"{"type":"job.start","job":"quick","etc_model":{"tasks":12,"machines":3,"seed":2},"gens":3,"seed":4,"threads":1,"ls":1}"#,
+    );
+    assert_eq!(ty(&v), "job", "{v}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let v = request(&mut c, r#"{"type":"job.status","job":"quick"}"#);
+        if v.get("state").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job never finished: {v}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Live listing.
+    let v = request(&mut c, r#"{"type":"job.list"}"#);
+    assert_eq!(ty(&v), "job_list", "{v}");
+    let jobs = v.get("jobs").and_then(Json::as_arr).unwrap();
+    let row = jobs
+        .iter()
+        .find(|j| j.get("job").and_then(Json::as_str) == Some("quick"))
+        .expect("quick listed");
+    assert_eq!(row.get("live").and_then(Json::as_bool), Some(true));
+    assert_eq!(row.get("state").and_then(Json::as_str), Some("done"));
+
+    // Archive it; the listing flips to the dated archive bucket.
+    let v = request(&mut c, r#"{"type":"job.archive","job":"quick"}"#);
+    assert_eq!(ty(&v), "job", "{v}");
+    let v = request(&mut c, r#"{"type":"job.list"}"#);
+    let jobs = v.get("jobs").and_then(Json::as_arr).unwrap();
+    let row = jobs
+        .iter()
+        .find(|j| j.get("job").and_then(Json::as_str) == Some("quick"))
+        .expect("archived job still listed");
+    assert_eq!(row.get("live").and_then(Json::as_bool), Some(false));
+    assert_eq!(row.get("state").and_then(Json::as_str), Some("done"));
+    let bucket =
+        row.get("archived_date").and_then(Json::as_str).expect("archive bucket").to_string();
+
+    handle.shutdown();
+    handle.join();
+
+    // Plant an ancient archive bucket, then reboot with retention: the
+    // old bucket is swept, today's survives.
+    let ancient = dir.join("archive/2001-01-01/relic");
+    std::fs::create_dir_all(&ancient).unwrap();
+    std::fs::write(ancient.join("manifest.json"), "{\"state\":\"done\",\"request\":{}}").unwrap();
+    let handle = spawn(Some(&dir));
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+    let v = request(&mut c, r#"{"type":"job.list"}"#);
+    let jobs = v.get("jobs").and_then(Json::as_arr).unwrap();
+    assert!(
+        jobs.iter().any(|j| j.get("job").and_then(Json::as_str) == Some("relic")),
+        "without --archive-keep-days nothing is pruned: {v}"
+    );
+    handle.shutdown();
+    handle.join();
+
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        data_dir: Some(dir.to_string_lossy().into_owned()),
+        archive_keep_days: Some(7),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(handle.addr().to_string()).unwrap();
+    let v = request(&mut c, r#"{"type":"job.list"}"#);
+    let jobs = v.get("jobs").and_then(Json::as_arr).unwrap();
+    assert!(
+        !jobs.iter().any(|j| j.get("job").and_then(Json::as_str) == Some("relic")),
+        "ancient bucket survived retention: {v}"
+    );
+    assert!(
+        jobs.iter().any(|j| j.get("archived_date").and_then(Json::as_str) == Some(&bucket)),
+        "today's bucket must survive retention: {v}"
+    );
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,6 +15,9 @@
 //!   the `pacga bench-serve` service load generator.
 //! * [`progress`] — job-level throughput / fraction / ETA derivation for
 //!   the durable job manager (`pacga job status`).
+//! * [`recovery`] — time-to-recover metrics for dynamic rescheduling
+//!   (schedule-stream sessions, `pacga chaos`): warm-vs-cold win ledger
+//!   plus recovery wall-clock percentiles.
 //! * [`table`] — fixed-width ASCII tables for harness output.
 //! * [`render`] — ASCII box plots (Figure 5's visual, in a terminal).
 
@@ -26,6 +29,7 @@ pub mod latency;
 pub mod mann_whitney;
 pub mod progress;
 pub mod quartiles;
+pub mod recovery;
 pub mod render;
 pub mod series;
 pub mod speedup;
@@ -38,6 +42,7 @@ pub use latency::LatencySummary;
 pub use mann_whitney::{mann_whitney_u, MannWhitneyResult};
 pub use progress::JobProgress;
 pub use quartiles::Quartiles;
+pub use recovery::{RecoverySample, RecoveryStats};
 pub use series::TraceAggregator;
 pub use speedup::speedup_percentages;
 pub use table::Table;

@@ -39,6 +39,13 @@
 #            (release build, time-boxed) plus a shell-level
 #            `pacga job start → status → stop → archive` lifecycle smoke
 #            against a booted daemon with --data-dir
+#   6c chaos schedule-stream gate: `pacga chaos` drives a seeded failure
+#            storm against a live daemon asserting every invariant after
+#            every event, warm-started rescheduling must beat a cold
+#            restart on time-to-recover (--assert-warm-wins, burst
+#            storm, fixed seed), recovery latency percentiles must be
+#            reported, the daemon must drain cleanly, and the
+#            SIGKILL-mid-session resume test rides along time-boxed
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -203,8 +210,9 @@ if [[ "$FAST" == 1 ]]; then
   skip "5:sweep" "--fast"
   skip "6:serve" "--fast"
   skip "6b:jobs" "--fast"
+  skip "6c:chaos" "--fast"
   print_summary
-  echo "==> CI green (--fast: stages 4-6b skipped)"
+  echo "==> CI green (--fast: stages 4-6c skipped)"
   exit 0
 fi
 
@@ -339,6 +347,63 @@ SERVE_PID=""
 grep -q "drained cleanly" "$SERVE_LOG" \
   || { echo "jobs smoke: daemon did not drain cleanly" >&2; cat "$SERVE_LOG" >&2; exit 1; }
 rm -rf "$JOBS_DIR"
+rm -f "$SERVE_LOG"
+finish
+
+begin "6c:chaos" "schedule-stream gate: chaos storms + warm-start recovery"
+# The SIGKILL-mid-session gate first: kill the daemon while a durable
+# stream session is live on a held connection, restart, and require
+# `pacga chaos --resume` to continue the stream without a seq gap.
+timeout 300 cargo test -q -p pa-cga-cli --test stream_kill_resume
+
+CHAOS_DIR="$(mktemp -d)"
+SERVE_LOG="$(mktemp)"
+"$PACGA" serve --addr 127.0.0.1:0 --workers 2 \
+  --data-dir "$CHAOS_DIR" >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+  SERVE_ADDR="$(sed -n 's/^pacga serve: listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")"
+  [[ -n "$SERVE_ADDR" ]] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || {
+  echo "chaos gate: daemon never announced its address" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+echo "==> chaos daemon listening on $SERVE_ADDR (data-dir $CHAOS_DIR)"
+
+# Leg 1 — the acceptance storm: a failure-dominated burst script with a
+# fixed seed, probes off, warm-vs-cold ledger asserted. The CLI exits
+# non-zero on any invariant violation OR if cold restarts win overall.
+CHAOS_OUT="$("$PACGA" chaos --addr "$SERVE_ADDR" --storm burst \
+  --tasks 64 --machines 8 --grid 5 --events 6 --evals 10000 --seed 7 \
+  --no-probes --assert-warm-wins)"
+echo "$CHAOS_OUT"
+grep -q "invariants: held on every event" <<<"$CHAOS_OUT" \
+  || { echo "chaos gate: invariant line missing" >&2; exit 1; }
+grep -Eq "recovery  : p50 [0-9.]+ms, p99 [0-9.]+ms" <<<"$CHAOS_OUT" \
+  || { echo "chaos gate: no recovery latency percentiles" >&2; exit 1; }
+
+# Leg 2 — a mixed storm with the malformed/out-of-order probe battery
+# on, through a durable session, draining the daemon on the way out.
+CHAOS_OUT="$("$PACGA" chaos --addr "$SERVE_ADDR" --storm mixed \
+  --tasks 48 --machines 6 --grid 4 --events 8 --evals 2000 --seed 3 \
+  --session ci-chaos --shutdown)"
+echo "$CHAOS_OUT"
+grep -q "invariants: held on every event" <<<"$CHAOS_OUT" \
+  || { echo "chaos gate: probe leg violated invariants" >&2; exit 1; }
+grep -Eq "[1-9][0-9]* probes rejected with typed errors" <<<"$CHAOS_OUT" \
+  || { echo "chaos gate: probe battery did not run" >&2; exit 1; }
+[[ -f "$CHAOS_DIR/sessions/ci-chaos/session.json" ]] \
+  || { echo "chaos gate: durable session not persisted" >&2; exit 1; }
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "drained cleanly" "$SERVE_LOG" \
+  || { echo "chaos gate: daemon did not drain cleanly" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+rm -rf "$CHAOS_DIR"
 rm -f "$SERVE_LOG"
 finish
 
