@@ -72,6 +72,9 @@ USAGE:
   pacga serve    [--addr HOST:PORT] [--workers W] [--queue-cap Q]
                  [--cache-cap C] [--batch-max B] [--data-dir DIR]
                  [--checkpoint-gens N] [--archive-keep-days D]
+                 [--corpus FILE.pacst]
+  pacga corpus   build [--braun] [--large] [--out FILE.pacst]
+  pacga corpus   (ls|verify) --corpus FILE.pacst
   pacga bench-serve [--addr HOST:PORT] [--clients N] [--requests M]
                  [--evals E] [--seed S] [--distinct D] [--tasks N]
                  [--machines M] [--shutdown] [--timeout MS]
@@ -107,6 +110,14 @@ start` submits a named crash-safe run that checkpoints every N
 generations and survives daemon restarts (see README \"Durable jobs\").
 `pacga job list` shows live and archived jobs; --archive-keep-days
 prunes archive buckets older than D days at daemon boot.
+
+`corpus` manages the binary `.pacst` instance/result store (on-disk
+layout in FORMAT.md): `build` pre-generates the Braun 512×16 grid
+(--braun) and/or the large 4096×64 classes (--large); `ls` and `verify`
+inspect and integrity-check a store. `serve --corpus FILE` warm-loads
+the result cache from the store at boot — previously answered digests
+are cache hits with zero engine evaluations — and persists the cache
+back into the store on drain.
 
 `chaos` drives a seeded fault-injection storm through a schedule-stream
 session on the daemon and checks the dynamic-rescheduling invariants
@@ -485,6 +496,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
             Some(_) => Some(args.get_parse("archive-keep-days", 0u64, "u64")?),
             None => None,
         },
+        corpus: args.get("corpus").map(String::from),
     };
     if config.batch_max == 0 {
         return Err(CliError::Other("--batch-max must be positive".into()));
@@ -496,10 +508,13 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let cache_cap = config.cache_cap;
     let batch_max = config.batch_max;
     let workers = config.workers;
-    let jobs_note = match &config.data_dir {
+    let mut jobs_note = match &config.data_dir {
         Some(dir) => format!(", data-dir={dir}"),
         None => String::new(),
     };
+    if let Some(corpus) = &config.corpus {
+        jobs_note.push_str(&format!(", corpus={corpus}"));
+    }
     let handle = serve(config)?;
     // Announce readiness eagerly — `dispatch`'s return value only prints
     // after the daemon exits.
@@ -513,6 +528,120 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     std::io::stdout().flush().ok();
     let summary = handle.join();
     Ok(format!("pacga serve: {summary}\n"))
+}
+
+/// Seed base for the large 4096×64 corpus classes; distinct from the
+/// Braun registry's `SEED_BASE` so the two families never collide.
+const LARGE_SEED_BASE: u64 = 0x9A_2010_4096;
+
+/// `pacga corpus build|ls|verify` — the binary `.pacst` instance/result
+/// store behind `pacga serve --corpus` (on-disk layout in FORMAT.md).
+pub fn cmd_corpus(verb: &str, args: &Args) -> Result<String, CliError> {
+    use pa_cga_service::{StoreBuilder, StoreReader};
+
+    match verb {
+        "build" => {
+            let braun = args.get_bool("braun")?;
+            let large = args.get_bool("large")?;
+            if !braun && !large {
+                return Err(CliError::Other(
+                    "corpus build needs --braun and/or --large to pick instance families".into(),
+                ));
+            }
+            let out = args.get("out").unwrap_or("corpus.pacst").to_string();
+            let mut builder = StoreBuilder::new();
+            if braun {
+                // The full 512×16 consistency×heterogeneity grid.
+                for name in braun_instance_names() {
+                    builder
+                        .add_instance(&braun_instance(name))
+                        .map_err(|e| CliError::Other(format!("corpus build {name}: {e}")))?;
+                }
+            }
+            if large {
+                // The paper's large classes: 4096×64, high/high
+                // heterogeneity, one per consistency class.
+                let classes = [
+                    ("c", Consistency::Consistent),
+                    ("s", Consistency::SemiConsistent),
+                    ("i", Consistency::Inconsistent),
+                ];
+                for (k, (tag, consistency)) in classes.into_iter().enumerate() {
+                    let params = GeneratorParams {
+                        n_tasks: 4096,
+                        n_machines: 64,
+                        task_heterogeneity: Heterogeneity::High,
+                        machine_heterogeneity: Heterogeneity::High,
+                        consistency,
+                        seed: LARGE_SEED_BASE + k as u64,
+                    };
+                    let name = format!("l_{tag}_hihi.4096x64");
+                    let instance = EtcGenerator::new(params).generate_named(name.clone());
+                    builder
+                        .add_instance(&instance)
+                        .map_err(|e| CliError::Other(format!("corpus build {name}: {e}")))?;
+                }
+            }
+            let path = std::path::Path::new(&out);
+            builder.write(path).map_err(|e| CliError::Other(format!("corpus write {out}: {e}")))?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            Ok(format!(
+                "corpus: wrote {} instance(s) to {out} ({bytes} bytes)\n",
+                builder.instance_count()
+            ))
+        }
+        "ls" => {
+            let path = args.require("corpus")?;
+            let mut reader = StoreReader::open_path(std::path::Path::new(&path))
+                .map_err(|e| CliError::Other(format!("corpus {path}: {e}")))?;
+            let mut out = format!(
+                "{path}: {} bytes, {} instance(s), {} best record(s), {} checkpoint(s)\n",
+                reader.file_len(),
+                reader.instance_count(),
+                reader.best_count(),
+                reader.checkpoint_count(),
+            );
+            let instances =
+                reader.instances().map_err(|e| CliError::Other(format!("corpus {path}: {e}")))?;
+            for i in &instances {
+                out.push_str(&format!(
+                    "  inst {:<24} {}x{}\n",
+                    i.name(),
+                    i.n_tasks(),
+                    i.n_machines()
+                ));
+            }
+            let bests =
+                reader.bests().map_err(|e| CliError::Other(format!("corpus {path}: {e}")))?;
+            for (digest, run) in &bests {
+                out.push_str(&format!(
+                    "  best {digest:#018x} {} makespan {:.3} ({} evals)\n",
+                    run.instance, run.makespan, run.evaluations
+                ));
+            }
+            let checkpoints =
+                reader.checkpoints().map_err(|e| CliError::Other(format!("corpus {path}: {e}")))?;
+            for (name, payload) in &checkpoints {
+                out.push_str(&format!("  ckpt {name} ({} bytes)\n", payload.len()));
+            }
+            Ok(out)
+        }
+        "verify" => {
+            let path = args.require("corpus")?;
+            let mut reader = StoreReader::open_path(std::path::Path::new(&path))
+                .map_err(|e| CliError::Other(format!("corpus {path}: {e}")))?;
+            let report =
+                reader.verify().map_err(|e| CliError::Other(format!("corpus {path}: {e}")))?;
+            Ok(format!(
+                "corpus {path}: OK — {} instance(s), {} best record(s), {} checkpoint(s), \
+                 {} unknown section(s) skipped\n",
+                report.instances, report.bests, report.checkpoints, report.unknown_sections
+            ))
+        }
+        other => Err(CliError::Other(format!(
+            "unknown corpus verb {other:?}; expected build|ls|verify\n\n{USAGE}"
+        ))),
+    }
 }
 
 /// `pacga bench-serve` — loopback load generator against a running
@@ -837,9 +966,25 @@ pub fn dispatch(tokens: Vec<String>) -> Result<String, CliError> {
                     "data-dir",
                     "checkpoint-gens",
                     "archive-keep-days",
+                    "corpus",
                 ],
             )?;
             cmd_serve(&args)
+        }
+        "corpus" => {
+            // The verb is positional: `pacga corpus build --braun`.
+            let verb = match tokens.get(1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    return Err(CliError::Other(format!(
+                        "corpus needs a verb: build|ls|verify\n\n{USAGE}"
+                    )))
+                }
+            };
+            let mut rest = tokens;
+            rest.remove(1);
+            let args = Args::parse(rest, &["braun", "large", "out", "corpus"])?;
+            cmd_corpus(&verb, &args)
         }
         "bench-serve" => {
             let args = Args::parse(
@@ -993,6 +1138,7 @@ mod tests {
             "bench-serve",
             "chaos",
             "job",
+            "corpus",
             "list",
         ] {
             assert!(USAGE.contains(&format!("pacga {cmd}")), "{cmd} missing from USAGE");
@@ -1007,6 +1153,52 @@ mod tests {
         assert!(err.to_string().contains("job needs a verb"), "{err}");
         let err = dispatch(toks("job frobnicate --job x")).unwrap_err();
         assert!(err.to_string().contains("unknown job verb"), "{err}");
+    }
+
+    #[test]
+    fn corpus_requires_a_verb_and_rejects_unknown_verbs() {
+        let err = dispatch(toks("corpus")).unwrap_err();
+        assert!(err.to_string().contains("corpus needs a verb"), "{err}");
+        let err = dispatch(toks("corpus --braun")).unwrap_err();
+        assert!(err.to_string().contains("corpus needs a verb"), "{err}");
+        let err = dispatch(toks("corpus frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("unknown corpus verb"), "{err}");
+    }
+
+    #[test]
+    fn corpus_build_requires_a_family() {
+        let err = dispatch(toks("corpus build")).unwrap_err();
+        assert!(err.to_string().contains("--braun and/or --large"), "{err}");
+    }
+
+    #[test]
+    fn corpus_build_ls_verify_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pacga-cli-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.pacst");
+        let path_s = path.to_str().unwrap();
+        let out = dispatch(toks(&format!("corpus build --braun --out {path_s}"))).unwrap();
+        assert!(out.contains("wrote 12 instance(s)"), "{out}");
+        let ls = dispatch(toks(&format!("corpus ls --corpus {path_s}"))).unwrap();
+        assert!(ls.contains("12 instance(s)"), "{ls}");
+        assert!(ls.contains("u_c_hihi.0"), "{ls}");
+        assert!(ls.contains("512x16"), "{ls}");
+        let verify = dispatch(toks(&format!("corpus verify --corpus {path_s}"))).unwrap();
+        assert!(verify.contains("OK"), "{verify}");
+        assert!(verify.contains("12 instance(s)"), "{verify}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_verify_reports_corruption() {
+        let dir = std::env::temp_dir().join(format!("pacga-cli-badcorpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.pacst");
+        std::fs::write(&path, b"garbage").unwrap();
+        let err = dispatch(toks(&format!("corpus verify --corpus {}", path.to_str().unwrap())))
+            .unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1132,6 +1324,13 @@ mod unknown_flag_tests {
     }
 
     #[test]
+    fn corpus_rejects_unknown_flag() {
+        // The positional verb is stripped before flag parsing, so the
+        // command names itself `corpus` in the error.
+        assert_rejects_unknown("corpus verify --corpus x --bogus 1", "corpus");
+    }
+
+    #[test]
     fn flag_value_is_not_mistaken_for_a_flag() {
         // Regression guard: `--addr`'s value must not trip the check.
         let err =
@@ -1194,6 +1393,48 @@ mod serve_tests {
         let err = dispatch("serve --batch-max 0".split_whitespace().map(String::from).collect())
             .unwrap_err();
         assert!(err.to_string().contains("--batch-max"), "{err}");
+    }
+
+    #[test]
+    fn corpus_restart_answers_cached_on_first_request() {
+        // The warm-start contract end-to-end over real TCP: daemon 1
+        // computes and persists on drain; daemon 2 warm-loads and
+        // answers the same digest cached:true with no new evaluations.
+        let dir = std::env::temp_dir().join(format!("pacga-serve-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("warm.pacst");
+        let config = || pa_cga_service::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            corpus: Some(corpus.to_str().unwrap().to_string()),
+            ..Default::default()
+        };
+        let request = Json::parse(
+            r#"{"type":"schedule","etc":[[1,2],[2,1],[3,1]],"evals":400,"seed":11,"threads":1}"#,
+        )
+        .unwrap();
+
+        let handle = pa_cga_service::serve(config()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let cold = client.request(&request).unwrap();
+        assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false), "{cold:?}");
+        client.shutdown().unwrap();
+        let summary = handle.join();
+        assert_eq!(summary.persisted, 1, "{summary}");
+
+        let handle = pa_cga_service::serve(config()).unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let warm = client.request(&request).unwrap();
+        assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true), "{warm:?}");
+        assert_eq!(
+            warm.get("makespan").and_then(Json::as_f64),
+            cold.get("makespan").and_then(Json::as_f64),
+            "warm answer must replay the persisted result"
+        );
+        client.shutdown().unwrap();
+        let summary = handle.join();
+        assert_eq!(summary.evaluations, 0, "a warm hit must spend no engine evaluations");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,16 +35,21 @@ use std::path::Path;
 const HEADER: &str = "pacga-checkpoint v2";
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the trailer
-/// checksum. Bitwise implementation: checkpoint files are small and
-/// written once per cadence interval, so a lookup table buys nothing.
-struct Crc32(u32);
+/// checksum here and the per-record checksum of the `.pacst` corpus
+/// store (FORMAT.md §4), which reuses this implementation so the whole
+/// workspace agrees on one CRC. Bitwise implementation: checkpoint files
+/// are small and written once per cadence interval, so a lookup table
+/// buys nothing.
+pub struct Crc32(u32);
 
 impl Crc32 {
-    fn new() -> Self {
+    /// A fresh accumulator (initial value `0xFFFF_FFFF`).
+    pub fn new() -> Self {
         Crc32(0xFFFF_FFFF)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u32;
             for _ in 0..8 {
@@ -54,8 +59,22 @@ impl Crc32 {
         }
     }
 
-    fn finish(&self) -> u32 {
+    /// The final (bit-inverted) checksum.
+    pub fn finish(&self) -> u32 {
         self.0 ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot convenience: the CRC-32 of `bytes`.
+    pub fn of(bytes: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(bytes);
+        crc.finish()
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

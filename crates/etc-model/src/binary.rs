@@ -1,0 +1,253 @@
+//! Binary ETC instance codec — the payload format of `.pacst` instance
+//! records (FORMAT.md §5.1).
+//!
+//! The text formats in [`crate::io`] are human-auditable but cost a full
+//! parse per load; this codec is the zero-parse path: fixed-offset
+//! little-endian fields, `f64::to_le_bytes` for every matrix cell, so a
+//! reader can decode an instance with bounds checks only. The byte
+//! layout is **normative** — it is specified field-by-field in
+//! FORMAT.md and asserted offset-by-offset by the store's round-trip
+//! tests; change it only with a format version bump.
+//!
+//! Layout (`N` = name byte length, `T` = tasks, `M` = machines):
+//!
+//! | offset      | size  | field                         |
+//! |-------------|-------|-------------------------------|
+//! | 0           | 2     | `name_len` (u16 LE)           |
+//! | 2           | N     | name (UTF-8)                  |
+//! | 2+N         | 4     | `n_tasks` (u32 LE)            |
+//! | 6+N         | 4     | `n_machines` (u32 LE)         |
+//! | 10+N        | 8·M   | ready times (f64 LE each)     |
+//! | 10+N+8·M    | 8·T·M | ETC matrix, task-major (f64)  |
+//!
+//! Durability is the caller's concern: the `.pacst` store frames this
+//! payload with a length + CRC-32 and lands it on disk through
+//! `pa_cga_core::fsx` atomic writes.
+
+use crate::instance::EtcInstance;
+use crate::matrix::EtcMatrix;
+
+/// Why a binary instance payload failed to decode. Every variant is a
+/// typed error — the codec never panics on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The buffer ended before the named field.
+    Truncated(&'static str),
+    /// The name is not valid UTF-8, or too long to encode.
+    Name(String),
+    /// Dimensions are inconsistent with the payload length.
+    Shape(String),
+    /// A matrix or ready-time value violates the model invariants
+    /// (finite, ETC > 0, ready ≥ 0).
+    Value(String),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Truncated(what) => write!(f, "truncated before {what}"),
+            BinError::Name(m) => write!(f, "bad instance name: {m}"),
+            BinError::Shape(m) => write!(f, "bad shape: {m}"),
+            BinError::Value(m) => write!(f, "bad value: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Encodes an instance into the binary payload layout above.
+///
+/// Errors only when the name exceeds the u16 length field — model
+/// invariants (finite, positive ETC) hold by [`EtcInstance`]
+/// construction.
+pub fn encode_instance(instance: &EtcInstance) -> Result<Vec<u8>, BinError> {
+    let name = instance.name().as_bytes();
+    let name_len = u16::try_from(name.len())
+        .map_err(|_| BinError::Name(format!("{} bytes exceeds the u16 field", name.len())))?;
+    let n_tasks = instance.n_tasks();
+    let n_machines = instance.n_machines();
+    let mut out = Vec::with_capacity(10 + name.len() + 8 * n_machines + 8 * n_tasks * n_machines);
+    out.extend_from_slice(&name_len.to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(n_tasks as u32).to_le_bytes());
+    out.extend_from_slice(&(n_machines as u32).to_le_bytes());
+    for &r in instance.ready_times() {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    for &x in instance.etc().task_major_data() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// The exact encoded size of an instance payload, without encoding it.
+pub fn encoded_len(instance: &EtcInstance) -> usize {
+    10 + instance.name().len()
+        + 8 * instance.n_machines()
+        + 8 * instance.n_tasks() * instance.n_machines()
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], BinError> {
+        let end = self.pos.checked_add(len).ok_or(BinError::Truncated(what))?;
+        let slice = self.buf.get(self.pos..end).ok_or(BinError::Truncated(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, BinError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes(b.try_into().map_err(|_| BinError::Truncated(what))?))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, BinError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().map_err(|_| BinError::Truncated(what))?))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, BinError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().map_err(|_| BinError::Truncated(what))?))
+    }
+}
+
+/// Decodes a binary instance payload, validating shape and every model
+/// invariant (ETC finite and > 0, ready times finite and ≥ 0) before
+/// any panicking constructor runs.
+pub fn decode_instance(bytes: &[u8]) -> Result<EtcInstance, BinError> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    let name_len = c.u16("name_len")? as usize;
+    let name_bytes = c.take(name_len, "name")?;
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|e| BinError::Name(format!("not UTF-8: {e}")))?
+        .to_string();
+    let n_tasks = c.u32("n_tasks")? as usize;
+    let n_machines = c.u32("n_machines")? as usize;
+    if n_tasks == 0 || n_machines == 0 {
+        return Err(BinError::Shape(format!("{n_tasks} tasks × {n_machines} machines")));
+    }
+    let cells = n_tasks
+        .checked_mul(n_machines)
+        .ok_or_else(|| BinError::Shape(format!("{n_tasks}×{n_machines} overflows")))?;
+    let expected = 10 + name_len + 8 * n_machines + 8 * cells;
+    if bytes.len() != expected {
+        return Err(BinError::Shape(format!(
+            "payload is {} bytes, {n_tasks}×{n_machines} needs {expected}",
+            bytes.len()
+        )));
+    }
+    let mut ready = Vec::with_capacity(n_machines);
+    for m in 0..n_machines {
+        let r = c.f64("ready")?;
+        if !r.is_finite() || r < 0.0 {
+            return Err(BinError::Value(format!("ready[{m}] = {r}")));
+        }
+        ready.push(r);
+    }
+    let mut values = Vec::with_capacity(cells);
+    for i in 0..cells {
+        let x = c.f64("etc")?;
+        if !x.is_finite() || x <= 0.0 {
+            return Err(BinError::Value(format!(
+                "etc[{}][{}] = {x}",
+                i / n_machines,
+                i % n_machines
+            )));
+        }
+        values.push(x);
+    }
+    let matrix = EtcMatrix::from_task_major(n_tasks, n_machines, values);
+    Ok(EtcInstance::with_ready_times(name, matrix, ready))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(instance: &EtcInstance) -> EtcInstance {
+        let bytes = encode_instance(instance).unwrap();
+        assert_eq!(bytes.len(), encoded_len(instance));
+        decode_instance(&bytes).unwrap()
+    }
+
+    #[test]
+    fn toy_round_trips_bit_exact() {
+        let a = EtcInstance::toy(7, 3);
+        let b = round_trip(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ready_times_round_trip() {
+        let etc = EtcMatrix::from_task_major(2, 2, vec![1.5, 2.25, 3.125, 4.0625]);
+        let a = EtcInstance::with_ready_times("rt", etc, vec![0.5, 0.0]);
+        let b = round_trip(&a);
+        assert_eq!(b.ready(0), 0.5);
+        assert_eq!(b.etc().etc(1, 1), 4.0625);
+    }
+
+    #[test]
+    fn header_fields_live_at_specified_offsets() {
+        // FORMAT.md §5.1: name_len at 0, name at 2, dims after the name.
+        let a = EtcInstance::toy(2, 2); // name "toy_2x2", 7 bytes
+        let bytes = encode_instance(&a).unwrap();
+        assert_eq!(&bytes[0..2], &7u16.to_le_bytes());
+        assert_eq!(&bytes[2..9], b"toy_2x2");
+        assert_eq!(&bytes[9..13], &2u32.to_le_bytes());
+        assert_eq!(&bytes[13..17], &2u32.to_le_bytes());
+        // Ready times (zero) then ETC[0][0] = 1.0 task-major.
+        assert_eq!(&bytes[17..25], &0f64.to_le_bytes());
+        assert_eq!(&bytes[33..41], &1f64.to_le_bytes());
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_boundary() {
+        let bytes = encode_instance(&EtcInstance::toy(3, 2)).unwrap();
+        for cut in 0..bytes.len() {
+            let err = decode_instance(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, BinError::Truncated(_) | BinError::Shape(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_name_is_typed() {
+        let mut bytes = encode_instance(&EtcInstance::toy(2, 2)).unwrap();
+        bytes[2] = 0xFF; // clobber the first name byte
+        assert!(matches!(decode_instance(&bytes).unwrap_err(), BinError::Name(_)));
+    }
+
+    #[test]
+    fn bad_values_are_typed_not_panics() {
+        let a = EtcInstance::toy(2, 2);
+        let mut bytes = encode_instance(&a).unwrap();
+        // Overwrite ETC[0][0] with -1.0 (offset 33 for the 7-byte name).
+        bytes[33..41].copy_from_slice(&(-1f64).to_le_bytes());
+        assert!(matches!(decode_instance(&bytes).unwrap_err(), BinError::Value(_)));
+        // NaN ready time.
+        let mut bytes = encode_instance(&a).unwrap();
+        bytes[17..25].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode_instance(&bytes).unwrap_err(), BinError::Value(_)));
+    }
+
+    #[test]
+    fn zero_dimensions_are_typed() {
+        let mut bytes = encode_instance(&EtcInstance::toy(2, 2)).unwrap();
+        bytes[9..13].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(decode_instance(&bytes).unwrap_err(), BinError::Shape(_)));
+    }
+
+    #[test]
+    fn length_mismatch_is_shape_error() {
+        let mut bytes = encode_instance(&EtcInstance::toy(2, 2)).unwrap();
+        bytes.push(0);
+        assert!(matches!(decode_instance(&bytes).unwrap_err(), BinError::Shape(_)));
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`blazewicz`] — the `Q16|a ≤ pj ≤ b|Cmax` notation the paper prints.
 //! * [`io`] — reading and writing instances in the classic Braun text
 //!   format and in a self-describing header format.
+//! * [`binary`] — the zero-parse little-endian instance codec behind the
+//!   `.pacst` corpus store (see FORMAT.md at the repo root).
 
+pub mod binary;
 pub mod blazewicz;
 pub mod braun;
 pub mod consistency;
@@ -35,6 +38,7 @@ pub mod io;
 pub mod matrix;
 pub mod ranges;
 
+pub use binary::{decode_instance, encode_instance, BinError};
 pub use blazewicz::blazewicz_notation;
 pub use braun::{
     braun_instance, braun_instance_any, braun_instance_names, braun_registry, parse_braun_name,

@@ -113,6 +113,12 @@ impl ScheduleCache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Every live entry, in unspecified order (the drain-time corpus
+    /// persistence pass; callers wanting determinism sort by digest).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &CachedRun)> {
+        self.map.iter().map(|(&digest, slot)| (digest, &slot.value))
+    }
 }
 
 #[cfg(test)]

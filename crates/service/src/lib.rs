@@ -24,6 +24,10 @@
 //!   lifecycle ([`jobs`]).
 //! * **Observability** — a `stats` request returns uptime, throughput,
 //!   cache hit/miss counters and batch shape ([`protocol`]).
+//! * **Persistent corpus** — with `--corpus`, the digest LRU warm-loads
+//!   from a binary `.pacst` store on boot (hits answered before the
+//!   first engine spin-up) and persists back on drain ([`store`];
+//!   on-disk layout in FORMAT.md at the repo root).
 //! * **Schedule streams** — a connection can open a session bound to an
 //!   instance and feed it grid events (machine failures, ETC drift,
 //!   task churn); each event is answered by an incremental reschedule
@@ -48,6 +52,7 @@ pub mod json;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod store;
 pub mod stream;
 
 pub use cache::{CachedRun, ScheduleCache};
@@ -58,4 +63,5 @@ pub use json::Json;
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use protocol::{Request, Response, ScheduleRequest, StatsSnapshot};
 pub use server::{serve, ServeConfig, ServeSummary, ServerHandle};
+pub use store::{StoreBuilder, StoreError, StoreReader, VerifyReport};
 pub use stream::StreamSession;

@@ -418,6 +418,40 @@ impl StreamOpenRequest {
 
 impl Request {
     /// Decodes one wire line (already framed by the caller).
+    ///
+    /// Every verb the daemon speaks decodes through here; malformed
+    /// lines come back as `Err(message)` the server answers with an
+    /// `error` response, never a dropped connection.
+    ///
+    /// ```
+    /// use pa_cga_service::protocol::Request;
+    ///
+    /// // The core verb: schedule an inline ETC matrix with an
+    /// // explicit evaluation budget.
+    /// let req = Request::decode(
+    ///     r#"{"type":"schedule","etc":[[1,2],[2,1]],"evals":500,"seed":7}"#,
+    /// ).unwrap();
+    /// let Request::Schedule(schedule) = req else { panic!("wrong verb") };
+    /// assert_eq!(schedule.seed, 7);
+    /// let instance = schedule.resolve_instance().unwrap();
+    /// assert_eq!((instance.n_tasks(), instance.n_machines()), (2, 2));
+    ///
+    /// // Control verbs decode to unit variants.
+    /// assert_eq!(Request::decode(r#"{"type":"ping"}"#), Ok(Request::Ping));
+    /// assert_eq!(Request::decode(r#"{"type":"stats"}"#), Ok(Request::Stats));
+    /// assert_eq!(Request::decode(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    ///
+    /// // `job.*` verbs address durable jobs by validated name…
+    /// let req = Request::decode(r#"{"type":"job.status","job":"night-run"}"#).unwrap();
+    /// assert_eq!(req, Request::JobStatus { job: "night-run".into() });
+    ///
+    /// // …and `stream.*` verbs drive a schedule-stream session.
+    /// assert_eq!(Request::decode(r#"{"type":"stream.close"}"#), Ok(Request::StreamClose));
+    ///
+    /// // Anything else is a typed decode error, not a panic.
+    /// assert!(Request::decode("not json").unwrap_err().contains("malformed JSON"));
+    /// assert!(Request::decode(r#"{"type":"warp"}"#).unwrap_err().contains("unknown request type"));
+    /// ```
     pub fn decode(line: &str) -> Result<Request, String> {
         let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
         Request::from_json(&v)
@@ -935,6 +969,9 @@ pub struct StatsSnapshot {
     pub cache_entries: usize,
     /// Cache capacity (LRU bound).
     pub cache_capacity: usize,
+    /// Cache entries warm-loaded from the `--corpus` store at boot (0
+    /// without a corpus; see FORMAT.md).
+    pub cache_persisted: u64,
     /// In-batch duplicate requests served by one run.
     pub coalesced: u64,
     /// Batches executed.
@@ -959,6 +996,38 @@ pub struct StatsSnapshot {
 
 impl Response {
     /// Encodes the response as one JSON line (no trailing newline).
+    ///
+    /// The inverse direction of [`Request::decode`]: what the daemon
+    /// writes back, one object per request, in request order.
+    ///
+    /// ```
+    /// use pa_cga_service::protocol::Response;
+    /// use pa_cga_service::Json;
+    ///
+    /// // A schedule answer served from the warm corpus cache:
+    /// let line = Response::Result {
+    ///     id: Some("req-1".into()),
+    ///     instance: "u_c_hihi.0".into(),
+    ///     n_tasks: 512,
+    ///     n_machines: 16,
+    ///     makespan: 7_813_622.5,
+    ///     evaluations: 20_000,
+    ///     engine_ms: 142.0,
+    ///     cached: true,
+    ///     coalesced: false,
+    ///     assignment: None,
+    /// }
+    /// .encode();
+    /// // The line is self-describing JSON a client can re-parse:
+    /// let v = Json::parse(&line).unwrap();
+    /// assert_eq!(v.get("type").and_then(Json::as_str), Some("result"));
+    /// assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+    /// assert_eq!(v.get("instance").and_then(Json::as_str), Some("u_c_hihi.0"));
+    ///
+    /// // Backpressure is a typed verb, not a dropped connection:
+    /// let v = Json::parse(&Response::Busy { reason: "queue full".into() }.encode()).unwrap();
+    /// assert_eq!(v.get("type").and_then(Json::as_str), Some("busy"));
+    /// ```
     pub fn encode(&self) -> String {
         self.to_json().to_string()
     }
@@ -1024,6 +1093,7 @@ impl Response {
                 ("cache_misses", Json::num(s.cache_misses as f64)),
                 ("cache_entries", Json::num(s.cache_entries as f64)),
                 ("cache_capacity", Json::num(s.cache_capacity as f64)),
+                ("cache_persisted", Json::num(s.cache_persisted as f64)),
                 ("coalesced", Json::num(s.coalesced as f64)),
                 ("batches", Json::num(s.batches as f64)),
                 ("max_batch", Json::num(s.max_batch as f64)),

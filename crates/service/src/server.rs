@@ -29,6 +29,7 @@
 use crate::cache::{CachedRun, ScheduleCache};
 use crate::jobs::JobManager;
 use crate::protocol::{Request, Response, ScheduleRequest, StatsSnapshot, StreamOpenRequest};
+use crate::store::{StoreBuilder, StoreReader};
 use crate::stream::StreamSession;
 use pa_cga_core::config::PaCgaConfig;
 use pa_cga_core::engine::PaCga;
@@ -67,6 +68,12 @@ pub struct ServeConfig {
     /// Retention horizon for archived jobs: buckets older than this many
     /// days are swept on boot. `None` keeps archives forever.
     pub archive_keep_days: Option<u64>,
+    /// Path of a `.pacst` corpus store (see FORMAT.md). When set, the
+    /// memoization cache warm-loads every best-schedule record at boot
+    /// and persists its entries back (merged, atomically) on drain. A
+    /// missing file is a cold start, not an error — the drain creates
+    /// it.
+    pub corpus: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +87,7 @@ impl Default for ServeConfig {
             data_dir: None,
             checkpoint_gens: 64,
             archive_keep_days: None,
+            corpus: None,
         }
     }
 }
@@ -149,6 +157,11 @@ struct Shared {
     /// Named stream sessions currently open on SOME connection: at most
     /// one connection may drive a given durable session at a time.
     stream_names: Mutex<std::collections::HashSet<String>>,
+    /// `.pacst` corpus path, when `--corpus` was given: the cache is
+    /// warm-loaded from it at boot and persisted back on drain.
+    corpus: Option<std::path::PathBuf>,
+    /// Best-schedule records warm-loaded from the corpus at boot.
+    cache_persisted: u64,
     start: Instant,
 }
 
@@ -225,6 +238,7 @@ impl Shared {
             cache_misses,
             cache_entries,
             cache_capacity,
+            cache_persisted: self.cache_persisted,
             coalesced,
             batches,
             max_batch,
@@ -258,6 +272,8 @@ pub struct ServeSummary {
     pub batches: u64,
     /// Total engine evaluations spent.
     pub evaluations: u64,
+    /// Cache entries persisted to the `--corpus` store on drain.
+    pub persisted: u64,
     /// Listener lifetime.
     pub uptime: Duration,
 }
@@ -267,13 +283,14 @@ impl std::fmt::Display for ServeSummary {
         write!(
             f,
             "drained cleanly: {} completed, {} errors, {} busy | cache {} hits / {} misses, \
-             {} coalesced | {} batches, {} evaluations | uptime {:.2}s",
+             {} coalesced, {} persisted | {} batches, {} evaluations | uptime {:.2}s",
             self.completed,
             self.errors,
             self.busy,
             self.cache_hits,
             self.cache_misses,
             self.coalesced,
+            self.persisted,
             self.batches,
             self.evaluations,
             self.uptime.as_secs_f64()
@@ -323,6 +340,10 @@ impl ServerHandle {
             conns = guard;
         }
         drop(conns);
+        // Everything that could add cache entries has stopped: persist
+        // the LRU into the corpus store (merged with whatever the file
+        // already holds, atomically rewritten).
+        let persisted = persist_corpus(&self.shared);
         let s = self.shared.snapshot();
         ServeSummary {
             completed: s.completed,
@@ -333,9 +354,52 @@ impl ServerHandle {
             coalesced: s.coalesced,
             batches: s.batches,
             evaluations: s.evaluations,
+            persisted,
             uptime: self.shared.start.elapsed(),
         }
     }
+}
+
+/// Drain-time corpus persistence: load the existing store (preserving
+/// its instances and checkpoints), upsert every live cache entry sorted
+/// by digest (deterministic images), and atomically rewrite the file.
+/// Returns how many cache entries were written; failures are reported
+/// on stderr and drop the persistence, never the drain.
+fn persist_corpus(shared: &Shared) -> u64 {
+    let Some(path) = &shared.corpus else { return 0 };
+    let mut builder = if path.exists() {
+        match StoreReader::open_path(path).and_then(|mut r| r.to_builder()) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "pacga serve: corpus {} unreadable at drain ({e}); not persisting",
+                    path.display()
+                );
+                return 0;
+            }
+        }
+    } else {
+        StoreBuilder::new()
+    };
+    let mut entries: Vec<(u64, CachedRun)> = {
+        let cache = shared.cache.lock();
+        cache.entries().map(|(d, run)| (d, run.clone())).collect()
+    };
+    entries.sort_by_key(|(d, _)| *d);
+    let mut persisted = 0u64;
+    for (digest, run) in &entries {
+        match builder.add_best(*digest, run) {
+            Ok(()) => persisted += 1,
+            Err(e) => {
+                eprintln!("pacga serve: cache entry {digest:#018x} not persistable ({e}); skipped")
+            }
+        }
+    }
+    if let Err(e) = builder.write(path) {
+        eprintln!("pacga serve: corpus write to {} failed ({e})", path.display());
+        return 0;
+    }
+    persisted
 }
 
 /// Binds the listener and spawns the daemon threads.
@@ -356,6 +420,24 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         )?),
         None => None,
     };
+    // Corpus warm-load: every persisted best-schedule record becomes a
+    // live cache entry before the listener answers its first request, so
+    // a previously-seen digest is a hit with zero engine evaluations. A
+    // corrupt corpus fails the boot loudly; a missing file is a cold
+    // start (the drain will create it).
+    let mut cache = ScheduleCache::new(config.cache_cap);
+    let mut cache_persisted = 0u64;
+    if let Some(path) = config.corpus.as_ref().map(std::path::Path::new) {
+        if path.exists() {
+            let bests = StoreReader::open_path(path)
+                .and_then(|mut r| r.bests())
+                .map_err(|e| std::io::Error::other(format!("corpus {}: {e}", path.display())))?;
+            for (digest, run) in bests {
+                cache.insert(digest, run);
+                cache_persisted += 1;
+            }
+        }
+    }
     let shared = Arc::new(Shared {
         addr,
         workers,
@@ -365,7 +447,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         metrics: Metrics::default(),
-        cache: Mutex::new(ScheduleCache::new(config.cache_cap)),
+        cache: Mutex::new(cache),
         conns: Mutex::new(0),
         conn_streams: Mutex::new(std::collections::HashMap::new()),
         next_conn: AtomicU64::new(0),
@@ -373,6 +455,8 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         jobs,
         data_dir: config.data_dir.as_ref().map(std::path::PathBuf::from),
         stream_names: Mutex::new(std::collections::HashSet::new()),
+        corpus: config.corpus.as_ref().map(std::path::PathBuf::from),
+        cache_persisted,
         start: Instant::now(),
     });
 
@@ -842,6 +926,61 @@ mod tests {
         assert_eq!(err, "queue full");
         handle.shutdown();
         handle.join();
+    }
+
+    #[test]
+    fn corpus_round_trips_cache_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("pacga-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("t.pacst");
+        let config = ServeConfig {
+            corpus: Some(corpus.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        };
+
+        // Daemon 1: cold start (no file yet), one cache entry, drain.
+        let handle = local(config.clone());
+        let run = CachedRun {
+            instance: "toy_4x2".into(),
+            n_tasks: 4,
+            n_machines: 2,
+            makespan: 9.5,
+            evaluations: 123,
+            engine_ms: 1.5,
+            assignment: vec![0, 1, 1, 0],
+        };
+        handle.shared.cache.lock().insert(42, run.clone());
+        assert_eq!(handle.shared.snapshot().cache_persisted, 0, "cold start");
+        handle.shutdown();
+        let summary = handle.join();
+        assert_eq!(summary.persisted, 1);
+        assert!(summary.to_string().contains("1 persisted"));
+
+        // Daemon 2: warm-loads the record before serving.
+        let handle = local(config);
+        assert_eq!(handle.shared.snapshot().cache_persisted, 1);
+        assert_eq!(handle.shared.cache.lock().get(42).as_ref(), Some(&run));
+        handle.shutdown();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_corpus_fails_boot_loudly() {
+        let dir = std::env::temp_dir().join(format!("pacga-badcorpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = dir.join("bad.pacst");
+        std::fs::write(&corpus, b"not a pacst file at all").unwrap();
+        let err = match serve(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            corpus: Some(corpus.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt corpus must fail the boot"),
+        };
+        assert!(err.to_string().contains("bad.pacst"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

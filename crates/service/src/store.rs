@@ -1,0 +1,1020 @@
+//! The `.pacst` corpus store — a binary, offset-indexed, single-file
+//! store for ETC instances, engine checkpoints, and digest-keyed
+//! best-schedule records.
+//!
+//! The on-disk layout is **normative** and specified byte-by-byte in
+//! `FORMAT.md` at the repo root; every field there is asserted by the
+//! round-trip/corruption suite (`crates/service/tests/store_format.rs`).
+//! Summary:
+//!
+//! ```text
+//! [ header 32 B ][ section payloads ... ][ section table ][ trailer 16 B ]
+//! ```
+//!
+//! All integers are **little-endian**. Data sections hold CRC-32-framed
+//! records; two hash-index sections (open addressing, linear probing)
+//! map an FNV-1a name/digest key to the absolute file offset of its
+//! record, so a lookup over any `Read + Seek` handle is O(1) seeks
+//! regardless of corpus size — open reads the fixed header, the section
+//! table and the (small) indexes; each `get_*` is one seek + one framed
+//! read, no text parse.
+//!
+//! Durability: files are written in one [`pa_cga_core::fsx`] atomic
+//! write (tmp + fsync + rename), so a crash mid-write leaves the old
+//! corpus or the new one, never a hybrid. Corruption of any byte is
+//! caught by the per-record CRC (or the header/table CRCs in the
+//! trailer) and surfaces as a typed [`StoreError`] — this module never
+//! panics on untrusted bytes (audit rule A2 is machine-enforced here).
+
+use crate::cache::CachedRun;
+use crate::protocol::Fnv1a;
+use etc_model::binary::{decode_instance, encode_instance};
+use etc_model::EtcInstance;
+use pa_cga_core::checkpoint::Crc32;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// File magic: `\x89` (catches 7-bit transports) + `PACST` + `\r\n`
+/// (catches newline translation), PNG-style.
+pub const MAGIC: [u8; 8] = [0x89, b'P', b'A', b'C', b'S', b'T', 0x0D, 0x0A];
+/// Trailer end magic, proving the file was not truncated.
+pub const END_MAGIC: [u8; 8] = *b"PACSTEND";
+/// Current (and only) format version.
+pub const VERSION: u16 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Fixed trailer size in bytes.
+pub const TRAILER_LEN: usize = 16;
+/// One section-table entry: kind u32, reserved u32, offset u64, len u64.
+pub const SECTION_ENTRY_LEN: usize = 24;
+
+/// Section kind: ETC instance records.
+pub const SECTION_INSTANCES: u32 = 1;
+/// Section kind: digest-keyed best-schedule records.
+pub const SECTION_BESTS: u32 = 2;
+/// Section kind: named engine-checkpoint records (opaque payloads in
+/// the `pa_cga_core::checkpoint` v2 format).
+pub const SECTION_CHECKPOINTS: u32 = 3;
+/// Section kind: hash index name → instance-record offset.
+pub const SECTION_INSTANCE_INDEX: u32 = 4;
+/// Section kind: hash index digest → best-record offset.
+pub const SECTION_BEST_INDEX: u32 = 5;
+
+/// Empty-bucket sentinel in the hash indexes (an offset no record can
+/// have — records live strictly inside the file).
+pub const EMPTY_BUCKET: u64 = u64::MAX;
+
+/// Why a store operation failed. Typed, never a panic: corrupt or
+/// truncated input must degrade into an error the daemon can report.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file ended before the named structure.
+    Truncated(&'static str),
+    /// The leading magic bytes are not a `.pacst` header.
+    BadMagic,
+    /// The header names a format version this reader does not speak.
+    UnsupportedVersion(u16),
+    /// A CRC-32 check failed (stored vs computed).
+    Crc {
+        /// Which structure failed its checksum.
+        what: String,
+        /// The checksum the file recorded.
+        stored: u32,
+        /// The checksum the bytes actually have.
+        computed: u32,
+    },
+    /// Structurally invalid contents (bad offsets, bad record shape).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Truncated(what) => write!(f, "truncated before {what}"),
+            StoreError::BadMagic => write!(f, "not a .pacst file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported .pacst version {v} (reader speaks {VERSION})")
+            }
+            StoreError::Crc { what, stored, computed } => {
+                write!(f, "CRC mismatch in {what}: stored {stored:08x}, computed {computed:08x}")
+            }
+            StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The FNV-1a key of an instance name — the instance-index hash key.
+pub fn name_key(name: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(name.as_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Little-endian slice accessors (bounds-checked; no indexing — A2).
+// ---------------------------------------------------------------------
+
+fn bytes_at<const N: usize>(
+    buf: &[u8],
+    off: usize,
+    what: &'static str,
+) -> Result<[u8; N], StoreError> {
+    let end = off.checked_add(N).ok_or(StoreError::Truncated(what))?;
+    let slice = buf.get(off..end).ok_or(StoreError::Truncated(what))?;
+    slice.try_into().map_err(|_| StoreError::Truncated(what))
+}
+
+fn u16_at(buf: &[u8], off: usize, what: &'static str) -> Result<u16, StoreError> {
+    Ok(u16::from_le_bytes(bytes_at(buf, off, what)?))
+}
+
+fn u32_at(buf: &[u8], off: usize, what: &'static str) -> Result<u32, StoreError> {
+    Ok(u32::from_le_bytes(bytes_at(buf, off, what)?))
+}
+
+fn u64_at(buf: &[u8], off: usize, what: &'static str) -> Result<u64, StoreError> {
+    Ok(u64::from_le_bytes(bytes_at(buf, off, what)?))
+}
+
+fn f64_at(buf: &[u8], off: usize, what: &'static str) -> Result<f64, StoreError> {
+    Ok(f64::from_le_bytes(bytes_at(buf, off, what)?))
+}
+
+// ---------------------------------------------------------------------
+// Best-schedule record codec (FORMAT.md §5.2).
+// ---------------------------------------------------------------------
+
+fn encode_best(digest: u64, run: &CachedRun) -> Result<Vec<u8>, StoreError> {
+    let name = run.instance.as_bytes();
+    let name_len = u16::try_from(name.len()).map_err(|_| {
+        StoreError::Corrupt(format!("instance name of {} bytes exceeds u16", name.len()))
+    })?;
+    let mut out = Vec::with_capacity(42 + name.len() + 4 * run.assignment.len());
+    out.extend_from_slice(&digest.to_le_bytes());
+    out.extend_from_slice(&name_len.to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(run.n_tasks as u32).to_le_bytes());
+    out.extend_from_slice(&(run.n_machines as u32).to_le_bytes());
+    out.extend_from_slice(&run.makespan.to_le_bytes());
+    out.extend_from_slice(&run.evaluations.to_le_bytes());
+    out.extend_from_slice(&run.engine_ms.to_le_bytes());
+    for &m in &run.assignment {
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+    Ok(out)
+}
+
+fn decode_best(body: &[u8]) -> Result<(u64, CachedRun), StoreError> {
+    let digest = u64_at(body, 0, "best.digest")?;
+    let name_len = u16_at(body, 8, "best.name_len")? as usize;
+    let name_end = 10usize.checked_add(name_len).ok_or(StoreError::Truncated("best.name"))?;
+    let name_bytes = body.get(10..name_end).ok_or(StoreError::Truncated("best.name"))?;
+    let instance = std::str::from_utf8(name_bytes)
+        .map_err(|e| StoreError::Corrupt(format!("best record name not UTF-8: {e}")))?
+        .to_string();
+    let n_tasks = u32_at(body, name_end, "best.n_tasks")? as usize;
+    let n_machines = u32_at(body, name_end + 4, "best.n_machines")? as usize;
+    let makespan = f64_at(body, name_end + 8, "best.makespan")?;
+    let evaluations = u64_at(body, name_end + 16, "best.evaluations")?;
+    let engine_ms = f64_at(body, name_end + 24, "best.engine_ms")?;
+    if n_machines == 0 {
+        return Err(StoreError::Corrupt("best record with zero machines".into()));
+    }
+    if !makespan.is_finite() || !engine_ms.is_finite() {
+        return Err(StoreError::Corrupt(format!(
+            "best record with non-finite makespan {makespan} / engine_ms {engine_ms}"
+        )));
+    }
+    let expected = name_end
+        .checked_add(32)
+        .and_then(|n| n.checked_add(n_tasks.checked_mul(4)?))
+        .ok_or_else(|| StoreError::Corrupt(format!("best record shape overflows: {n_tasks}")))?;
+    if body.len() != expected {
+        return Err(StoreError::Corrupt(format!(
+            "best record is {} bytes, {n_tasks} tasks need {expected}",
+            body.len()
+        )));
+    }
+    let assignment_bytes =
+        body.get(name_end + 32..).ok_or(StoreError::Truncated("best.assignment"))?;
+    let mut assignment = Vec::with_capacity(n_tasks);
+    for chunk in assignment_bytes.chunks_exact(4) {
+        let m =
+            u32::from_le_bytes(chunk.try_into().map_err(|_| StoreError::Truncated("best.gene"))?);
+        if (m as usize) >= n_machines {
+            return Err(StoreError::Corrupt(format!(
+                "best record assigns machine {m} of {n_machines}"
+            )));
+        }
+        assignment.push(m);
+    }
+    Ok((
+        digest,
+        CachedRun { instance, n_tasks, n_machines, makespan, evaluations, engine_ms, assignment },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint record codec (FORMAT.md §5.3).
+// ---------------------------------------------------------------------
+
+fn encode_checkpoint(name: &str, payload: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let name_len = u16::try_from(name.len()).map_err(|_| {
+        StoreError::Corrupt(format!("checkpoint name of {} bytes exceeds u16", name.len()))
+    })?;
+    let payload_len = u32::try_from(payload.len()).map_err(|_| {
+        StoreError::Corrupt(format!("checkpoint payload of {} bytes exceeds u32", payload.len()))
+    })?;
+    let mut out = Vec::with_capacity(6 + name.len() + payload.len());
+    out.extend_from_slice(&name_len.to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+fn decode_checkpoint(body: &[u8]) -> Result<(String, Vec<u8>), StoreError> {
+    let name_len = u16_at(body, 0, "checkpoint.name_len")? as usize;
+    let name_end = 2usize.checked_add(name_len).ok_or(StoreError::Truncated("checkpoint.name"))?;
+    let name_bytes = body.get(2..name_end).ok_or(StoreError::Truncated("checkpoint.name"))?;
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|e| StoreError::Corrupt(format!("checkpoint name not UTF-8: {e}")))?
+        .to_string();
+    let payload_len = u32_at(body, name_end, "checkpoint.payload_len")? as usize;
+    let payload_end = name_end
+        .checked_add(4)
+        .and_then(|n| n.checked_add(payload_len))
+        .ok_or(StoreError::Truncated("checkpoint.payload"))?;
+    if body.len() != payload_end {
+        return Err(StoreError::Corrupt(format!(
+            "checkpoint record is {} bytes, payload of {payload_len} needs {payload_end}",
+            body.len()
+        )));
+    }
+    let payload =
+        body.get(name_end + 4..payload_end).ok_or(StoreError::Truncated("checkpoint.payload"))?;
+    Ok((name, payload.to_vec()))
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+/// Accumulates records and serializes them into one `.pacst` file.
+///
+/// Adding a record whose key (instance name / digest / checkpoint name)
+/// is already present **replaces** the earlier record, so merging an
+/// existing corpus with fresh results is load-into-builder + add + write.
+#[derive(Default)]
+pub struct StoreBuilder {
+    instances: Vec<(String, Vec<u8>)>,
+    bests: Vec<(u64, Vec<u8>)>,
+    checkpoints: Vec<(String, Vec<u8>)>,
+}
+
+fn upsert<K: PartialEq>(list: &mut Vec<(K, Vec<u8>)>, key: K, body: Vec<u8>) {
+    match list.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = body,
+        None => list.push((key, body)),
+    }
+}
+
+impl StoreBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces, by name) an ETC instance record.
+    pub fn add_instance(&mut self, instance: &EtcInstance) -> Result<(), StoreError> {
+        let body = encode_instance(instance)
+            .map_err(|e| StoreError::Corrupt(format!("unencodable instance: {e}")))?;
+        upsert(&mut self.instances, instance.name().to_string(), body);
+        Ok(())
+    }
+
+    /// Adds (or replaces, by digest) a best-schedule record.
+    pub fn add_best(&mut self, digest: u64, run: &CachedRun) -> Result<(), StoreError> {
+        let body = encode_best(digest, run)?;
+        upsert(&mut self.bests, digest, body);
+        Ok(())
+    }
+
+    /// Adds (or replaces, by name) an engine checkpoint record. The
+    /// payload is opaque to the store — by convention it is the
+    /// `pa_cga_core::checkpoint` v2 text format, which carries its own
+    /// trailing CRC on top of the store's record CRC.
+    pub fn add_checkpoint(&mut self, name: &str, payload: &[u8]) -> Result<(), StoreError> {
+        let body = encode_checkpoint(name, payload)?;
+        upsert(&mut self.checkpoints, name.to_string(), body);
+        Ok(())
+    }
+
+    /// Instance records staged.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Best-schedule records staged.
+    pub fn best_count(&self) -> usize {
+        self.bests.len()
+    }
+
+    /// Checkpoint records staged.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Serializes the full `.pacst` file image.
+    pub fn encode(&self) -> Vec<u8> {
+        // Data sections first (record offsets are absolute, so lay them
+        // out as they will land in the file: header, then sections).
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut inst_entries: Vec<(u64, u64)> = Vec::new();
+        let mut best_entries: Vec<(u64, u64)> = Vec::new();
+
+        let mut cursor = HEADER_LEN as u64;
+        {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(self.instances.len() as u64).to_le_bytes());
+            for (name, body) in &self.instances {
+                inst_entries.push((name_key(name), cursor + payload.len() as u64));
+                append_record(&mut payload, body);
+            }
+            cursor += payload.len() as u64;
+            sections.push((SECTION_INSTANCES, payload));
+        }
+        {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(self.bests.len() as u64).to_le_bytes());
+            for (digest, body) in &self.bests {
+                best_entries.push((*digest, cursor + payload.len() as u64));
+                append_record(&mut payload, body);
+            }
+            cursor += payload.len() as u64;
+            sections.push((SECTION_BESTS, payload));
+        }
+        {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(self.checkpoints.len() as u64).to_le_bytes());
+            for (_, body) in &self.checkpoints {
+                append_record(&mut payload, body);
+            }
+            cursor += payload.len() as u64;
+            sections.push((SECTION_CHECKPOINTS, payload));
+        }
+        for (kind, entries) in
+            [(SECTION_INSTANCE_INDEX, &inst_entries), (SECTION_BEST_INDEX, &best_entries)]
+        {
+            let payload = encode_index(entries);
+            cursor += payload.len() as u64;
+            sections.push((kind, payload));
+        }
+
+        // Assemble: header | payloads | table | trailer.
+        let table_offset = cursor;
+        let table_len = sections.len() * SECTION_ENTRY_LEN;
+        let file_len = table_offset + table_len as u64 + TRAILER_LEN as u64;
+
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+        header.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        header.extend_from_slice(&table_offset.to_le_bytes());
+        header.extend_from_slice(&file_len.to_le_bytes());
+
+        let mut table = Vec::with_capacity(table_len);
+        let mut offset = HEADER_LEN as u64;
+        for (kind, payload) in &sections {
+            table.extend_from_slice(&kind.to_le_bytes());
+            table.extend_from_slice(&0u32.to_le_bytes()); // reserved
+            table.extend_from_slice(&offset.to_le_bytes());
+            table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+
+        let mut out = Vec::with_capacity(file_len as usize);
+        out.extend_from_slice(&header);
+        for (_, payload) in &sections {
+            out.extend_from_slice(payload);
+        }
+        out.extend_from_slice(&table);
+        out.extend_from_slice(&Crc32::of(&header).to_le_bytes());
+        out.extend_from_slice(&Crc32::of(&table).to_le_bytes());
+        out.extend_from_slice(&END_MAGIC);
+        out
+    }
+
+    /// Writes the store to `path` through the fsx atomic-write protocol
+    /// (tmp + fsync + rename): a crash leaves the old corpus or the new
+    /// one, never a torn hybrid.
+    pub fn write(&self, path: &Path) -> Result<(), StoreError> {
+        pa_cga_core::fsx::atomic_write(path, &self.encode())?;
+        Ok(())
+    }
+}
+
+fn append_record(payload: &mut Vec<u8>, body: &[u8]) {
+    payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&Crc32::of(body).to_le_bytes());
+    payload.extend_from_slice(body);
+}
+
+/// Open-addressed index: `bucket_count` u64, then `bucket_count` pairs
+/// of (key u64, offset u64); empty buckets carry [`EMPTY_BUCKET`].
+fn encode_index(entries: &[(u64, u64)]) -> Vec<u8> {
+    let buckets = entries.len().saturating_mul(2).next_power_of_two().max(8);
+    let mut table: Vec<(u64, u64)> = vec![(0, EMPTY_BUCKET); buckets];
+    let mask = buckets - 1;
+    for &(key, offset) in entries {
+        let mut slot = (key as usize) & mask;
+        // The table is at most half full, so an empty bucket exists.
+        for _ in 0..buckets {
+            match table.get_mut(slot) {
+                Some(b) if b.1 == EMPTY_BUCKET => {
+                    *b = (key, offset);
+                    break;
+                }
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(8 + 16 * buckets);
+    out.extend_from_slice(&(buckets as u64).to_le_bytes());
+    for (key, offset) in table {
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+/// One section-table entry, as read from disk. Unknown `kind`s are
+/// preserved here and skipped by every read path (forward compat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// Section kind tag (see the `SECTION_*` constants).
+    pub kind: u32,
+    /// Absolute file offset of the section payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+struct HashIndex {
+    buckets: Vec<(u64, u64)>,
+}
+
+impl HashIndex {
+    fn empty() -> Self {
+        HashIndex { buckets: Vec::new() }
+    }
+
+    fn decode(payload: &[u8], what: &'static str) -> Result<Self, StoreError> {
+        let count = u64_at(payload, 0, what)? as usize;
+        if !count.is_power_of_two() {
+            return Err(StoreError::Corrupt(format!(
+                "{what}: bucket count {count} not a power of two"
+            )));
+        }
+        let expected = 8usize
+            .checked_add(count.checked_mul(16).ok_or(StoreError::Truncated(what))?)
+            .ok_or(StoreError::Truncated(what))?;
+        if payload.len() != expected {
+            return Err(StoreError::Corrupt(format!(
+                "{what}: {count} buckets need {expected} bytes, section has {}",
+                payload.len()
+            )));
+        }
+        let body = payload.get(8..).ok_or(StoreError::Truncated(what))?;
+        let mut buckets = Vec::with_capacity(count);
+        for pair in body.chunks_exact(16) {
+            let key = u64_at(pair, 0, what)?;
+            let offset = u64_at(pair, 8, what)?;
+            buckets.push((key, offset));
+        }
+        Ok(HashIndex { buckets })
+    }
+
+    /// Yields candidate record offsets for `key` in probe order. FNV
+    /// collisions are possible, so callers verify the record's own key
+    /// and move to the next candidate on mismatch.
+    fn candidates(&self, key: u64) -> Vec<u64> {
+        let n = self.buckets.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mask = n - 1;
+        let mut out = Vec::new();
+        let mut slot = (key as usize) & mask;
+        for _ in 0..n {
+            match self.buckets.get(slot) {
+                Some(&(_, offset)) if offset == EMPTY_BUCKET => break,
+                Some(&(k, offset)) => {
+                    if k == key {
+                        out.push(offset);
+                    }
+                    slot = (slot + 1) & mask;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// What [`StoreReader::verify`] reports after walking every byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Instance records verified (CRC + decode + index resolution).
+    pub instances: usize,
+    /// Best-schedule records verified.
+    pub bests: usize,
+    /// Checkpoint records verified.
+    pub checkpoints: usize,
+    /// Sections with a kind this reader does not know (skipped).
+    pub unknown_sections: usize,
+}
+
+/// A `.pacst` reader over any `Read + Seek` handle.
+///
+/// [`StoreReader::open`] validates the header, trailer and section
+/// table and loads the hash indexes; after that, [`get_instance`] /
+/// [`get_best`] are one seek + one framed read each.
+///
+/// [`get_instance`]: StoreReader::get_instance
+/// [`get_best`]: StoreReader::get_best
+pub struct StoreReader<R> {
+    handle: R,
+    file_len: u64,
+    sections: Vec<Section>,
+    instance_index: HashIndex,
+    best_index: HashIndex,
+    instance_count: u64,
+    best_count: u64,
+    checkpoint_count: u64,
+}
+
+impl StoreReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a `.pacst` file from disk (buffered).
+    pub fn open_path(path: &Path) -> Result<Self, StoreError> {
+        let file = std::fs::File::open(path)?;
+        StoreReader::open(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Opens a store: validates magic, version, file length, the
+    /// header/table CRCs in the trailer, and loads the hash indexes.
+    pub fn open(mut handle: R) -> Result<Self, StoreError> {
+        let file_len = handle.seek(SeekFrom::End(0))?;
+        if file_len < (HEADER_LEN + TRAILER_LEN) as u64 {
+            return Err(StoreError::Truncated("header"));
+        }
+        let header = read_exact_at(&mut handle, 0, HEADER_LEN, "header")?;
+        let magic: [u8; 8] = bytes_at(&header, 0, "magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u16_at(&header, 8, "version")?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let section_count = u32_at(&header, 12, "section_count")? as usize;
+        let table_offset = u64_at(&header, 16, "table_offset")?;
+        let stated_len = u64_at(&header, 24, "file_len")?;
+        if stated_len != file_len {
+            return Err(StoreError::Truncated("end of file"));
+        }
+
+        // Trailer: header CRC, table CRC, end magic.
+        let trailer =
+            read_exact_at(&mut handle, file_len - TRAILER_LEN as u64, TRAILER_LEN, "trailer")?;
+        let end_magic: [u8; 8] = bytes_at(&trailer, 8, "end magic")?;
+        if end_magic != END_MAGIC {
+            return Err(StoreError::Corrupt("end magic missing (torn trailer)".into()));
+        }
+        let header_crc = u32_at(&trailer, 0, "header crc")?;
+        let computed = Crc32::of(&header);
+        if header_crc != computed {
+            return Err(StoreError::Crc { what: "header".into(), stored: header_crc, computed });
+        }
+
+        let table_len = section_count
+            .checked_mul(SECTION_ENTRY_LEN)
+            .ok_or(StoreError::Corrupt("section count overflows".into()))?;
+        let table_end = table_offset
+            .checked_add(table_len as u64)
+            .ok_or(StoreError::Corrupt("section table overflows".into()))?;
+        if table_end > file_len - TRAILER_LEN as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "section table at {table_offset}+{table_len} overruns the file"
+            )));
+        }
+        let table = read_exact_at(&mut handle, table_offset, table_len, "section table")?;
+        let table_crc = u32_at(&trailer, 4, "table crc")?;
+        let computed = Crc32::of(&table);
+        if table_crc != computed {
+            return Err(StoreError::Crc {
+                what: "section table".into(),
+                stored: table_crc,
+                computed,
+            });
+        }
+
+        let mut sections = Vec::with_capacity(section_count);
+        for entry in table.chunks_exact(SECTION_ENTRY_LEN) {
+            let kind = u32_at(entry, 0, "section kind")?;
+            let offset = u64_at(entry, 8, "section offset")?;
+            let len = u64_at(entry, 16, "section len")?;
+            let end = offset
+                .checked_add(len)
+                .ok_or(StoreError::Corrupt("section bounds overflow".into()))?;
+            if offset < HEADER_LEN as u64 || end > table_offset {
+                return Err(StoreError::Corrupt(format!(
+                    "section kind {kind} at {offset}+{len} escapes the data region"
+                )));
+            }
+            sections.push(Section { kind, offset, len });
+        }
+
+        let mut reader = StoreReader {
+            handle,
+            file_len,
+            sections,
+            instance_index: HashIndex::empty(),
+            best_index: HashIndex::empty(),
+            instance_count: 0,
+            best_count: 0,
+            checkpoint_count: 0,
+        };
+        if let Some(s) = reader.section(SECTION_INSTANCES) {
+            let head = read_exact_at(&mut reader.handle, s.offset, 8, "instance count")?;
+            reader.instance_count = u64_at(&head, 0, "instance count")?;
+        }
+        if let Some(s) = reader.section(SECTION_BESTS) {
+            let head = read_exact_at(&mut reader.handle, s.offset, 8, "best count")?;
+            reader.best_count = u64_at(&head, 0, "best count")?;
+        }
+        if let Some(s) = reader.section(SECTION_CHECKPOINTS) {
+            let head = read_exact_at(&mut reader.handle, s.offset, 8, "checkpoint count")?;
+            reader.checkpoint_count = u64_at(&head, 0, "checkpoint count")?;
+        }
+        if let Some(s) = reader.section(SECTION_INSTANCE_INDEX) {
+            let payload = reader.read_section(s)?;
+            reader.instance_index = HashIndex::decode(&payload, "instance index")?;
+        }
+        if let Some(s) = reader.section(SECTION_BEST_INDEX) {
+            let payload = reader.read_section(s)?;
+            reader.best_index = HashIndex::decode(&payload, "best index")?;
+        }
+        Ok(reader)
+    }
+
+    fn section(&self, kind: u32) -> Option<Section> {
+        self.sections.iter().copied().find(|s| s.kind == kind)
+    }
+
+    fn read_section(&mut self, s: Section) -> Result<Vec<u8>, StoreError> {
+        let len = usize::try_from(s.len)
+            .map_err(|_| StoreError::Corrupt("section too large for this host".into()))?;
+        read_exact_at(&mut self.handle, s.offset, len, "section payload")
+    }
+
+    /// Every section-table entry, including unknown kinds.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Instance records in the store.
+    pub fn instance_count(&self) -> u64 {
+        self.instance_count
+    }
+
+    /// Best-schedule records in the store.
+    pub fn best_count(&self) -> u64 {
+        self.best_count
+    }
+
+    /// Checkpoint records in the store.
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoint_count
+    }
+
+    /// Reads one CRC-framed record at an absolute file offset.
+    fn read_record(&mut self, offset: u64, what: &'static str) -> Result<Vec<u8>, StoreError> {
+        let frame = read_exact_at(&mut self.handle, offset, 8, what)?;
+        let len = u32_at(&frame, 0, what)? as u64;
+        let stored = u32_at(&frame, 4, what)?;
+        let end = offset.checked_add(8).and_then(|o| o.checked_add(len));
+        match end {
+            Some(end) if end <= self.file_len => {}
+            _ => return Err(StoreError::Corrupt(format!("record at {offset} overruns the file"))),
+        }
+        let body = read_exact_at(&mut self.handle, offset + 8, len as usize, what)?;
+        let computed = Crc32::of(&body);
+        if stored != computed {
+            return Err(StoreError::Crc { what: what.into(), stored, computed });
+        }
+        Ok(body)
+    }
+
+    /// O(1) instance lookup by name: index probe → one seek → one
+    /// framed read → binary decode. `Ok(None)` when absent.
+    pub fn get_instance(&mut self, name: &str) -> Result<Option<EtcInstance>, StoreError> {
+        let offsets = self.instance_index.candidates(name_key(name));
+        for offset in offsets {
+            let body = self.read_record(offset, "instance record")?;
+            let instance = decode_instance(&body)
+                .map_err(|e| StoreError::Corrupt(format!("instance record: {e}")))?;
+            if instance.name() == name {
+                return Ok(Some(instance));
+            }
+        }
+        Ok(None)
+    }
+
+    /// O(1) best-schedule lookup by request digest. `Ok(None)` when
+    /// absent.
+    pub fn get_best(&mut self, digest: u64) -> Result<Option<CachedRun>, StoreError> {
+        let offsets = self.best_index.candidates(digest);
+        for offset in offsets {
+            let body = self.read_record(offset, "best record")?;
+            let (stored_digest, run) = decode_best(&body)?;
+            if stored_digest == digest {
+                return Ok(Some(run));
+            }
+        }
+        Ok(None)
+    }
+
+    fn walk_records(
+        &mut self,
+        kind: u32,
+        count: u64,
+        what: &'static str,
+        mut f: impl FnMut(&[u8]) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        let Some(s) = self.section(kind) else { return Ok(()) };
+        let mut offset = s.offset + 8;
+        let end = s.offset + s.len;
+        for _ in 0..count {
+            if offset >= end {
+                return Err(StoreError::Truncated(what));
+            }
+            let body = self.read_record(offset, what)?;
+            f(&body)?;
+            offset += 8 + body.len() as u64;
+        }
+        if offset != end {
+            return Err(StoreError::Corrupt(format!(
+                "{what} section has {} trailing bytes",
+                end - offset
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes every instance record (sequential scan, for `corpus ls`
+    /// and merges — point lookups should use [`StoreReader::get_instance`]).
+    pub fn instances(&mut self) -> Result<Vec<EtcInstance>, StoreError> {
+        let mut out = Vec::new();
+        let count = self.instance_count;
+        self.walk_records(SECTION_INSTANCES, count, "instance record", |body| {
+            let instance = decode_instance(body)
+                .map_err(|e| StoreError::Corrupt(format!("instance record: {e}")))?;
+            out.push(instance);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Decodes every best-schedule record (the daemon's warm-load scan).
+    pub fn bests(&mut self) -> Result<Vec<(u64, CachedRun)>, StoreError> {
+        let mut out = Vec::new();
+        let count = self.best_count;
+        self.walk_records(SECTION_BESTS, count, "best record", |body| {
+            out.push(decode_best(body)?);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Decodes every checkpoint record (name + opaque payload).
+    pub fn checkpoints(&mut self) -> Result<Vec<(String, Vec<u8>)>, StoreError> {
+        let mut out = Vec::new();
+        let count = self.checkpoint_count;
+        self.walk_records(SECTION_CHECKPOINTS, count, "checkpoint record", |body| {
+            out.push(decode_checkpoint(body)?);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Walks every record in every known section, re-checking every CRC
+    /// and decoding every body, and proves each record is reachable
+    /// through its hash index. The full-file integrity pass behind
+    /// `pacga corpus verify`.
+    pub fn verify(&mut self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport {
+            unknown_sections: self
+                .sections
+                .iter()
+                .filter(|s| {
+                    !matches!(
+                        s.kind,
+                        SECTION_INSTANCES
+                            | SECTION_BESTS
+                            | SECTION_CHECKPOINTS
+                            | SECTION_INSTANCE_INDEX
+                            | SECTION_BEST_INDEX
+                    )
+                })
+                .count(),
+            ..VerifyReport::default()
+        };
+        for instance in self.instances()? {
+            let found = self.get_instance(instance.name())?;
+            if found.as_ref().map(|i| i.name().to_string()) != Some(instance.name().to_string()) {
+                return Err(StoreError::Corrupt(format!(
+                    "instance {:?} not reachable through the index",
+                    instance.name()
+                )));
+            }
+            report.instances += 1;
+        }
+        for (digest, _) in self.bests()? {
+            if self.get_best(digest)?.is_none() {
+                return Err(StoreError::Corrupt(format!(
+                    "best record {digest:#018x} not reachable through the index"
+                )));
+            }
+            report.bests += 1;
+        }
+        report.checkpoints = self.checkpoints()?.len();
+        Ok(report)
+    }
+
+    /// Loads the whole store back into a [`StoreBuilder`] for merging
+    /// (the daemon's drain path: load, upsert fresh results, rewrite).
+    pub fn to_builder(&mut self) -> Result<StoreBuilder, StoreError> {
+        let mut builder = StoreBuilder::new();
+        for instance in self.instances()? {
+            builder.add_instance(&instance)?;
+        }
+        for (digest, run) in self.bests()? {
+            builder.add_best(digest, &run)?;
+        }
+        for (name, payload) in self.checkpoints()? {
+            builder.add_checkpoint(&name, &payload)?;
+        }
+        Ok(builder)
+    }
+}
+
+fn read_exact_at<R: Read + Seek>(
+    handle: &mut R,
+    offset: u64,
+    len: usize,
+    what: &'static str,
+) -> Result<Vec<u8>, StoreError> {
+    handle.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    handle.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated(what)
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(tag: u64, n_tasks: usize, n_machines: usize) -> CachedRun {
+        CachedRun {
+            instance: format!("inst{tag}"),
+            n_tasks,
+            n_machines,
+            makespan: 100.0 + tag as f64,
+            evaluations: 5_000 + tag,
+            engine_ms: 12.5,
+            assignment: (0..n_tasks as u32).map(|t| t % n_machines as u32).collect(),
+        }
+    }
+
+    fn sample_store() -> Vec<u8> {
+        let mut b = StoreBuilder::new();
+        b.add_instance(&EtcInstance::toy(6, 3)).unwrap();
+        b.add_instance(&EtcInstance::toy(4, 2)).unwrap();
+        b.add_best(0xDEAD_BEEF, &run(1, 6, 3)).unwrap();
+        b.add_checkpoint("ck-a", b"pacga-checkpoint v2 fake payload").unwrap();
+        b.encode()
+    }
+
+    #[test]
+    fn round_trips_through_memory() {
+        let bytes = sample_store();
+        let mut r = StoreReader::open(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.instance_count(), 2);
+        assert_eq!(r.best_count(), 1);
+        assert_eq!(r.checkpoint_count(), 1);
+        let inst = r.get_instance("toy_6x3").unwrap().unwrap();
+        assert_eq!(inst, EtcInstance::toy(6, 3));
+        assert!(r.get_instance("toy_9x9").unwrap().is_none());
+        let best = r.get_best(0xDEAD_BEEF).unwrap().unwrap();
+        assert_eq!(best, run(1, 6, 3));
+        assert!(r.get_best(7).unwrap().is_none());
+        let cks = r.checkpoints().unwrap();
+        assert_eq!(cks, vec![("ck-a".to_string(), b"pacga-checkpoint v2 fake payload".to_vec())]);
+        let report = r.verify().unwrap();
+        assert_eq!(
+            report,
+            VerifyReport { instances: 2, bests: 1, checkpoints: 1, unknown_sections: 0 }
+        );
+    }
+
+    #[test]
+    fn upsert_replaces_by_key() {
+        let mut b = StoreBuilder::new();
+        b.add_best(9, &run(1, 4, 2)).unwrap();
+        b.add_best(9, &run(2, 4, 2)).unwrap();
+        assert_eq!(b.best_count(), 1);
+        let mut r = StoreReader::open(Cursor::new(b.encode())).unwrap();
+        assert_eq!(r.get_best(9).unwrap().unwrap().makespan, 102.0);
+    }
+
+    #[test]
+    fn to_builder_merge_preserves_everything() {
+        let bytes = sample_store();
+        let mut r = StoreReader::open(Cursor::new(bytes)).unwrap();
+        let mut b = r.to_builder().unwrap();
+        b.add_best(77, &run(3, 4, 2)).unwrap();
+        let mut r2 = StoreReader::open(Cursor::new(b.encode())).unwrap();
+        assert_eq!(r2.instance_count(), 2);
+        assert_eq!(r2.best_count(), 2);
+        assert!(r2.get_best(77).unwrap().is_some());
+        assert!(r2.get_best(0xDEAD_BEEF).unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_store_is_valid() {
+        let bytes = StoreBuilder::new().encode();
+        let mut r = StoreReader::open(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.instance_count(), 0);
+        assert!(r.get_instance("anything").unwrap().is_none());
+        assert!(r.get_best(0).unwrap().is_none());
+        assert_eq!(r.verify().unwrap(), VerifyReport::default());
+    }
+
+    #[test]
+    fn atomic_write_lands_on_disk() {
+        let dir = std::env::temp_dir().join(format!("pacst-write-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pacst");
+        let mut b = StoreBuilder::new();
+        b.add_instance(&EtcInstance::toy(3, 2)).unwrap();
+        b.write(&path).unwrap();
+        let mut r = StoreReader::open_path(&path).unwrap();
+        assert!(r.get_instance("toy_3x2").unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn many_bests_all_resolve() {
+        // Exercise probing past collisions in a denser index.
+        let mut b = StoreBuilder::new();
+        for d in 0..200u64 {
+            b.add_best(d.wrapping_mul(0x9E37_79B9_7F4A_7C15), &run(d, 8, 4)).unwrap();
+        }
+        let mut r = StoreReader::open(Cursor::new(b.encode())).unwrap();
+        for d in 0..200u64 {
+            let digest = d.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(r.get_best(digest).unwrap().unwrap().evaluations, 5_000 + d);
+        }
+    }
+}

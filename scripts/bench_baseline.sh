@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Records the repo's perf baseline: runs the operator, heuristic, and
-# engine-throughput criterion benches and writes a machine-readable
-# BENCH_<n>.json (median ns/op per bench, engine evaluations/second at
-# 1-4 threads, and the indexed-vs-scan speedups) so every later perf
-# claim can be checked against a committed trajectory.
+# Records the repo's perf baseline: runs the operator, heuristic,
+# engine-throughput, and corpus-store criterion benches and writes a
+# machine-readable BENCH_<n>.json (median ns/op per bench, engine
+# evaluations/second at 1-4 threads, the indexed-vs-scan speedups, and
+# the .pacst open/lookup latencies vs the text parse they replace) so
+# every later perf claim can be checked against a committed trajectory.
 #
 #   scripts/bench_baseline.sh            # full run, writes BENCH_<next>.json
 #   scripts/bench_baseline.sh -o F.json  # full run, explicit output file
@@ -39,6 +40,7 @@ fi
 
 cargo bench -p pa_cga_bench \
   --bench operators --bench heuristics --bench engine_throughput \
+  --bench corpus_store \
   2>&1 | tee "$LOG"
 
 if [[ "$SMOKE" == 1 ]]; then
@@ -84,6 +86,19 @@ awk -v out="$OUT" '
         ns["pa_cga_4096_evals/t1_ls10"] / ns[sprintf("pa_cga_4096_evals/t%d_ls10", j)], \
         (j < 4 ? "," : "")
     }
+    printf "  },\n"
+    # .pacst store read paths (FORMAT.md): what a warm-path lookup and
+    # a cold open+lookup cost, against the Braun text parse the store
+    # replaces on the daemon boot path.
+    printf "  \"corpus_store\": {\n"
+    printf "    \"open_ns\": %.0f,\n", ns["corpus_store/open"]
+    printf "    \"get_instance_ns\": %.0f,\n", ns["corpus_store/get_instance"]
+    printf "    \"get_best_ns\": %.0f,\n", ns["corpus_store/get_best"]
+    printf "    \"open_and_get_ns\": %.0f,\n", ns["corpus_store/open_and_get"]
+    printf "    \"text_parse_512x16_ns\": %.0f,\n", ns["corpus_store/text_parse_512x16"]
+    printf "    \"binary_decode_512x16_ns\": %.0f,\n", ns["corpus_store/binary_decode_512x16"]
+    printf "    \"speedup_lookup_vs_text_parse\": %.2f\n", \
+      ns["corpus_store/text_parse_512x16"] / ns["corpus_store/get_instance"]
     printf "  },\n"
     printf "  \"speedup_vs_scan\": {\n"
     printf "    \"h2ll/10\": %.2f,\n", ns["h2ll_scan/10"] / ns["h2ll/10"]

@@ -46,6 +46,12 @@
 #            storm, fixed seed), recovery latency percentiles must be
 #            reported, the daemon must drain cleanly, and the
 #            SIGKILL-mid-session resume test rides along time-boxed
+#   6d corpus persistent-store gate: `pacga corpus build` pregenerates a
+#            .pacst store (FORMAT.md), a daemon booted with --corpus
+#            answers a request cold, drains (persisting the cache), and
+#            a *second* daemon on the same store must answer the same
+#            digest cached:true on its very first request; `pacga
+#            corpus verify` then re-checks every record CRC and index
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -211,8 +217,9 @@ if [[ "$FAST" == 1 ]]; then
   skip "6:serve" "--fast"
   skip "6b:jobs" "--fast"
   skip "6c:chaos" "--fast"
+  skip "6d:corpus" "--fast"
   print_summary
-  echo "==> CI green (--fast: stages 4-6c skipped)"
+  echo "==> CI green (--fast: stages 4-6d skipped)"
   exit 0
 fi
 
@@ -405,6 +412,85 @@ grep -q "drained cleanly" "$SERVE_LOG" \
   || { echo "chaos gate: daemon did not drain cleanly" >&2; cat "$SERVE_LOG" >&2; exit 1; }
 rm -rf "$CHAOS_DIR"
 rm -f "$SERVE_LOG"
+finish
+
+begin "6d:corpus" "corpus store: build → warm-restart cache hit → verify"
+CORPUS_DIR="$(mktemp -d)"
+CORPUS="$CORPUS_DIR/ci.pacst"
+
+BUILD_OUT="$("$PACGA" corpus build --braun --out "$CORPUS")"
+echo "$BUILD_OUT"
+grep -q "wrote 12 instance(s)" <<<"$BUILD_OUT" \
+  || { echo "corpus gate: build did not report the Braun grid" >&2; exit 1; }
+"$PACGA" corpus ls --corpus "$CORPUS" | grep -q "u_c_hihi.0" \
+  || { echo "corpus gate: ls missing a Braun instance" >&2; exit 1; }
+
+# One JSON-lines exchange over raw TCP: send a request, read one reply.
+corpus_rpc() {
+  local req="$1" resp
+  exec 3<>"/dev/tcp/${SERVE_ADDR%:*}/${SERVE_ADDR##*:}"
+  printf '%s\n' "$req" >&3
+  IFS= read -r resp <&3
+  exec 3<&- 3>&-
+  printf '%s' "$resp"
+}
+
+boot_corpus_daemon() {
+  "$PACGA" serve --addr 127.0.0.1:0 --workers 2 --corpus "$CORPUS" \
+    >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  SERVE_ADDR=""
+  for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^pacga serve: listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")"
+    [[ -n "$SERVE_ADDR" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  [[ -n "$SERVE_ADDR" ]] || {
+    echo "corpus gate: daemon never announced its address" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+}
+
+REQ='{"type":"schedule","etc":[[1,2],[2,1],[3,1]],"evals":400,"seed":11,"threads":1}'
+
+# Daemon 1: cold — the store holds instances but no best record yet.
+SERVE_LOG="$(mktemp)"
+boot_corpus_daemon
+echo "==> corpus daemon 1 listening on $SERVE_ADDR"
+RESP="$(corpus_rpc "$REQ")"
+echo "cold: $RESP"
+grep -q '"cached":false' <<<"$RESP" \
+  || { echo "corpus gate: first-ever request must be uncached" >&2; exit 1; }
+corpus_rpc '{"type":"shutdown"}' >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "1 persisted" "$SERVE_LOG" \
+  || { echo "corpus gate: drain did not persist the cache" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+rm -f "$SERVE_LOG"
+
+# Daemon 2: a fresh process on the same store. The very first request
+# after the cold restart must be a cache hit — the tentpole's promise.
+SERVE_LOG="$(mktemp)"
+boot_corpus_daemon
+echo "==> corpus daemon 2 listening on $SERVE_ADDR"
+RESP="$(corpus_rpc "$REQ")"
+echo "warm: $RESP"
+grep -q '"cached":true' <<<"$RESP" \
+  || { echo "corpus gate: restart lost the memoized answer" >&2; exit 1; }
+corpus_rpc '{"type":"shutdown"}' >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+rm -f "$SERVE_LOG"
+
+VERIFY_OUT="$("$PACGA" corpus verify --corpus "$CORPUS")"
+echo "$VERIFY_OUT"
+grep -q "OK" <<<"$VERIFY_OUT" \
+  || { echo "corpus gate: verify failed after daemon rewrites" >&2; exit 1; }
+"$PACGA" corpus ls --corpus "$CORPUS" | grep -q "1 best record(s)" \
+  || { echo "corpus gate: persisted best record missing from ls" >&2; exit 1; }
+rm -rf "$CORPUS_DIR"
 finish
 
 print_summary
